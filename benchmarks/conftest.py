@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark regenerates one of the paper's figures or quantified
+claims (see DESIGN.md's per-experiment index). Since the paper is a vision
+paper with no absolute numbers, each harness:
+
+1. runs the experiment and renders its rows/series as an ASCII table,
+2. writes the table to ``benchmarks/results/<experiment>.txt`` (and echoes
+   it to stdout when pytest runs with ``-s``),
+3. asserts the claim's *shape* (who wins, rough factors, crossovers).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.tables import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """Write a rendered table (plus optional notes) to the results dir."""
+
+    def _record(experiment_id: str, table: Table, notes: str = "") -> None:
+        content = table.render()
+        if notes:
+            content += "\n\n" + notes.strip() + "\n"
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(content + "\n")
+        print()
+        print(content)
+
+    return _record

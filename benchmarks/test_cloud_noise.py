@@ -1,0 +1,114 @@
+"""Experiment C7 — §II.C: cloud noise breaks barrier synchronisation.
+
+"The biggest issue for cloud computing to widen the HPC adoption is the
+built-in sharing of infrastructure and the interference of other
+applications ... that creates noise and makes barrier-based
+synchronizations ineffective (the slowest component dictates performance)."
+
+We sweep the rank count of a BSP application against per-rank noise levels
+representative of a tuned supercomputer stack (cv 0.3%), a good on-premise
+cluster (1%), and two shared-cloud levels (5%, 8%), reporting the expected
+superstep slowdown from order statistics — plus a Monte-Carlo validation
+column and a heavy-tail ablation.
+
+Expected shape: slowdown grows ~ cv * sqrt(2 ln P); cloud noise costs >25%
+at 4k ranks and keeps growing, while the supercomputer stays within 2%;
+embarrassingly parallel (rank-1) jobs are immune at any noise level —
+exactly why "only applications ... with infrequent synchronization ...
+were possible to execute in Cloud".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import Table
+from repro.core.rng import RandomSource
+from repro.scheduling.noise import NoiseModel, bsp_slowdown
+
+RANKS = (1, 16, 256, 4096, 65_536)
+NOISE_LEVELS = (
+    ("supercomputer", 0.003),
+    ("on-premise", 0.01),
+    ("shared cloud (good)", 0.05),
+    ("shared cloud (busy)", 0.08),
+)
+
+
+def run_experiment():
+    rows = []
+    rng = RandomSource(seed=303, name="noise-mc")
+    for label, cv in NOISE_LEVELS:
+        model = NoiseModel(noise_cv=cv)
+        for ranks in RANKS:
+            analytic = bsp_slowdown(ranks, cv)
+            if ranks <= 4096:
+                samples = [
+                    model.sample_superstep(ranks, 1.0, rng) for _ in range(200)
+                ]
+                monte_carlo = float(np.mean(samples))
+            else:
+                monte_carlo = float("nan")
+            rows.append((label, cv, ranks, analytic, monte_carlo))
+    return rows
+
+
+def heavy_tail_ablation():
+    """Stragglers (daemon wakeups, page migrations) on top of base noise."""
+    rows = []
+    for probability in (0.0, 0.001, 0.01):
+        model = NoiseModel(
+            noise_cv=0.05,
+            heavy_tail_probability=probability,
+            heavy_tail_magnitude=3.0,
+        )
+        rows.append((probability, model.expected_slowdown(1024)))
+    return rows
+
+
+def test_c7_cloud_noise(benchmark, record):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "C7 (SII.C): expected BSP superstep slowdown (max over noisy ranks)",
+        ["environment", "noise cv", "ranks", "analytic slowdown", "Monte-Carlo"],
+    )
+    for row in rows:
+        table.add_row(*row)
+
+    ablation = heavy_tail_ablation()
+    ablation_table = Table(
+        "C7 ablation: heavy-tail stragglers at 1024 ranks (cv=5%)",
+        ["straggler probability", "expected slowdown"],
+    )
+    for row in ablation:
+        ablation_table.add_row(*row)
+
+    record(
+        "C7_cloud_noise",
+        table,
+        notes=(
+            "Paper claim: 'the slowest component dictates performance' —\n"
+            "noise slowdown grows like cv*sqrt(2 ln P), unbounded in P.\n\n"
+            + ablation_table.render()
+        ),
+    )
+
+    slowdown = {(label, ranks): s for label, _, ranks, s, _ in rows}
+    # Rank-1 jobs immune everywhere.
+    assert all(slowdown[(label, 1)] == 1.0 for label, _ in NOISE_LEVELS)
+    # Supercomputer stays within 2% even at extreme scale.
+    assert slowdown[("supercomputer", 65_536)] < 1.02
+    # Busy cloud loses >= 25% at 4k ranks and keeps degrading.
+    assert slowdown[("shared cloud (busy)", 4096)] > 1.25
+    assert slowdown[("shared cloud (busy)", 65_536)] > slowdown[
+        ("shared cloud (busy)", 4096)
+    ]
+    # Monotone in both axes.
+    for label, _ in NOISE_LEVELS:
+        series = [slowdown[(label, ranks)] for ranks in RANKS]
+        assert series == sorted(series)
+    # Heavy tails strictly worsen expectations.
+    probabilities = [s for _, s in heavy_tail_ablation()]
+    assert probabilities == sorted(probabilities)

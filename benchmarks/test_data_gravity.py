@@ -1,0 +1,137 @@
+"""Experiment C9 — §III.F: data-gravity-aware placement.
+
+"The new framework will enable the analysis of data 'gravitational'
+aspects, where workloads may not only be scheduled following compute
+resources availability but targeting the optimization of job completion
+time end to end, including the data transfer."
+
+Twenty analytics/training jobs read large datasets pinned at specific
+sites. We sweep the scheduler's gravity weight alpha from 0 (compute-only,
+the paper's criticised baseline) to 2 (locality-biased) and report mean
+end-to-end completion time, total WAN bytes moved, and data-local placement
+rate.
+
+Expected shape: completion time and bytes moved drop steeply from alpha=0
+to alpha=1 and flatten after; the data-local placement fraction rises
+toward 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.core.rng import RandomSource
+from repro.federation import Dataset, Federation, Site, SiteKind, WanLink
+from repro.hardware import Precision, default_catalog
+from repro.scheduling import MetaScheduler, PlacementPolicy
+from repro.workloads.base import JobClass, make_single_kernel_job
+
+GRAVITY_WEIGHTS = (0.0, 0.25, 0.5, 1.0, 2.0)
+JOB_COUNT = 20
+DATASET_BYTES = 200e9
+
+
+def build_federation():
+    catalog = default_catalog()
+    cpu = catalog.get("epyc-class-cpu")
+    gpu = catalog.get("hpc-gpu")
+    federation = Federation(name="c9")
+    # Note: the data-holding sites have *weaker* compute, so compute-only
+    # placement is actively pulled away from the data.
+    archive_a = Site(name="archive-a", kind=SiteKind.ON_PREMISE, devices={cpu: 16})
+    archive_b = Site(name="archive-b", kind=SiteKind.ON_PREMISE, devices={cpu: 16})
+    hub = Site(
+        name="compute-hub", kind=SiteKind.SUPERCOMPUTER,
+        devices={cpu: 128, gpu: 64},
+        interconnect_bandwidth=25e9, interconnect_latency=1e-6,
+    )
+    for site in (archive_a, archive_b, hub):
+        federation.add_site(site)
+    federation.connect(archive_a, hub, WanLink(bandwidth=1.25e9, latency=0.01))
+    federation.connect(archive_b, hub, WanLink(bandwidth=0.625e9, latency=0.02))
+    federation.connect(archive_a, archive_b, WanLink(bandwidth=0.625e9, latency=0.02))
+    for index in range(10):
+        federation.add_dataset(
+            Dataset(
+                name=f"ds-a{index}", size_bytes=DATASET_BYTES,
+                replicas={"archive-a"},
+            )
+        )
+        federation.add_dataset(
+            Dataset(
+                name=f"ds-b{index}", size_bytes=DATASET_BYTES,
+                replicas={"archive-b"},
+            )
+        )
+    return federation
+
+
+def make_jobs():
+    jobs = []
+    rng = RandomSource(seed=99, name="c9")
+    for index in range(JOB_COUNT):
+        archive = "a" if index % 2 == 0 else "b"
+        job = make_single_kernel_job(
+            name=f"scan-{index}",
+            job_class=JobClass.ANALYTICS,
+            flops=2e13,
+            bytes_moved=5e12,
+            precision=Precision.FP32,
+            ranks=4,
+            input_dataset=f"ds-{archive}{index % 10}",
+            input_bytes=DATASET_BYTES,
+        )
+        job.arrival_time = index * 5.0
+        jobs.append(job)
+    return jobs
+
+
+def run_experiment():
+    rows = []
+    for weight in GRAVITY_WEIGHTS:
+        federation = build_federation()
+        scheduler = MetaScheduler(
+            federation, policy=PlacementPolicy.BEST_SILICON, gravity_weight=weight
+        )
+        records = scheduler.run(make_jobs())
+        mean_ct = sum(r.completion_time for r in records) / len(records)
+        bytes_moved = sum(
+            DATASET_BYTES for d in scheduler.decisions if d.staging_time > 0
+        )
+        local_fraction = sum(
+            1 for d in scheduler.decisions if d.staging_time == 0
+        ) / len(scheduler.decisions)
+        rows.append((weight, mean_ct, bytes_moved / 1e12, local_fraction))
+    return rows
+
+
+def test_c9_data_gravity(benchmark, record):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "C9 (SIII.F): gravity-weight sweep, 20 data-heavy jobs over 3 sites",
+        ["gravity weight", "mean end-to-end CT (s)", "WAN TB moved",
+         "data-local placement rate"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    record(
+        "C9_data_gravity",
+        table,
+        notes=(
+            "Paper claim: optimise 'job completion time end to end,\n"
+            "including the data transfer'. alpha=0 reproduces the\n"
+            "compute-availability-only scheduling the paper criticises."
+        ),
+    )
+
+    by_weight = {row[0]: row for row in rows}
+    # End-to-end completion: gravity-aware must beat compute-only clearly.
+    assert by_weight[1.0][1] < by_weight[0.0][1] * 0.7
+    # WAN traffic collapses as gravity weight rises.
+    assert by_weight[1.0][2] < by_weight[0.0][2]
+    # Local placement rate is monotone non-decreasing in the weight.
+    local_rates = [row[3] for row in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(local_rates, local_rates[1:]))
+    assert local_rates[-1] > 0.9

@@ -1,0 +1,163 @@
+"""Experiment C20 — §IV: horizontal federation driven by economics.
+
+"Horizontal federation is the distribution of applications across
+different service providers and on premise data centers ... Horizontal
+federation is driven by economics, to optimize the infrastructure vs
+workload fluctuation." And §III.F: federation exists "to increase
+resources utilization and access to a broader set of systems through
+facilitated sharing between sites."
+
+Setup: two equally-sized sites in time zones twelve hours apart, each with
+a diurnal job trace peaking in its local daytime (anti-phase demand). We
+compare:
+
+* **isolated** — each site runs only its own trace,
+* **federated** — one meta-scheduler places both traces over both sites.
+
+Expected shape: federation cuts the mean queue wait by a large factor
+(each site's peak lands in the other's trough) while serving the identical
+workload on the identical hardware — utilisation smoothing is pure gain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import math
+
+from repro.analysis.tables import Table
+from repro.core.rng import RandomSource
+from repro.federation import Federation, Site, SiteKind, WanLink
+from repro.hardware import Precision, default_catalog
+from repro.scheduling import MetaScheduler, PlacementPolicy
+from repro.workloads.base import JobClass, make_single_kernel_job
+
+DAY = 86_400.0
+SITE_CPUS = 24
+JOBS_PER_SITE = 250
+
+
+def build_federation():
+    catalog = default_catalog()
+    cpu = catalog.get("epyc-class-cpu")
+    federation = Federation(name="c20")
+    east = Site(name="east", kind=SiteKind.ON_PREMISE, devices={cpu: SITE_CPUS})
+    west = Site(name="west", kind=SiteKind.ON_PREMISE, devices={cpu: SITE_CPUS})
+    federation.add_site(east)
+    federation.add_site(west)
+    federation.connect(east, west, WanLink(bandwidth=2.5e9, latency=0.04))
+    return federation
+
+
+def diurnal_trace(phase_shift: float, seed: int, label: str):
+    """Saturation-scale compute jobs with a strong local-daytime peak.
+
+    Jobs carry no datasets (staging is not the phenomenon here): pure CPU
+    work whose offered load averages ~60% of one site's capacity but
+    exceeds it at the local peak — the fluctuation federation smooths.
+    """
+    rng = RandomSource(seed=seed, name=f"c20-{label}")
+    jobs = []
+    base_rate = JOBS_PER_SITE / DAY
+    now = 0.0
+    peak_rate = base_rate * 1.9
+    while len(jobs) < JOBS_PER_SITE:
+        now += rng.exponential(1.0 / peak_rate)
+        if now > DAY:
+            break
+        phase = 2.0 * math.pi * (now - phase_shift) / DAY
+        rate = base_rate * (1.0 + 0.9 * math.sin(phase))
+        if rng.uniform() > rate / peak_rate:
+            continue  # thinning
+        ranks = int(rng.choice([4, 8, 16], weights=[0.3, 0.4, 0.3]))
+        runtime_target = rng.lognormal(700.0, 0.5)  # ~12 min median per rank
+        flops = runtime_target * 2.9e12  # CPU FP32 sustained rate
+        job = make_single_kernel_job(
+            name=f"{label}-{len(jobs)}",
+            job_class=JobClass.ANALYTICS,
+            flops=flops,
+            bytes_moved=flops / 50,
+            precision=Precision.FP32,
+            ranks=ranks,
+        )
+        job.arrival_time = now
+        jobs.append(job)
+    return jobs
+
+
+def run_experiment():
+    east_trace = diurnal_trace(phase_shift=0.0, seed=7, label="east")
+    west_trace = diurnal_trace(phase_shift=DAY / 2, seed=8, label="west")
+
+    # Isolated: each site schedules only its own trace.
+    isolated_waits = []
+    isolated_counts = 0
+    for home, trace in (("east", east_trace), ("west", west_trace)):
+        federation = build_federation()
+        scheduler = MetaScheduler(
+            federation, policy=PlacementPolicy.HOME_ONLY,
+            home_site=federation.site(home),
+        )
+        records = scheduler.run(list(trace))
+        isolated_waits.extend(r.queue_wait for r in records)
+        isolated_counts += len(records)
+
+    # Federated: one scheduler over both sites and traces.
+    federation = build_federation()
+    scheduler = MetaScheduler(federation, policy=PlacementPolicy.BEST_SILICON)
+    records = scheduler.run(list(east_trace) + list(west_trace))
+    federated_waits = [r.queue_wait for r in records]
+
+    def mean(xs):
+        return sum(xs) / len(xs) if xs else 0.0
+
+    return {
+        "isolated_jobs": isolated_counts,
+        "federated_jobs": len(records),
+        "isolated_mean_wait": mean(isolated_waits),
+        "federated_mean_wait": mean(federated_waits),
+        "isolated_max_wait": max(isolated_waits, default=0.0),
+        "federated_max_wait": max(federated_waits, default=0.0),
+        "cross_site_fraction": (
+            sum(1 for d in scheduler.decisions if d.site.name == "west") /
+            max(len(scheduler.decisions), 1)
+        ),
+    }
+
+
+def test_c20_horizontal_federation(benchmark, record):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "C20 (SIV): anti-phase diurnal demand, isolated vs federated sites",
+        ["metric", "isolated", "federated"],
+    )
+    table.add_row("jobs served", results["isolated_jobs"], results["federated_jobs"])
+    table.add_row(
+        "mean queue wait (s)",
+        results["isolated_mean_wait"],
+        results["federated_mean_wait"],
+    )
+    table.add_row(
+        "max queue wait (s)",
+        results["isolated_max_wait"],
+        results["federated_max_wait"],
+    )
+    record(
+        "C20_horizontal_federation",
+        table,
+        notes=(
+            "Paper claim (SIV): horizontal federation optimises 'the\n"
+            "infrastructure vs workload fluctuation'. Same jobs, same total\n"
+            "hardware; federation lets each site's peak ride the other's\n"
+            f"trough. Fraction of federated placements on 'west': "
+            f"{results['cross_site_fraction']:.2f}."
+        ),
+    )
+
+    assert results["federated_jobs"] == results["isolated_jobs"]
+    # The headline: federation slashes queueing under anti-phase load.
+    assert results["federated_mean_wait"] < results["isolated_mean_wait"] * 0.6
+    assert results["federated_max_wait"] <= results["isolated_max_wait"]
+    # Load genuinely spreads across both sites.
+    assert 0.2 < results["cross_site_fraction"] < 0.8

@@ -1,0 +1,153 @@
+"""Experiment C14 — §III.D: data-centric runtimes on heterogeneous nodes.
+
+"Especially well-suited for distributed heterogeneous architectures,
+data-centric runtime environments like Legion are also rapidly emerging.
+They enable the programmer to embed the data structure to facilitate the
+extraction of task and data parallelism, and to map more easily to complex,
+multi-level, memory hierarchies." And §III.D: "moving data across
+hierarchies of computation and memory/storage has a dominant cost".
+
+Workload: a synthetic science pipeline on a CPU+GPU+TPU node — ingest,
+per-shard preprocessing (parallel), a training step per shard, a reduce,
+and a chain of cheap post-processing steps over one large region. We run it
+under three mappers (data-aware / compute-greedy / round-robin) and two
+device interconnects (PCIe-class 16 GB/s vs CXL-class 64 GB/s).
+
+Expected shape: data-aware mapping wins makespan on both interconnects by
+avoiding gratuitous region migration; the gap *shrinks* on the faster
+fabric (cheap data movement forgives bad mapping — the §III.C composability
+argument seen from the software side).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.hardware import KernelProfile, Precision, default_catalog
+from repro.scheduling.taskgraph import (
+    DataTask,
+    Mapper,
+    Region,
+    TaskGraph,
+    TaskGraphExecutor,
+)
+
+SHARDS = 4
+
+
+def build_pipeline() -> TaskGraph:
+    graph = TaskGraph()
+    raw = Region("raw", 16e9)
+    graph.add(DataTask(
+        "ingest",
+        KernelProfile(flops=2e9, bytes_moved=16e9, precision=Precision.FP32),
+        writes=(raw,),
+    ))
+    shard_models = []
+    for index in range(SHARDS):
+        shard = Region(f"shard-{index}", 4e9)
+        graph.add(DataTask(
+            f"preprocess-{index}",
+            KernelProfile(flops=5e10, bytes_moved=4e9, precision=Precision.FP32),
+            reads=(raw,),
+            writes=(shard,),
+        ))
+        model = Region(f"model-{index}", 0.4e9)
+        graph.add(DataTask(
+            f"train-{index}",
+            KernelProfile(flops=2e12, bytes_moved=4e9, precision=Precision.BF16),
+            reads=(shard,),
+            writes=(model,),
+        ))
+        shard_models.append(model)
+    merged = Region("merged-model", 0.4e9)
+    graph.add(DataTask(
+        "reduce-models",
+        KernelProfile(flops=1e9, bytes_moved=1.6e9, precision=Precision.FP32),
+        reads=tuple(shard_models),
+        writes=(merged,),
+    ))
+    report = Region("report", 16e9)
+    graph.add(DataTask(
+        "render",
+        KernelProfile(flops=1e9, bytes_moved=16e9, precision=Precision.FP32),
+        reads=(raw, merged),
+        writes=(report,),
+    ))
+    for index in range(4):
+        graph.add(DataTask(
+            f"post-{index}",
+            KernelProfile(flops=5e8, bytes_moved=16e9, precision=Precision.FP32),
+            reads=(report,),
+            writes=(report,),
+        ))
+    return graph
+
+
+def run_experiment():
+    catalog = default_catalog()
+    devices = [
+        catalog.get("epyc-class-cpu"),
+        catalog.get("hpc-gpu"),
+        catalog.get("tpu-like"),
+    ]
+    rows = []
+    for fabric_label, bandwidth in (("pcie 16 GB/s", 16e9), ("cxl 64 GB/s", 64e9)):
+        for strategy in Mapper.STRATEGIES:
+            executor = TaskGraphExecutor(
+                devices,
+                mapper=Mapper(strategy),
+                interconnect_bandwidth=bandwidth,
+            )
+            executions = executor.run(build_pipeline())
+            rows.append(
+                (
+                    fabric_label,
+                    strategy,
+                    executor.makespan(executions) * 1e3,
+                    executor.total_transfer_time(executions) * 1e3,
+                    len({e.device_name for e in executions}),
+                )
+            )
+    return rows
+
+
+def test_c14_taskgraph_mapping(benchmark, record):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "C14 (SIII.D): data-centric pipeline mapping on a CPU+GPU+TPU node",
+        ["device fabric", "mapper", "makespan (ms)", "transfer time (ms)",
+         "devices used"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    record(
+        "C14_taskgraph_mapping",
+        table,
+        notes=(
+            "Paper claims: data-centric runtimes map task/data parallelism to\n"
+            "heterogeneous memory hierarchies; data movement has 'a dominant\n"
+            "cost'. Expected: data-aware < compute-greedy and round-robin on\n"
+            "makespan; the penalty of data-blind mapping shrinks on the\n"
+            "faster (CXL-class) device fabric."
+        ),
+    )
+
+    makespan = {(fabric, mapper): span for fabric, mapper, span, _, _ in rows}
+    for fabric in ("pcie 16 GB/s", "cxl 64 GB/s"):
+        assert makespan[(fabric, "data-aware")] <= makespan[(fabric, "compute-greedy")]
+        assert makespan[(fabric, "data-aware")] < makespan[(fabric, "round-robin")]
+    # Faster fabric forgives data-blind mapping: the round-robin penalty
+    # ratio shrinks from PCIe to CXL.
+    pcie_penalty = makespan[("pcie 16 GB/s", "round-robin")] / makespan[
+        ("pcie 16 GB/s", "data-aware")
+    ]
+    cxl_penalty = makespan[("cxl 64 GB/s", "round-robin")] / makespan[
+        ("cxl 64 GB/s", "data-aware")
+    ]
+    assert cxl_penalty < pcie_penalty
+    # The heterogeneous node is genuinely used: data-aware runs on >= 2 kinds.
+    used = {row[4] for row in rows if row[1] == "data-aware"}
+    assert max(used) >= 2

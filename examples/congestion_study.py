@@ -1,0 +1,72 @@
+"""Congestion management on a dragonfly fabric (§II.B).
+
+An elephant incast congests one endpoint while latency-sensitive mice
+traverse the hot switch. Compares no congestion management, ECN-style
+endpoint control, and Slingshot-like flow-based selective backpressure.
+
+Run:  python examples/congestion_study.py
+"""
+
+import numpy as np
+
+from repro import FabricSimulator, Flow, build_dragonfly
+from repro.core.units import format_time
+from repro.interconnect import (
+    EcnCongestionControl,
+    FlowBasedCongestionControl,
+    NoCongestionControl,
+)
+
+
+def build_workload(topology, aggressors=12):
+    graph = topology.graph
+    hot = topology.terminals[0]
+    hot_router = graph.nodes[hot]["attached_to"]
+    neighbours = [
+        t for t in topology.terminals
+        if graph.nodes[t]["attached_to"] == hot_router and t != hot
+    ]
+    far = [
+        t for t in topology.terminals
+        if graph.nodes[t]["attached_to"] != hot_router
+    ]
+    flows = [
+        Flow(source=far[i], destination=hot, size=100e6, tag="aggressor")
+        for i in range(aggressors)
+    ]
+    for index, source in enumerate(neighbours):
+        flows.append(Flow(
+            source=source, destination=far[-(index + 1)],
+            size=64e3, start_time=1e-3, tag="victim",
+        ))
+    return flows
+
+
+def main() -> None:
+    topology = build_dragonfly(groups=6, routers_per_group=4, terminals_per_router=4)
+    print(f"Fabric: {topology} (diameter {topology.diameter()})")
+    print(f"Workload: 12 x 100 MB incast elephants + latency-sensitive mice\n")
+
+    policies = (
+        ("no congestion management", NoCongestionControl()),
+        ("ECN endpoint control    ", EcnCongestionControl()),
+        ("flow-based backpressure ", FlowBasedCongestionControl()),
+    )
+    print(f"{'policy':28s} {'victim p99':>12s} {'victim mean':>12s} "
+          f"{'aggressor mean':>15s}")
+    for label, policy in policies:
+        flows = build_workload(topology)
+        stats = FabricSimulator(topology, congestion=policy).run(flows)
+        victims = [s.completion_time for s in stats if s.tag == "victim"]
+        aggressors = [s.completion_time for s in stats if s.tag == "aggressor"]
+        print(f"{label:28s} {format_time(float(np.percentile(victims, 99))):>12s} "
+              f"{format_time(float(np.mean(victims))):>12s} "
+              f"{format_time(float(np.mean(aggressors))):>15s}")
+
+    print("\nFlow-based CM pins the congesting flows to their fair share and")
+    print("leaves the victims untouched — 'sustained performance under load,")
+    print("with global bandwidth and tail latency the key metrics'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""The paper's §III.A story: an instrumented light source at the heavy edge.
+
+A megapixel detector produces 24 GB/s. Backhauling everything to the
+supercomputing core saturates the facility WAN, so an edge NPU pool
+classifies events in-situ, ships only the interesting ones, and the data
+foundation records provenance end to end. Training then runs at the core,
+pulled there by data gravity.
+
+Run:  python examples/edge_to_supercomputer.py
+"""
+
+from repro import Dataset, Federation, Site, SiteKind, WanLink, default_catalog
+from repro.core.units import format_bytes, format_rate, format_time
+from repro.datafoundation import (
+    DataEntry,
+    GovernanceLabel,
+    LineageGraph,
+    MetadataCatalog,
+    Transformation,
+    TransferPlanner,
+)
+from repro.hardware import KernelProfile, Precision
+from repro.scheduling import MetaScheduler, PlacementPolicy
+from repro.workloads import DetectorPreset, InstrumentStream
+from repro.workloads.ai import build_cnn, build_mlp
+
+WAN_BANDWIDTH = 10e9  # facility uplink, bytes/s
+
+
+def main() -> None:
+    catalog = default_catalog()
+    npu = catalog.get("edge-npu")
+
+    # --- the instrument -----------------------------------------------------
+    stream = InstrumentStream(
+        preset=DetectorPreset.LIGHT_SOURCE_IMAGING,
+        interesting_fraction=0.02,
+        duration=300.0,
+    )
+    print(f"Detector: {format_rate(stream.data_rate)} raw "
+          f"({stream.event_rate:.0f} events/s x "
+          f"{format_bytes(stream.preset.event_bytes)})")
+    backhaul_time = stream.total_bytes / WAN_BANDWIDTH
+    print(f"Backhauling {format_bytes(stream.total_bytes)} over a "
+          f"{format_rate(WAN_BANDWIDTH)} WAN takes {format_time(backhaul_time)} "
+          f"for a {stream.duration:.0f} s window -> "
+          f"{'keeps up' if backhaul_time <= stream.duration else 'FALLS BEHIND'}")
+
+    # --- edge inference filter ----------------------------------------------
+    classifier = build_cnn(image_size=128, base_channels=32, stages=3)
+    largest = max(classifier.layers, key=lambda l: l.k * l.n)
+    kernel = KernelProfile(
+        flops=classifier.forward_flops(batch=1),
+        bytes_moved=classifier.parameter_bytes(Precision.INT8),
+        precision=Precision.INT8,
+        mvm_dimension=max(largest.k, largest.n),
+    )
+    per_event = npu.time_for(kernel)
+    npus_needed = int(stream.event_rate * per_event) + 1
+    kept = stream.filtered_bytes_with_recall(recall=0.98, false_positive_rate=0.01)
+    print(f"\nEdge filter: {format_time(per_event)}/event on {npu.name}; "
+          f"{npus_needed} NPUs keep up with {stream.event_rate:.0f} events/s")
+    print(f"Surviving data: {format_bytes(kept)} "
+          f"({kept / stream.total_bytes:.1%} of raw), "
+          f"shipped in {format_time(kept / WAN_BANDWIDTH)}")
+
+    # --- the federation and data foundation ---------------------------------
+    federation = Federation(name="facility")
+    beamline = Site(name="beamline", kind=SiteKind.EDGE, devices={npu: npus_needed})
+    core = Site(
+        name="core", kind=SiteKind.SUPERCOMPUTER,
+        devices={
+            catalog.get("epyc-class-cpu"): 64,
+            catalog.get("hpc-gpu"): 32,
+        },
+    )
+    federation.add_site(beamline)
+    federation.add_site(core)
+    federation.connect(beamline, core, WanLink(bandwidth=WAN_BANDWIDTH, latency=0.002))
+    federation.add_dataset(
+        Dataset(name="filtered-events", size_bytes=kept, replicas={"beamline"})
+    )
+
+    metadata = MetadataCatalog()
+    metadata.register(DataEntry(
+        name="filtered-events",
+        size_bytes=kept,
+        schema={"image": "uint16[1024,1024]", "timestamp": "float64"},
+        tags={"beamline", "filtered", "2026-run"},
+        governance=GovernanceLabel.INSTITUTIONAL,
+        home_site="beamline",
+    ))
+
+    lineage = LineageGraph()
+    lineage.add_source("raw-stream")
+    lineage.record(Transformation(
+        "edge-inference-filter",
+        inputs=("raw-stream",), outputs=("filtered-events",),
+        site="beamline", parameters="cnn-3stage, recall=0.98",
+    ))
+
+    planner = TransferPlanner(federation.catalog, metadata)
+    plan = planner.plan(["filtered-events"], core)
+    print(f"\nTransfer plan to core: {format_bytes(plan.total_bytes)} in "
+          f"{format_time(plan.total_time)}")
+    federation.catalog.get("filtered-events").add_replica(core)
+
+    # --- training at the core, placed by data gravity ------------------------
+    training = build_mlp(hidden_dim=4096, depth=4).training_job(
+        batch=256, steps=200, ranks=8,
+        input_dataset="filtered-events", input_bytes=kept,
+    )
+    scheduler = MetaScheduler(federation, policy=PlacementPolicy.BEST_SILICON)
+    [record] = scheduler.run([training])
+    decision = scheduler.decisions[0]
+    print(f"\nTraining placed at {decision.site.name} on {decision.device.name} "
+          f"(staging {format_time(decision.staging_time)}), finished in "
+          f"{format_time(record.completion_time)}")
+
+    lineage.record(Transformation(
+        "train-surrogate",
+        inputs=("filtered-events",), outputs=("surrogate-model",),
+        site="core",
+    ))
+    print(f"Provenance: surrogate-model <- "
+          f"{' <- '.join(t.name for t in reversed(lineage.derivation_path('raw-stream', 'surrogate-model')))} "
+          f"<- raw-stream")
+
+
+if __name__ == "__main__":
+    main()

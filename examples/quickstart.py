@@ -1,0 +1,73 @@
+"""Quickstart: devices, a federation, and the meta-scheduler in ~60 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Federation,
+    JobTraceGenerator,
+    KernelProfile,
+    MetaScheduler,
+    Precision,
+    RandomSource,
+    Site,
+    SiteKind,
+    TraceConfig,
+    WanLink,
+    default_catalog,
+)
+from repro.core.units import format_time
+
+
+def main() -> None:
+    # --- 1. The device catalog: one model per silicon class ----------------
+    catalog = default_catalog()
+    print("Device catalog:")
+    kernel = KernelProfile(
+        flops=2.0 * 4096 * 4096 * 256,
+        bytes_moved=4096.0 * 4096,
+        precision=Precision.INT8,
+        mvm_dimension=4096,
+    )
+    for device in catalog:
+        try:
+            elapsed = device.time_for(kernel)
+            print(f"  {device.name:22s} runs a batched 4k MVM in {format_time(elapsed)}")
+        except Exception as error:  # devices that cannot run INT8 MVMs
+            print(f"  {device.name:22s} cannot run this kernel ({error})")
+
+    # --- 2. A three-site federation ----------------------------------------
+    cpu = catalog.get("epyc-class-cpu")
+    gpu = catalog.get("hpc-gpu")
+    tpu = catalog.get("tpu-like")
+    federation = Federation(name="quickstart")
+    onprem = Site(name="onprem", kind=SiteKind.ON_PREMISE, devices={cpu: 32})
+    supercomputer = Site(
+        name="super", kind=SiteKind.SUPERCOMPUTER, devices={cpu: 64, gpu: 32, tpu: 16}
+    )
+    cloud = Site(name="cloud", kind=SiteKind.CLOUD, devices={cpu: 128, gpu: 32})
+    for site in (onprem, supercomputer, cloud):
+        federation.add_site(site)
+    federation.connect(onprem, supercomputer, WanLink(bandwidth=1.25e9, latency=0.01))
+    federation.connect(onprem, cloud, WanLink(bandwidth=0.625e9, latency=0.03))
+    federation.connect(supercomputer, cloud, WanLink(bandwidth=1.25e9, latency=0.02))
+    print(f"\nFederation: {len(federation.sites)} sites, "
+          f"{federation.total_capacity()} devices, "
+          f"{federation.device_diversity()} device kinds")
+
+    # --- 3. A mixed trace through the meta-scheduler -----------------------
+    trace = JobTraceGenerator(
+        TraceConfig(arrival_rate=0.02, duration=10_000.0, max_jobs=50),
+        rng=RandomSource(seed=7),
+    ).generate()
+    scheduler = MetaScheduler(federation)
+    records = scheduler.run(trace)
+    print(f"\nMeta-scheduler placed {len(records)} jobs "
+          f"(rejected {len(scheduler.rejected)}):")
+    print(f"  mean completion time: {format_time(scheduler.mean_completion_time())}")
+    print(f"  placements by site:   {scheduler.placements_by_site()}")
+    print(f"  placements by kind:   {scheduler.placements_by_device_kind()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim so legacy editable installs work without network access."""
+
+from setuptools import setup
+
+setup()

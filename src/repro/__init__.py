@@ -1,0 +1,114 @@
+"""repro — a simulation framework for diversified heterogeneous HPC.
+
+This library reproduces, as an executable system, the vision of
+*"Future of HPC: Diversifying Heterogeneity"* (Milojicic, Faraboschi, Dube,
+Roweth — DATE 2021): heterogeneous accelerators, low-diameter interconnects
+with flow-based congestion management, CXL-class memory fabrics,
+edge-to-supercomputer federation, a transparent meta-scheduler, and an
+Open Compute Exchange market for compute resources.
+
+Quickstart
+----------
+>>> import repro
+>>> catalog = repro.default_catalog()
+>>> federation = repro.Federation()
+>>> # ... add sites/devices, generate a job trace, run the meta-scheduler.
+
+Subpackages
+-----------
+``repro.core``
+    Discrete-event kernel, units, RNG, errors.
+``repro.hardware``
+    Device models (CPU/GPU/systolic/wafer-scale/analog/optical/edge),
+    roofline, power and cooling.
+``repro.interconnect``
+    Topologies, switches, flow-level fabric with congestion management,
+    memory fabrics, photonics.
+``repro.workloads``
+    HPC kernels, AI models, hybrid closed loops, edge streams, traces.
+``repro.federation``
+    Sites, WAN, datasets, data gravity, bursting, SLAs.
+``repro.scheduling``
+    Runtime prediction, noise, cluster queues, the meta-scheduler.
+``repro.market``
+    The Open Compute Exchange: order book, agents, equilibrium.
+``repro.datafoundation``
+    Metadata catalog, lineage/provenance DAG, transfer planning.
+``repro.economics``
+    Platform standardisation cost model.
+``repro.analysis``
+    Metrics and table rendering for benchmarks.
+"""
+
+from repro.core import RandomSource, Simulation
+from repro.federation import (
+    Dataset,
+    Federation,
+    Site,
+    SiteKind,
+    WanLink,
+)
+from repro.hardware import (
+    Device,
+    DeviceCatalog,
+    DeviceKind,
+    DeviceSpec,
+    KernelProfile,
+    Precision,
+    default_catalog,
+)
+from repro.interconnect import (
+    FabricSimulator,
+    Flow,
+    Topology,
+    build_dragonfly,
+    build_fat_tree,
+    build_hyperx,
+    build_torus,
+)
+from repro.market import ComputeExchange, MarketSimulation, ResourceClass
+from repro.scheduling import MetaScheduler, PlacementPolicy
+from repro.workloads import (
+    AIModel,
+    Job,
+    JobClass,
+    JobTraceGenerator,
+    TraceConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AIModel",
+    "ComputeExchange",
+    "Dataset",
+    "Device",
+    "DeviceCatalog",
+    "DeviceKind",
+    "DeviceSpec",
+    "FabricSimulator",
+    "Federation",
+    "Flow",
+    "Job",
+    "JobClass",
+    "JobTraceGenerator",
+    "KernelProfile",
+    "MarketSimulation",
+    "MetaScheduler",
+    "PlacementPolicy",
+    "Precision",
+    "RandomSource",
+    "ResourceClass",
+    "Simulation",
+    "Site",
+    "SiteKind",
+    "Topology",
+    "TraceConfig",
+    "WanLink",
+    "build_dragonfly",
+    "build_fat_tree",
+    "build_hyperx",
+    "build_torus",
+    "default_catalog",
+    "__version__",
+]

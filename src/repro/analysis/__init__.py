@@ -1,0 +1,12 @@
+"""Metric collection and table rendering for the benchmark harness."""
+
+from repro.analysis.metrics import Percentiles, SeriesStats, summarize
+from repro.analysis.tables import Table, format_series
+
+__all__ = [
+    "Percentiles",
+    "SeriesStats",
+    "Table",
+    "format_series",
+    "summarize",
+]

@@ -1,0 +1,62 @@
+"""Summary statistics for experiment series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Percentiles:
+    """Standard latency percentiles of a sample."""
+
+    p50: float
+    p90: float
+    p99: float
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "Percentiles":
+        if not samples:
+            raise ValueError("cannot compute percentiles of an empty sample")
+        data = np.asarray(list(samples), dtype=float)
+        return cls(
+            p50=float(np.percentile(data, 50)),
+            p90=float(np.percentile(data, 90)),
+            p99=float(np.percentile(data, 99)),
+        )
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Mean/std/min/max plus percentiles of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    percentiles: Percentiles
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (0 for a zero-mean series)."""
+        if self.mean == 0:
+            return 0.0
+        return self.std / abs(self.mean)
+
+
+def summarize(samples: Sequence[float]) -> SeriesStats:
+    """Full summary of a numeric sample."""
+    if not samples:
+        raise ValueError("cannot summarise an empty sample")
+    data = np.asarray(list(samples), dtype=float)
+    return SeriesStats(
+        count=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std()),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        percentiles=Percentiles.of(samples),
+    )

@@ -1,0 +1,220 @@
+"""Command-line interface: inspect devices, topologies and the roadmap.
+
+Run as ``python -m repro <command>``:
+
+* ``catalog``    — the device catalog with reference-kernel timings,
+* ``topology``   — build a topology family and print its metrics,
+* ``roadmap``    — the technology-scaling table (C13's data),
+* ``experiments``— the experiment index with bench targets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import Table
+from repro.core.units import format_time
+from repro.hardware import KernelProfile, Precision, default_catalog
+from repro.hardware.technology import (
+    GENERAL_PURPOSE,
+    SPECIALIZED,
+    default_roadmap,
+    dennard_break_year,
+)
+from repro.interconnect.topology import (
+    build_dragonfly,
+    build_fat_tree,
+    build_hyperx,
+    build_torus,
+)
+
+#: Experiment registry: id -> (claim anchor, bench target).
+EXPERIMENTS = {
+    "F1": ("Figure 1: Big Data/HPC/AI convergence", "benchmarks/test_fig1_convergence.py"),
+    "F2": ("Figure 2: interconnect scales", "benchmarks/test_fig2_interconnect_scales.py"),
+    "F3": ("Figure 3: delivery models", "benchmarks/test_fig3_delivery_models.py"),
+    "C1": ("SII.B: flow-based congestion management", "benchmarks/test_congestion_management.py"),
+    "C2": ("SII.B: low-diameter topologies", "benchmarks/test_topology_comparison.py"),
+    "C3": ("SII.B: switch scaling wall", "benchmarks/test_switch_scaling.py"),
+    "C4": ("SIII.B: accelerator specialisation O(N)", "benchmarks/test_accelerator_specialization.py"),
+    "C5": ("SIII.B: closed-loop sim+AI", "benchmarks/test_closed_loop_hybrid.py"),
+    "C6": ("SIII.A: instrumentation heavy edge", "benchmarks/test_edge_inference.py"),
+    "C7": ("SII.C: cloud noise vs barriers", "benchmarks/test_cloud_noise.py"),
+    "C8": ("SIII.F: transparent meta-scheduler", "benchmarks/test_metascheduler.py"),
+    "C9": ("SIII.F: data gravity", "benchmarks/test_data_gravity.py"),
+    "C10": ("SIII.F/G: Open Compute Exchange", "benchmarks/test_compute_exchange.py"),
+    "C11": ("SIII.E: platform standardisation", "benchmarks/test_platform_economics.py"),
+    "C12": ("SIII.C: in-network all-reduce offload", "benchmarks/test_collective_offload.py"),
+    "C13": ("SI/SII.A: end of Dennard, dark silicon", "benchmarks/test_technology_scaling.py"),
+    "C14": ("SIII.D: data-centric task mapping", "benchmarks/test_taskgraph_mapping.py"),
+    "C15": ("SIII.C: virtual networks, zero trust", "benchmarks/test_virtual_networks.py"),
+    "C16": ("SIII.C: fabric-PM resilience", "benchmarks/test_resilience_checkpointing.py"),
+    "C17": ("SIII.D: model interchange", "benchmarks/test_model_interchange.py"),
+    "C18": ("SIII.A/D: human-in-the-loop balance", "benchmarks/test_control_automation.py"),
+    "C19": ("SIII.F: accounting and settlement", "benchmarks/test_federated_accounting.py"),
+    "C20": ("SIV: horizontal federation smoothing", "benchmarks/test_horizontal_federation.py"),
+}
+
+_TOPOLOGY_BUILDERS = {
+    "dragonfly": lambda args: build_dragonfly(
+        groups=args.groups, routers_per_group=args.routers,
+        terminals_per_router=args.terminals,
+    ),
+    "hyperx": lambda args: build_hyperx(
+        dims=tuple(args.dims), terminals_per_switch=args.terminals,
+    ),
+    "fat-tree": lambda args: build_fat_tree(k=args.k),
+    "torus": lambda args: build_torus(
+        dims=tuple(args.dims), terminals_per_switch=args.terminals,
+    ),
+}
+
+
+def _command_catalog(args: argparse.Namespace) -> int:
+    catalog = default_catalog()
+    n = 4096
+    kernel = KernelProfile(
+        flops=2.0 * n * n * 256,
+        bytes_moved=float(n * n),
+        precision=Precision.INT8,
+        mvm_dimension=n,
+    )
+    table = Table(
+        "Device catalog (reference: batched 4096 INT8 MVM)",
+        ["device", "kind", "TDP (W)", "unit cost ($)", "ref kernel time"],
+    )
+    for device in catalog:
+        try:
+            timing = format_time(device.time_for(kernel))
+        except Exception:
+            timing = "n/a"
+        table.add_row(
+            device.name, device.kind.value, device.spec.tdp,
+            device.spec.unit_cost, timing,
+        )
+    table.print()
+    return 0
+
+
+def _command_topology(args: argparse.Namespace) -> int:
+    builder = _TOPOLOGY_BUILDERS[args.family]
+    topology = builder(args)
+    table = Table(f"Topology metrics: {topology.name}", ["metric", "value"])
+    table.add_row("switches", topology.switch_count)
+    table.add_row("terminals", topology.terminal_count)
+    table.add_row("switch-to-switch links", topology.link_count)
+    table.add_row("diameter (hops)", topology.diameter())
+    table.add_row("average hops", topology.average_shortest_path())
+    table.add_row("bisection bandwidth (GB/s)", topology.bisection_bandwidth() / 1e9)
+    table.add_row("cost per terminal ($)", topology.cost_per_terminal())
+    table.print()
+    return 0
+
+
+def _command_roadmap(args: argparse.Namespace) -> int:
+    table = Table(
+        "Technology scaling roadmap (relative to 2005)",
+        ["node", "year", "density", "power density", "lit fraction",
+         "GP throughput", "specialised"],
+    )
+    for node in default_roadmap():
+        table.add_row(
+            node.name, node.year, node.density, node.power_density(),
+            node.lit_fraction(), GENERAL_PURPOSE.throughput(node),
+            SPECIALIZED.throughput(node),
+        )
+    table.print()
+    print(f"Dennard break detected: {dennard_break_year()}")
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    table = Table(
+        "Experiment index (run: pytest <bench> --benchmark-only)",
+        ["id", "claim", "bench target"],
+    )
+    for experiment_id, (claim, target) in EXPERIMENTS.items():
+        table.add_row(experiment_id, claim, target)
+    table.print()
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    """Assemble benchmarks/results/*.txt into one report file."""
+    import pathlib
+
+    results_dir = pathlib.Path(args.results_dir)
+    if not results_dir.is_dir():
+        print(
+            f"no results at {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            file=sys.stderr,
+        )
+        return 1
+    chunks = ["# Experiment report", ""]
+    found = 0
+    for experiment_id in EXPERIMENTS:
+        matches = sorted(results_dir.glob(f"{experiment_id}_*.txt"))
+        for path in matches:
+            chunks.append("```")
+            chunks.append(path.read_text().rstrip())
+            chunks.append("```")
+            chunks.append("")
+            found += 1
+    if not found:
+        print(f"no result files in {results_dir}", file=sys.stderr)
+        return 1
+    output = pathlib.Path(args.output)
+    output.write_text("\n".join(chunks))
+    print(f"wrote {found} experiment tables to {output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Diversified heterogeneous HPC simulation framework "
+                    "(DATE 2021 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("catalog", help="show the device catalog")
+    subparsers.add_parser("roadmap", help="show the technology roadmap")
+    subparsers.add_parser("experiments", help="list paper experiments")
+
+    report = subparsers.add_parser(
+        "report", help="assemble experiment tables into one report"
+    )
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--output", default="REPORT.md")
+
+    topology = subparsers.add_parser("topology", help="build and measure a topology")
+    topology.add_argument("family", choices=sorted(_TOPOLOGY_BUILDERS))
+    topology.add_argument("--groups", type=int, default=9)
+    topology.add_argument("--routers", type=int, default=4)
+    topology.add_argument("--terminals", type=int, default=4)
+    topology.add_argument("--dims", type=int, nargs="+", default=[4, 4])
+    topology.add_argument("--k", type=int, default=8)
+    return parser
+
+
+_HANDLERS = {
+    "catalog": _command_catalog,
+    "topology": _command_topology,
+    "roadmap": _command_roadmap,
+    "experiments": _command_experiments,
+    "report": _command_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

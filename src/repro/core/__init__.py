@@ -1,0 +1,70 @@
+"""Core simulation infrastructure shared by every subsystem.
+
+The :mod:`repro.core` package provides the discrete-event simulation kernel
+(:class:`~repro.core.events.Simulation`), physical unit constants and
+formatting helpers (:mod:`repro.core.units`), seeded random-number management
+(:mod:`repro.core.rng`) and the exception hierarchy used across the library.
+"""
+
+from repro.core.errors import (
+    CapacityError,
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+)
+from repro.core.events import Event, Simulation
+from repro.core.rng import RandomSource
+from repro.core.units import (
+    GB,
+    GIB,
+    HOUR,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    MICROSECOND,
+    MILLISECOND,
+    MINUTE,
+    NANOSECOND,
+    PB,
+    TB,
+    GFLOP,
+    MFLOP,
+    PFLOP,
+    TFLOP,
+    format_bytes,
+    format_flops,
+    format_rate,
+    format_time,
+)
+
+__all__ = [
+    "CapacityError",
+    "ConfigurationError",
+    "Event",
+    "GB",
+    "GFLOP",
+    "GIB",
+    "HOUR",
+    "KB",
+    "KIB",
+    "MB",
+    "MFLOP",
+    "MIB",
+    "MICROSECOND",
+    "MILLISECOND",
+    "MINUTE",
+    "NANOSECOND",
+    "PB",
+    "PFLOP",
+    "RandomSource",
+    "ReproError",
+    "Simulation",
+    "SimulationError",
+    "TB",
+    "TFLOP",
+    "format_bytes",
+    "format_flops",
+    "format_rate",
+    "format_time",
+]

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still receiving
+plain ``ValueError``/``TypeError`` for programming mistakes at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A model or simulation was configured with inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid internal state."""
+
+
+class CapacityError(ReproError):
+    """A resource request exceeded the available capacity."""
+
+
+class SchedulingError(ReproError):
+    """A job could not be scheduled anywhere in the system."""
+
+
+class MarketError(ReproError):
+    """An exchange operation violated market rules (e.g. bad order)."""

@@ -1,0 +1,23 @@
+"""Platform economics: the cost case for board standardisation.
+
+The paper (§III.E): "any given platform enablement effort can now easily
+reach a few million dollars in development cost ... the industry should
+drive towards a standard for motherboards and other electronic
+sub-components" (an Open-Compute-Project-like model).
+
+:mod:`repro.economics.platform` models the combinatorial explosion of
+(silicon options x vendors) platform developments and the amortisation a
+standard board achieves.
+"""
+
+from repro.economics.platform import (
+    PlatformCostModel,
+    SiliconOption,
+    standardization_savings,
+)
+
+__all__ = [
+    "PlatformCostModel",
+    "SiliconOption",
+    "standardization_savings",
+]

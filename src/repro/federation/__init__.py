@@ -1,0 +1,67 @@
+"""Federated HPC: sites, WAN links, data gravity, bursting and SLAs.
+
+The paper's delivery-model vision (§II.C, §III.F, §III.G, Figure 3):
+HPC will be "inherently heterogeneous and distributed from edge to core",
+delivered through **vertical federation** (edge → supercomputer → cloud)
+and **horizontal federation** (multi-cloud and multi-site), with workloads
+placed "not only following compute resources availability but targeting the
+optimization of job completion time end to end, including the data
+transfer" (data gravity).
+
+This subpackage models the substrate those claims need: sites of different
+kinds holding devices, a WAN connecting them, datasets pinned to sites, and
+the staged delivery evolution (bursting → fluidity → grid → exchange).
+"""
+
+from repro.federation.accounting import (
+    AccountingLedger,
+    Invoice,
+    MeterRecord,
+)
+from repro.federation.bursting import BurstingPolicy, DeliveryStage
+from repro.federation.datasets import Dataset, DatasetCatalog
+from repro.federation.federation import Federation
+from repro.federation.gravity import data_gravity_score, transfer_cost
+from repro.federation.site import Site, SiteKind
+from repro.federation.sla import QoSClass, ServiceLevelAgreement, SlaTracker
+from repro.federation.trust import (
+    FederatedAction,
+    FederationAgreement,
+    Organisation,
+    TrustRegistry,
+)
+from repro.federation.wan import WanLink, WanNetwork
+from repro.federation.workflow import (
+    StepExecution,
+    WorkflowEngine,
+    WorkflowResult,
+    WorkflowStep,
+)
+
+__all__ = [
+    "AccountingLedger",
+    "BurstingPolicy",
+    "Invoice",
+    "MeterRecord",
+    "Dataset",
+    "DatasetCatalog",
+    "DeliveryStage",
+    "FederatedAction",
+    "Federation",
+    "FederationAgreement",
+    "Organisation",
+    "TrustRegistry",
+    "QoSClass",
+    "ServiceLevelAgreement",
+    "Site",
+    "SiteKind",
+    "SlaTracker",
+    "StepExecution",
+    "WanLink",
+    "WanNetwork",
+    "WorkflowEngine",
+    "WorkflowResult",
+    "WorkflowStep",
+    "data_gravity_score",
+    "transfer_cost",
+]

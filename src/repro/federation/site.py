@@ -1,0 +1,160 @@
+"""Sites: the places where computing happens.
+
+A :class:`Site` is one island of the paper's "archipelago of tightly
+connected supercomputing islands" (§III.B): an instrumentation edge, an
+on-premise cluster, a supercomputing core, or a cloud region. Sites hold
+devices (with counts), a power envelope, pricing, and a noise level (cloud
+sites exhibit the interference that breaks barrier-synchronised codes,
+§II.C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.core.errors import CapacityError, ConfigurationError
+from repro.hardware.device import Device, DeviceKind
+
+
+class SiteKind(Enum):
+    """Figure 3's delivery-model taxonomy, collapsed to simulation classes."""
+
+    EDGE = "edge"
+    ON_PREMISE = "on_premise"
+    SUPERCOMPUTER = "supercomputer"
+    CLOUD = "cloud"
+    COLO = "colo"
+
+
+#: Default OS/interference noise by site kind: the per-rank slowdown's
+#: coefficient of variation. Clouds are noisy ("the built-in sharing of
+#: infrastructure and the interference of other applications ... creates
+#: noise and makes barrier-based synchronizations ineffective", §II.C);
+#: supercomputers run noise-optimised stacks.
+DEFAULT_NOISE = {
+    SiteKind.EDGE: 0.02,
+    SiteKind.ON_PREMISE: 0.01,
+    SiteKind.SUPERCOMPUTER: 0.003,
+    SiteKind.CLOUD: 0.08,
+    SiteKind.COLO: 0.02,
+}
+
+
+@dataclass
+class Site:
+    """One computing site in the federation.
+
+    Attributes
+    ----------
+    name:
+        Unique site name.
+    kind:
+        Site class (sets default noise).
+    devices:
+        Device model -> installed count.
+    power_limit:
+        Site power envelope, watts.
+    price_per_device_hour:
+        Device name -> $/hour rental price (aaS price list).
+    noise_level:
+        Coefficient of variation of per-rank interference; ``None`` uses
+        the kind default.
+    interconnect_bandwidth / interconnect_latency:
+        Intra-site network per-node bandwidth (bytes/s) and latency (s)
+        used for communication phases. Clouds default to slow/late.
+    """
+
+    name: str
+    kind: SiteKind
+    devices: Dict[Device, int] = field(default_factory=dict)
+    power_limit: float = 1e6
+    price_per_device_hour: Dict[str, float] = field(default_factory=dict)
+    noise_level: Optional[float] = None
+    interconnect_bandwidth: float = 12.5e9
+    interconnect_latency: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.power_limit <= 0:
+            raise ConfigurationError(f"{self.name}: power_limit must be positive")
+        if any(count <= 0 for count in self.devices.values()):
+            raise ConfigurationError(f"{self.name}: device counts must be positive")
+        if self.noise_level is None:
+            self.noise_level = DEFAULT_NOISE[self.kind]
+        if self.interconnect_bandwidth <= 0 or self.interconnect_latency < 0:
+            raise ConfigurationError(f"{self.name}: invalid interconnect parameters")
+        self._busy: Dict[Device, int] = {device: 0 for device in self.devices}
+
+    # --- inventory -----------------------------------------------------------
+
+    @property
+    def device_list(self) -> List[Device]:
+        return list(self.devices)
+
+    def total_devices(self) -> int:
+        return sum(self.devices.values())
+
+    def count(self, device: Device) -> int:
+        return self.devices.get(device, 0)
+
+    def peak_power(self) -> float:
+        """All installed devices at TDP."""
+        return sum(device.spec.tdp * count for device, count in self.devices.items())
+
+    def has_kind(self, kind: DeviceKind) -> bool:
+        return any(device.kind is kind for device in self.devices)
+
+    def devices_of_kind(self, kind: DeviceKind) -> List[Device]:
+        return [device for device in self.devices if device.kind is kind]
+
+    # --- occupancy ------------------------------------------------------------
+
+    def free_count(self, device: Device) -> int:
+        """Devices of a model not currently allocated."""
+        return self.count(device) - self._busy.get(device, 0)
+
+    def acquire(self, device: Device, count: int = 1) -> None:
+        """Allocate ``count`` devices; raises :class:`CapacityError` if short."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if self.free_count(device) < count:
+            raise CapacityError(
+                f"{self.name}: need {count} x {device.name}, "
+                f"only {self.free_count(device)} free"
+            )
+        self._busy[device] = self._busy.get(device, 0) + count
+
+    def release(self, device: Device, count: int = 1) -> None:
+        """Return ``count`` devices to the free pool."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if self._busy.get(device, 0) < count:
+            raise ValueError(f"{self.name}: releasing more {device.name} than busy")
+        self._busy[device] -= count
+
+    def utilization(self) -> float:
+        """Fraction of installed devices currently allocated."""
+        total = self.total_devices()
+        if total == 0:
+            return 0.0
+        return sum(self._busy.values()) / total
+
+    # --- pricing ---------------------------------------------------------------
+
+    def hourly_price(self, device: Device) -> float:
+        """$/hour for one device; defaults to amortised acquisition cost.
+
+        The default amortises the device's unit cost over a 3-year life at
+        40% average utilisation — a crude but standard on-premise figure.
+        """
+        if device.name in self.price_per_device_hour:
+            return self.price_per_device_hour[device.name]
+        amortisation_hours = 3 * 365 * 24 * 0.4
+        return device.spec.unit_cost / amortisation_hours
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Site({self.name!r}, {self.kind.value}, devices={self.total_devices()})"

@@ -1,0 +1,132 @@
+"""Service-level agreements and QoS tracking.
+
+The paper (§II.C): "The complications of managing service-level agreements
+(SLAs) and quality-of-service (QoS) were two of the major impediments to
+the success of Grid computing." The federated model therefore needs SLA
+machinery as a first-class substrate: agreements attach deadlines and QoS
+classes to jobs, and a tracker measures attainment per site/provider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+
+
+class QoSClass(Enum):
+    """Service classes with their scheduling weight and price multiplier."""
+
+    BEST_EFFORT = ("best_effort", 1.0, 1.0)
+    STANDARD = ("standard", 2.0, 1.5)
+    PREMIUM = ("premium", 4.0, 3.0)
+    REAL_TIME = ("real_time", 8.0, 6.0)
+
+    def __init__(self, label: str, weight: float, price_multiplier: float) -> None:
+        self.label = label
+        self.weight = weight
+        self.price_multiplier = price_multiplier
+
+
+@dataclass(frozen=True)
+class ServiceLevelAgreement:
+    """An SLA between a consumer and a provider for one job or job class.
+
+    Attributes
+    ----------
+    qos:
+        Service class.
+    deadline:
+        Maximum completion time from submission, seconds (None = none).
+    max_queue_wait:
+        Maximum time the job may wait before starting, seconds.
+    violation_penalty:
+        Dollars refunded to the consumer per violated agreement.
+    """
+
+    qos: QoSClass = QoSClass.BEST_EFFORT
+    deadline: Optional[float] = None
+    max_queue_wait: Optional[float] = None
+    violation_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError("deadline must be positive when set")
+        if self.max_queue_wait is not None and self.max_queue_wait < 0:
+            raise ConfigurationError("max_queue_wait must be non-negative when set")
+        if self.violation_penalty < 0:
+            raise ConfigurationError("violation_penalty must be non-negative")
+
+    def is_met(self, queue_wait: float, completion_time: float) -> bool:
+        """Whether observed queue wait and completion satisfy the SLA."""
+        if self.max_queue_wait is not None and queue_wait > self.max_queue_wait:
+            return False
+        if self.deadline is not None and completion_time > self.deadline:
+            return False
+        return True
+
+
+@dataclass
+class SlaOutcome:
+    """One recorded job outcome against its SLA."""
+
+    job_name: str
+    provider: str
+    sla: ServiceLevelAgreement
+    queue_wait: float
+    completion_time: float
+
+    @property
+    def met(self) -> bool:
+        return self.sla.is_met(self.queue_wait, self.completion_time)
+
+    @property
+    def penalty(self) -> float:
+        return 0.0 if self.met else self.sla.violation_penalty
+
+
+class SlaTracker:
+    """Aggregates SLA attainment across providers."""
+
+    def __init__(self) -> None:
+        self._outcomes: List[SlaOutcome] = []
+
+    def record(
+        self,
+        job_name: str,
+        provider: str,
+        sla: ServiceLevelAgreement,
+        queue_wait: float,
+        completion_time: float,
+    ) -> SlaOutcome:
+        outcome = SlaOutcome(job_name, provider, sla, queue_wait, completion_time)
+        self._outcomes.append(outcome)
+        return outcome
+
+    @property
+    def outcomes(self) -> List[SlaOutcome]:
+        return list(self._outcomes)
+
+    def attainment(self, provider: Optional[str] = None) -> float:
+        """Fraction of SLAs met (1.0 when nothing recorded)."""
+        relevant = [
+            o for o in self._outcomes if provider is None or o.provider == provider
+        ]
+        if not relevant:
+            return 1.0
+        return sum(1 for o in relevant if o.met) / len(relevant)
+
+    def total_penalties(self, provider: Optional[str] = None) -> float:
+        """Dollars owed in violation penalties."""
+        return sum(
+            o.penalty
+            for o in self._outcomes
+            if provider is None or o.provider == provider
+        )
+
+    def by_provider(self) -> Dict[str, float]:
+        """Attainment per provider."""
+        providers = {o.provider for o in self._outcomes}
+        return {p: self.attainment(p) for p in sorted(providers)}

@@ -1,0 +1,156 @@
+"""Cross-institutional trust: the grid stage's security substrate.
+
+The paper (§III.G): before the compute grid can bootstrap, "the
+cross-institutional and geographical hurdles (such as security and data
+governance) are to be addressed". And (§III.C): tenants run under "zero
+trust" with strong isolation.
+
+Model
+-----
+* an :class:`Organisation` belongs to a :class:`TrustDomain` (an
+  institution or national programme),
+* :class:`FederationAgreement` records which domain pairs may exchange
+  which actions (submit jobs, read institutional data, trade on the
+  exchange), optionally with an expiry,
+* :class:`TrustRegistry` answers authorisation queries the scheduler,
+  transfer planner and exchange consult before acting across domains.
+
+Zero trust means in-domain requests are *also* checked — membership grants
+a default agreement rather than bypassing the check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.errors import ConfigurationError
+
+
+class FederatedAction(Enum):
+    """Actions an organisation may be authorised to perform remotely."""
+
+    SUBMIT_JOBS = "submit_jobs"
+    READ_INSTITUTIONAL_DATA = "read_institutional_data"
+    TRADE_CAPACITY = "trade_capacity"
+
+
+@dataclass(frozen=True)
+class Organisation:
+    """A user organisation or site operator."""
+
+    name: str
+    domain: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.domain:
+            raise ConfigurationError("organisation needs a name and a domain")
+
+
+@dataclass(frozen=True)
+class FederationAgreement:
+    """A directed authorisation between two trust domains.
+
+    ``from_domain``'s members may perform ``actions`` against resources in
+    ``to_domain`` until ``expires_at`` (simulated seconds; None = open
+    ended).
+    """
+
+    from_domain: str
+    to_domain: str
+    actions: FrozenSet[FederatedAction]
+    expires_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.actions:
+            raise ConfigurationError("agreement must grant at least one action")
+        if self.expires_at is not None and self.expires_at <= 0:
+            raise ConfigurationError("expires_at must be positive when set")
+
+    def allows(self, action: FederatedAction, now: float) -> bool:
+        if self.expires_at is not None and now > self.expires_at:
+            return False
+        return action in self.actions
+
+
+class TrustRegistry:
+    """Organisations, domains and the agreements between them."""
+
+    def __init__(self) -> None:
+        self._organisations: Dict[str, Organisation] = {}
+        self._agreements: List[FederationAgreement] = []
+        self._domains: Set[str] = set()
+
+    # --- registration -------------------------------------------------------
+
+    def register(self, organisation: Organisation) -> Organisation:
+        if organisation.name in self._organisations:
+            raise ConfigurationError(f"duplicate organisation {organisation.name!r}")
+        self._organisations[organisation.name] = organisation
+        if organisation.domain not in self._domains:
+            self._domains.add(organisation.domain)
+            # Zero trust with sane defaults: a domain trusts itself fully.
+            self._agreements.append(
+                FederationAgreement(
+                    from_domain=organisation.domain,
+                    to_domain=organisation.domain,
+                    actions=frozenset(FederatedAction),
+                )
+            )
+        return organisation
+
+    def agree(self, agreement: FederationAgreement) -> FederationAgreement:
+        for domain in (agreement.from_domain, agreement.to_domain):
+            if domain not in self._domains:
+                raise ConfigurationError(f"unknown trust domain {domain!r}")
+        self._agreements.append(agreement)
+        return agreement
+
+    def organisation(self, name: str) -> Organisation:
+        try:
+            return self._organisations[name]
+        except KeyError:
+            raise KeyError(f"unknown organisation {name!r}") from None
+
+    @property
+    def domains(self) -> List[str]:
+        return sorted(self._domains)
+
+    # --- authorisation ---------------------------------------------------------
+
+    def is_authorised(
+        self,
+        organisation_name: str,
+        target_domain: str,
+        action: FederatedAction,
+        now: float = 0.0,
+    ) -> bool:
+        """Whether an organisation may perform an action in a domain now."""
+        organisation = self.organisation(organisation_name)
+        return any(
+            agreement.from_domain == organisation.domain
+            and agreement.to_domain == target_domain
+            and agreement.allows(action, now)
+            for agreement in self._agreements
+        )
+
+    def authorised_domains(
+        self, organisation_name: str, action: FederatedAction, now: float = 0.0
+    ) -> List[str]:
+        """All domains where the organisation may perform an action."""
+        return [
+            domain
+            for domain in sorted(self._domains)
+            if self.is_authorised(organisation_name, domain, action, now)
+        ]
+
+    def reachable_fraction(
+        self, organisation_name: str, action: FederatedAction, now: float = 0.0
+    ) -> float:
+        """Fraction of known domains open to the organisation for an action
+        — the 'selective federation' coverage of the paper's summary."""
+        if not self._domains:
+            return 0.0
+        reachable = len(self.authorised_domains(organisation_name, action, now))
+        return reachable / len(self._domains)

@@ -1,0 +1,258 @@
+"""Cross-site workflow orchestration over the federation.
+
+The paper (§III.B): "the HPC of the future will look a lot like an
+archipelago of tightly connected supercomputing islands ... all of them
+connected through a data foundation layer that keeps track of the workflow
+and the various data transformation steps."
+
+A :class:`WorkflowStep` wraps a :class:`~repro.workloads.base.Job` with the
+datasets it consumes and the data products it emits. The
+:class:`WorkflowEngine`:
+
+* derives step dependencies from dataset production/consumption,
+* places each step on the best (site, device) — staging + queue + runtime,
+  honouring optional site pins (e.g. "this step must run at the beamline"),
+* registers every output as a replica-tracked dataset at the execution
+  site (so downstream placement feels its gravity),
+* records every step in a provenance :class:`LineageGraph`,
+* reports the end-to-end makespan and total WAN movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError, SchedulingError
+from repro.datafoundation.lineage import LineageGraph, Transformation
+from repro.federation.datasets import Dataset
+from repro.federation.federation import Federation
+from repro.federation.site import Site
+from repro.hardware.device import Device
+from repro.scheduling.runtime import estimate_job
+from repro.workloads.base import Job
+
+
+@dataclass
+class WorkflowStep:
+    """One step of a cross-site workflow.
+
+    Attributes
+    ----------
+    name:
+        Step name (unique within a workflow).
+    job:
+        The computation (its ``input_dataset`` field is ignored; the
+        step-level ``inputs`` drive staging, supporting multiple inputs).
+    inputs:
+        Dataset names consumed (must exist or be produced upstream).
+    outputs:
+        ``(dataset_name, size_bytes)`` products emitted at the execution
+        site.
+    site_pin:
+        Optional site name the step must run at (instrument-bound steps).
+    """
+
+    name: str
+    job: Job
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[Tuple[str, float], ...] = ()
+    site_pin: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class StepExecution:
+    """Where and when one step ran."""
+
+    step: WorkflowStep
+    site_name: str
+    device_name: str
+    start: float
+    staging_time: float
+    runtime: float
+    wan_bytes: float
+
+    @property
+    def finish(self) -> float:
+        return self.start + self.staging_time + self.runtime
+
+
+@dataclass
+class WorkflowResult:
+    """The executed workflow: per-step executions plus provenance."""
+
+    executions: List[StepExecution]
+    lineage: LineageGraph
+
+    @property
+    def makespan(self) -> float:
+        if not self.executions:
+            return 0.0
+        return max(execution.finish for execution in self.executions)
+
+    @property
+    def total_wan_bytes(self) -> float:
+        return sum(execution.wan_bytes for execution in self.executions)
+
+    @property
+    def sites_used(self) -> List[str]:
+        return sorted({execution.site_name for execution in self.executions})
+
+    def execution_of(self, step_name: str) -> StepExecution:
+        for execution in self.executions:
+            if execution.step.name == step_name:
+                return execution
+        raise KeyError(f"no execution for step {step_name!r}")
+
+
+class WorkflowEngine:
+    """Places and executes workflow steps across a federation."""
+
+    def __init__(self, federation: Federation) -> None:
+        self.federation = federation
+
+    # --- dependency analysis -----------------------------------------------------
+
+    @staticmethod
+    def _order_steps(steps: Sequence[WorkflowStep]) -> List[WorkflowStep]:
+        """Topological order by dataset production; rejects cycles,
+        duplicate producers and undefined intermediate inputs."""
+        producer: Dict[str, WorkflowStep] = {}
+        names = set()
+        for step in steps:
+            if step.name in names:
+                raise ConfigurationError(f"duplicate step name {step.name!r}")
+            names.add(step.name)
+            for output_name, _ in step.outputs:
+                if output_name in producer:
+                    raise ConfigurationError(
+                        f"dataset {output_name!r} produced twice"
+                    )
+                producer[output_name] = step
+
+        ordered: List[WorkflowStep] = []
+        visiting: set = set()
+        done: set = set()
+
+        def visit(step: WorkflowStep) -> None:
+            if step.name in done:
+                return
+            if step.name in visiting:
+                raise ConfigurationError(f"workflow cycle through {step.name!r}")
+            visiting.add(step.name)
+            for input_name in step.inputs:
+                upstream = producer.get(input_name)
+                if upstream is not None and upstream is not step:
+                    visit(upstream)
+            visiting.discard(step.name)
+            done.add(step.name)
+            ordered.append(step)
+
+        for step in steps:
+            visit(step)
+        return ordered
+
+    # --- placement ----------------------------------------------------------------
+
+    def _staging_time(self, step: WorkflowStep, site: Site) -> Tuple[float, float]:
+        """(wall time, WAN bytes) to stage all of a step's inputs at a site.
+
+        Inputs transfer in parallel (time = max), bytes accumulate.
+        """
+        catalog = self.federation.catalog
+        times: List[float] = []
+        moved = 0.0
+        for name in step.inputs:
+            if name not in catalog:
+                raise ConfigurationError(
+                    f"step {step.name!r} consumes unknown dataset {name!r}"
+                )
+            elapsed = catalog.staging_time(name, site)
+            times.append(elapsed)
+            if elapsed > 0:
+                moved += catalog.get(name).size_bytes
+        return (max(times) if times else 0.0, moved)
+
+    def _choose_placement(
+        self, step: WorkflowStep
+    ) -> Tuple[Site, Device, float, float, float]:
+        """Best (site, device) by staging + runtime; respects site pins."""
+        candidates = []
+        sites = (
+            [self.federation.site(step.site_pin)]
+            if step.site_pin is not None
+            else self.federation.sites
+        )
+        for site in sites:
+            try:
+                staging, moved = self._staging_time(step, site)
+            except ConfigurationError:
+                raise
+            for device in site.devices:
+                if site.count(device) < step.job.ranks:
+                    continue
+                estimate = estimate_job(step.job, device, site)
+                if not estimate.feasible:
+                    continue
+                candidates.append(
+                    (staging + estimate.time, site, device, staging,
+                     estimate.time, moved)
+                )
+        if not candidates:
+            raise SchedulingError(f"no feasible placement for step {step.name!r}")
+        _, site, device, staging, runtime, moved = min(candidates, key=lambda c: c[0])
+        return site, device, staging, runtime, moved
+
+    # --- execution -----------------------------------------------------------------
+
+    def run(self, steps: Sequence[WorkflowStep]) -> WorkflowResult:
+        """Execute all steps; returns executions plus full provenance."""
+        ordered = self._order_steps(steps)
+        lineage = LineageGraph()
+        for step in ordered:
+            for input_name in step.inputs:
+                if input_name in self.federation.catalog and not lineage.has_dataset(
+                    input_name
+                ):
+                    lineage.add_source(input_name)
+
+        finish_of_dataset: Dict[str, float] = {}
+        executions: List[StepExecution] = []
+        for step in ordered:
+            site, device, staging, runtime, moved = self._choose_placement(step)
+            ready = max(
+                (finish_of_dataset.get(name, 0.0) for name in step.inputs),
+                default=0.0,
+            )
+            execution = StepExecution(
+                step=step,
+                site_name=site.name,
+                device_name=device.name,
+                start=ready,
+                staging_time=staging,
+                runtime=runtime,
+                wan_bytes=moved,
+            )
+            executions.append(execution)
+            # Register products at the execution site; downstream steps
+            # feel their gravity.
+            for output_name, size_bytes in step.outputs:
+                self.federation.add_dataset(
+                    Dataset(
+                        name=output_name,
+                        size_bytes=size_bytes,
+                        replicas={site.name},
+                    )
+                )
+                finish_of_dataset[output_name] = execution.finish
+            if step.outputs:
+                lineage.record(
+                    Transformation(
+                        step.name,
+                        inputs=tuple(step.inputs),
+                        outputs=tuple(name for name, _ in step.outputs),
+                        executed_at=execution.finish,
+                        site=site.name,
+                    )
+                )
+        return WorkflowResult(executions=executions, lineage=lineage)

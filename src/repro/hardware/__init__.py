@@ -1,0 +1,71 @@
+"""Hardware models: processors, accelerators, power and cooling.
+
+This subpackage models the "diversifying heterogeneity" of compute silicon
+the paper describes (§III.B): conventional CPUs and GPUs, first-wave
+PCIe-attached accelerators, second-wave standalone training systems
+(TPU-like systolic arrays, wafer-scale engines), edge inference parts, and
+"neuromorphic" analog/optical dot-product engines that turn an O(N^2)
+matrix-vector multiply into an O(N) operation.
+
+Every device derives from :class:`~repro.hardware.device.Device` and answers
+two questions for a kernel described by (flops, bytes, precision):
+
+* how long does it take? (:meth:`~repro.hardware.device.Device.time_for`)
+* how much energy does it burn? (:meth:`~repro.hardware.device.Device.energy_for`)
+
+The analytical backbone is the roofline model in
+:mod:`repro.hardware.roofline`; specialised devices refine it with
+utilisation, precision and conversion-overhead terms.
+"""
+
+from repro.hardware.analog import AnalogDotProductEngine
+from repro.hardware.catalog import DeviceCatalog, default_catalog
+from repro.hardware.device import Device, DeviceKind, DeviceSpec, KernelProfile
+from repro.hardware.edge import EdgeInferenceAccelerator
+from repro.hardware.optical import OpticalMVMEngine
+from repro.hardware.power import (
+    CoolingTechnology,
+    DatacenterPowerModel,
+    RackPowerModel,
+)
+from repro.hardware.precision import Precision
+from repro.hardware.processors import CPU, GPU, FPGA
+from repro.hardware.roofline import RooflineModel
+from repro.hardware.systolic import SystolicArrayAccelerator
+from repro.hardware.technology import (
+    GENERAL_PURPOSE,
+    SPECIALIZED,
+    ArchitectureModel,
+    ProcessNode,
+    default_roadmap,
+    dennard_break_year,
+)
+from repro.hardware.wafer_scale import WaferScaleEngine
+
+__all__ = [
+    "AnalogDotProductEngine",
+    "ArchitectureModel",
+    "CPU",
+    "GENERAL_PURPOSE",
+    "ProcessNode",
+    "SPECIALIZED",
+    "CoolingTechnology",
+    "DatacenterPowerModel",
+    "Device",
+    "DeviceCatalog",
+    "DeviceKind",
+    "DeviceSpec",
+    "EdgeInferenceAccelerator",
+    "FPGA",
+    "GPU",
+    "KernelProfile",
+    "OpticalMVMEngine",
+    "Precision",
+    "RackPowerModel",
+    "RooflineModel",
+    "SystolicArrayAccelerator",
+    "WaferScaleEngine",
+    "default_catalog",
+    "default_roadmap",
+    "dennard_break_year",
+]

@@ -1,0 +1,106 @@
+"""Interconnect models: topologies, switches, fabrics and memory hierarchies.
+
+This subpackage reproduces the paper's interconnect discussion (§II.B and
+§III.C):
+
+* **Topologies** — low-diameter networks (dragonfly, HyperX) versus
+  fat-tree and torus baselines (:mod:`repro.interconnect.topology`).
+* **Switches** — high-radix switch generations, the SerDes area wall, and
+  the "one more natural step" from 12.8 to 25.6 Tbps
+  (:mod:`repro.interconnect.switch`).
+* **Fabric simulation** — a flow-level network simulator with max-min fair
+  bandwidth sharing (:mod:`repro.interconnect.fabric`) and pluggable
+  congestion management: Slingshot-like flow-based selective backpressure
+  versus an ECN-style baseline (:mod:`repro.interconnect.congestion`).
+* **Memory fabric** — the PCIe/CXL/Gen-Z latency hierarchy and composable
+  remote memory (:mod:`repro.interconnect.memfabric`).
+* **Photonics** — electrical reach limits and the silicon-photonics cost
+  crossover (:mod:`repro.interconnect.photonics`).
+"""
+
+from repro.interconnect.collectives import (
+    CollectiveModel,
+    training_step_communication,
+)
+from repro.interconnect.congestion import (
+    CongestionManager,
+    EcnCongestionControl,
+    FlowBasedCongestionControl,
+    NoCongestionControl,
+)
+from repro.interconnect.fabric import FabricSimulator, Flow, FlowStats
+from repro.interconnect.failures import (
+    DegradedFabric,
+    disconnection_threshold,
+    fail_links,
+    fail_switches,
+    path_stretch,
+    terminal_connectivity,
+)
+from repro.interconnect.memfabric import (
+    AccessKind,
+    MemoryFabric,
+    MemoryPool,
+    MemoryTier,
+)
+from repro.interconnect.photonics import (
+    PhotonicsCostModel,
+    electrical_reach,
+)
+from repro.interconnect.routing import (
+    adaptive_route,
+    minimal_route,
+    valiant_route,
+)
+from repro.interconnect.switch import SwitchGeneration, SwitchSpec
+from repro.interconnect.tenancy import (
+    SlicedFabric,
+    VirtualNetwork,
+    encryption_overhead,
+)
+from repro.interconnect.topology import (
+    Topology,
+    build_dragonfly,
+    build_fat_tree,
+    build_hyperx,
+    build_torus,
+    build_two_tier,
+)
+
+__all__ = [
+    "AccessKind",
+    "CollectiveModel",
+    "CongestionManager",
+    "DegradedFabric",
+    "disconnection_threshold",
+    "fail_links",
+    "fail_switches",
+    "path_stretch",
+    "terminal_connectivity",
+    "EcnCongestionControl",
+    "FabricSimulator",
+    "Flow",
+    "FlowBasedCongestionControl",
+    "FlowStats",
+    "MemoryFabric",
+    "MemoryPool",
+    "MemoryTier",
+    "NoCongestionControl",
+    "PhotonicsCostModel",
+    "SlicedFabric",
+    "SwitchGeneration",
+    "SwitchSpec",
+    "Topology",
+    "VirtualNetwork",
+    "adaptive_route",
+    "build_dragonfly",
+    "build_fat_tree",
+    "build_hyperx",
+    "build_torus",
+    "build_two_tier",
+    "electrical_reach",
+    "encryption_overhead",
+    "minimal_route",
+    "training_step_communication",
+    "valiant_route",
+]

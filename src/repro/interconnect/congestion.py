@@ -1,0 +1,144 @@
+"""Congestion-management policies for the flow-level fabric simulator.
+
+The paper (§II.B): "Slingshot tackles congestion management at scale for the
+first time. It uses a novel flow-based approach in which congesting flows
+are identified and network hardware applies selective back pressure."
+
+The fabric simulator computes max-min fair rates, then asks the installed
+:class:`CongestionManager` how to treat three flow classes:
+
+* **aggressors** — flows crossing a saturated (bottleneck) link,
+* **victims** — flows that do *not* cross a saturated link but traverse a
+  switch adjacent to one (these are the flows head-of-line blocking hurts),
+* **bystanders** — everything else.
+
+Policies:
+
+* :class:`NoCongestionControl` — congestion spreads: buffers at hot switches
+  fill ("tree saturation") and victims lose both bandwidth and latency.
+* :class:`EcnCongestionControl` — endpoint rate control reacting to marks;
+  aggressors converge to fair share only after round trips, so victims see
+  transient collateral damage.
+* :class:`FlowBasedCongestionControl` — Slingshot-like: hardware identifies
+  the congesting flows and applies selective backpressure at once;
+  aggressors are pinned to their fair share and victims are untouched.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class CongestionManager(ABC):
+    """Strategy interface for congestion handling in the fabric simulator."""
+
+    #: Short name used in benchmark tables.
+    name: str = "abstract"
+
+    @abstractmethod
+    def aggressor_rate_factor(self) -> float:
+        """Multiplier on an aggressor flow's max-min fair rate (<= 1)."""
+
+    @abstractmethod
+    def victim_rate_factor(self, hot_switches_on_path: int) -> float:
+        """Multiplier on a victim flow's rate given hot switches traversed."""
+
+    @abstractmethod
+    def victim_extra_latency(self, hot_switches_on_path: int) -> float:
+        """Extra queueing delay (seconds) a victim accrues per traversal."""
+
+
+class NoCongestionControl(CongestionManager):
+    """No congestion management: tree saturation spreads to victims.
+
+    Parameters
+    ----------
+    spread_penalty:
+        Per-hot-switch multiplicative rate loss for victims (head-of-line
+        blocking in shared output buffers).
+    buffer_drain_time:
+        Queueing delay added per hot switch traversed — the time to drain a
+        full switch buffer at line rate.
+    """
+
+    name = "none"
+
+    def __init__(self, spread_penalty: float = 0.5, buffer_drain_time: float = 40e-6) -> None:
+        if not 0.0 <= spread_penalty < 1.0:
+            raise ValueError("spread_penalty must be in [0, 1)")
+        if buffer_drain_time < 0:
+            raise ValueError("buffer_drain_time must be non-negative")
+        self.spread_penalty = spread_penalty
+        self.buffer_drain_time = buffer_drain_time
+
+    def aggressor_rate_factor(self) -> float:
+        # Aggressors keep pushing at their max-min share; the damage shows
+        # up as spreading, not as aggressor throttling.
+        return 1.0
+
+    def victim_rate_factor(self, hot_switches_on_path: int) -> float:
+        return (1.0 - self.spread_penalty) ** hot_switches_on_path
+
+    def victim_extra_latency(self, hot_switches_on_path: int) -> float:
+        return self.buffer_drain_time * hot_switches_on_path
+
+
+class EcnCongestionControl(CongestionManager):
+    """Endpoint ECN-style rate control (DCQCN-like), the standards baseline.
+
+    Aggressors eventually converge near fair share (modelled as a constant
+    ``convergence_efficiency`` discount for the control loop's sawtooth),
+    and the buffer occupancy ECN maintains still causes mild victim
+    queueing.
+    """
+
+    name = "ecn"
+
+    def __init__(
+        self,
+        convergence_efficiency: float = 0.8,
+        residual_spread_penalty: float = 0.1,
+        residual_queue_delay: float = 8e-6,
+    ) -> None:
+        if not 0.0 < convergence_efficiency <= 1.0:
+            raise ValueError("convergence_efficiency must be in (0, 1]")
+        if not 0.0 <= residual_spread_penalty < 1.0:
+            raise ValueError("residual_spread_penalty must be in [0, 1)")
+        self.convergence_efficiency = convergence_efficiency
+        self.residual_spread_penalty = residual_spread_penalty
+        self.residual_queue_delay = residual_queue_delay
+
+    def aggressor_rate_factor(self) -> float:
+        return self.convergence_efficiency
+
+    def victim_rate_factor(self, hot_switches_on_path: int) -> float:
+        return (1.0 - self.residual_spread_penalty) ** hot_switches_on_path
+
+    def victim_extra_latency(self, hot_switches_on_path: int) -> float:
+        return self.residual_queue_delay * hot_switches_on_path
+
+
+class FlowBasedCongestionControl(CongestionManager):
+    """Slingshot-like per-flow selective backpressure.
+
+    The congesting flows are identified in hardware and pinned to their fair
+    share; buffers at the hot switch stay shallow, so victims are untouched.
+    A small aggressor ``identification_efficiency`` (<1) models the brief
+    identification window.
+    """
+
+    name = "flow-based"
+
+    def __init__(self, identification_efficiency: float = 0.97) -> None:
+        if not 0.0 < identification_efficiency <= 1.0:
+            raise ValueError("identification_efficiency must be in (0, 1]")
+        self.identification_efficiency = identification_efficiency
+
+    def aggressor_rate_factor(self) -> float:
+        return self.identification_efficiency
+
+    def victim_rate_factor(self, hot_switches_on_path: int) -> float:
+        return 1.0
+
+    def victim_extra_latency(self, hot_switches_on_path: int) -> float:
+        return 0.0

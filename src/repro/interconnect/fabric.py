@@ -1,0 +1,364 @@
+"""Flow-level network fabric simulator.
+
+Packet-level simulation of a system-scale fabric is intractable in pure
+Python, and unnecessary: the paper's congestion and topology claims concern
+*flow-completion times* (and their tails) under sustained load. Links are
+**full duplex** — capacity is tracked per traversal direction, so opposing
+flows never contend. This module simulates at flow granularity with
+**progressive filling**:
+
+1. compute max-min fair rates for all active flows over the topology's
+   link capacities (water-filling),
+2. let the installed congestion-management policy adjust aggressor and
+   victim rates,
+3. advance simulated time to the next flow arrival or completion,
+4. repeat until all flows finish.
+
+Outputs are per-flow :class:`FlowStats` with completion times, from which
+benchmark harnesses compute mean/p99 FCT, goodput and slowdown.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.core.rng import RandomSource
+from repro.interconnect.congestion import CongestionManager, NoCongestionControl
+from repro.interconnect.routing import Path, minimal_route, valiant_route
+from repro.interconnect.topology import Topology
+
+_flow_ids = itertools.count()
+
+#: Minimum number of flows contending for a link before it can count as
+#: congested. In max-min fairness *every* flow is bottlenecked somewhere, so
+#: full utilisation alone does not indicate congestion.
+MIN_CONTENDERS_FOR_CONGESTION = 3
+
+#: Minimum sustained backlog (seconds of traffic at line rate queued behind a
+#: link) before the link counts as congested. Short mice sharing a link drain
+#: in microseconds and never build a standing queue; incast of elephants
+#: sustains the backlog for milliseconds.
+CONGESTION_BACKLOG_THRESHOLD = 1e-3
+
+
+@dataclass
+class Flow:
+    """One network flow: ``size`` bytes from ``source`` to ``destination``.
+
+    ``start_time`` is the arrival time into the network; ``tag`` is free-form
+    (benchmarks use ``'victim'``/``'aggressor'``).
+    """
+
+    source: str
+    destination: str
+    size: float
+    start_time: float = 0.0
+    tag: str = ""
+    flow_id: int = field(default_factory=lambda: next(_flow_ids))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"flow size must be positive: {self.size}")
+        if self.start_time < 0:
+            raise ConfigurationError("start_time must be non-negative")
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """Result of one simulated flow."""
+
+    flow_id: int
+    tag: str
+    size: float
+    start_time: float
+    finish_time: float
+    path_hops: int
+    propagation_delay: float
+    extra_queueing: float
+
+    @property
+    def completion_time(self) -> float:
+        """Flow completion time (FCT), seconds."""
+        return self.finish_time - self.start_time
+
+    def slowdown(self, baseline_bandwidth: float) -> float:
+        """FCT normalised to the ideal time on an empty network."""
+        ideal = self.size / baseline_bandwidth + self.propagation_delay
+        return self.completion_time / ideal
+
+
+class FabricSimulator:
+    """Progressive-filling flow simulator over a :class:`Topology`.
+
+    Parameters
+    ----------
+    topology:
+        The network to simulate.
+    congestion:
+        Congestion-management policy; defaults to none (the worst case).
+    routing:
+        ``'minimal'`` or ``'valiant'`` (adaptive per-interval rerouting is
+        approximated by ``reroute_adaptively=True``).
+    reroute_adaptively:
+        When True, flows crossing a saturated link are re-routed via a
+        Valiant detour at the next rate computation — a coarse model of
+        per-packet adaptive routing.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        congestion: Optional[CongestionManager] = None,
+        routing: str = "minimal",
+        reroute_adaptively: bool = False,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        if routing not in ("minimal", "valiant"):
+            raise ConfigurationError(f"unknown routing: {routing!r}")
+        self.topology = topology
+        self.congestion = congestion or NoCongestionControl()
+        self.routing = routing
+        self.reroute_adaptively = reroute_adaptively
+        self.rng = rng or RandomSource(seed=11, name="fabric")
+        self._capacities = self._link_capacities()
+
+    # --- static helpers -------------------------------------------------------
+
+    def _link_capacities(self) -> Dict[Tuple[str, str], float]:
+        """Per-direction capacities: links are full duplex, so traffic
+        traversing u->v never contends with traffic traversing v->u."""
+        capacities = {}
+        for u, v, data in self.topology.graph.edges(data=True):
+            bandwidth = float(data["bandwidth"])
+            capacities[(u, v)] = bandwidth
+            capacities[(v, u)] = bandwidth
+        return capacities
+
+    def _route(self, flow: Flow) -> Path:
+        if self.routing == "minimal":
+            return minimal_route(self.topology, flow.source, flow.destination)
+        return valiant_route(self.topology, flow.source, flow.destination, rng=self.rng)
+
+    @staticmethod
+    def _links_of(path: Path) -> List[Tuple[str, str]]:
+        """Directed links as traversed (full-duplex capacity model)."""
+        return list(zip(path, path[1:]))
+
+    def _propagation_delay(self, path: Path) -> float:
+        delay = 0.0
+        for u, v in zip(path, path[1:]):
+            delay += float(self.topology.graph.edges[u, v]["latency"])
+        return delay
+
+    # --- rate computation -------------------------------------------------------
+
+    def _max_min_rates(
+        self,
+        paths: Dict[int, Path],
+        remaining_bytes: Optional[Dict[int, float]] = None,
+    ) -> Tuple[Dict[int, float], Set[Tuple[str, str]]]:
+        """Water-filling max-min fair allocation.
+
+        Returns per-flow rates and the set of *congested* bottleneck links:
+        links with at least :data:`MIN_CONTENDERS_FOR_CONGESTION` contending
+        flows whose aggregate backlog (``remaining_bytes``) would take at
+        least :data:`CONGESTION_BACKLOG_THRESHOLD` seconds to drain at line
+        rate. Without ``remaining_bytes`` the backlog test is skipped.
+        """
+        remaining_capacity = dict(self._capacities)
+        unfixed: Dict[int, List[Tuple[str, str]]] = {
+            flow_id: self._links_of(path) for flow_id, path in paths.items()
+        }
+        rates: Dict[int, float] = {}
+        saturated: Set[Tuple[str, str]] = set()
+
+        while unfixed:
+            # Count unfixed flows per link.
+            link_users: Dict[Tuple[str, str], int] = {}
+            for links in unfixed.values():
+                for link in links:
+                    link_users[link] = link_users.get(link, 0) + 1
+            # Bottleneck link: minimal fair share.
+            bottleneck = None
+            bottleneck_share = float("inf")
+            for link, users in link_users.items():
+                share = remaining_capacity[link] / users
+                if share < bottleneck_share:
+                    bottleneck_share = share
+                    bottleneck = link
+            if bottleneck is None:  # flows with zero-length paths only
+                for flow_id in unfixed:
+                    rates[flow_id] = float("inf")
+                break
+            if link_users[bottleneck] >= MIN_CONTENDERS_FOR_CONGESTION:
+                if remaining_bytes is None:
+                    saturated.add(bottleneck)
+                else:
+                    backlog = sum(
+                        remaining_bytes.get(flow_id, 0.0)
+                        for flow_id, links in unfixed.items()
+                        if bottleneck in links
+                    )
+                    drain_time = backlog / self._capacities[bottleneck]
+                    if drain_time >= CONGESTION_BACKLOG_THRESHOLD:
+                        saturated.add(bottleneck)
+            # Fix every flow crossing the bottleneck at the fair share.
+            fixed_now = [
+                flow_id for flow_id, links in unfixed.items() if bottleneck in links
+            ]
+            for flow_id in fixed_now:
+                rates[flow_id] = bottleneck_share
+                for link in unfixed[flow_id]:
+                    remaining_capacity[link] = max(
+                        0.0, remaining_capacity[link] - bottleneck_share
+                    )
+                del unfixed[flow_id]
+        return rates, saturated
+
+    def _hot_switches(self, saturated: Set[Tuple[str, str]]) -> Set[str]:
+        """Switches adjacent to a saturated link (where buffers fill)."""
+        hot: Set[str] = set()
+        for u, v in saturated:
+            if self.topology.graph.nodes[u].get("role") == "switch":
+                hot.add(u)
+            if self.topology.graph.nodes[v].get("role") == "switch":
+                hot.add(v)
+        return hot
+
+    def _adjusted_rates(
+        self,
+        paths: Dict[int, Path],
+        remaining_bytes: Optional[Dict[int, float]] = None,
+    ) -> Tuple[Dict[int, float], Dict[int, int]]:
+        """Max-min rates with congestion-policy adjustments.
+
+        Returns rates and, for victims, the count of hot switches on their
+        path (used for extra queueing accounting).
+        """
+        rates, saturated = self._max_min_rates(paths, remaining_bytes)
+        hot_switches = self._hot_switches(saturated)
+        hot_exposure: Dict[int, int] = {}
+        for flow_id, path in paths.items():
+            links = set(self._links_of(path))
+            crosses_saturated = bool(links & saturated)
+            if crosses_saturated:
+                rates[flow_id] *= self.congestion.aggressor_rate_factor()
+            else:
+                exposure = sum(1 for node in path if node in hot_switches)
+                if exposure:
+                    rates[flow_id] *= self.congestion.victim_rate_factor(exposure)
+                    hot_exposure[flow_id] = exposure
+        return rates, hot_exposure
+
+    # --- simulation loop ----------------------------------------------------------
+
+    def run(self, flows: Sequence[Flow], max_iterations: int = 1_000_000) -> List[FlowStats]:
+        """Simulate all flows to completion and return their statistics."""
+        if not flows:
+            return []
+        pending = sorted(flows, key=lambda f: f.start_time)
+        arrivals = list(pending)
+        now = arrivals[0].start_time
+        active: Dict[int, Flow] = {}
+        remaining: Dict[int, float] = {}
+        paths: Dict[int, Path] = {}
+        queueing: Dict[int, float] = {}
+        results: List[FlowStats] = []
+        arrival_index = 0
+
+        for _ in range(max_iterations):
+            # Admit arrivals due now.
+            while (
+                arrival_index < len(arrivals)
+                and arrivals[arrival_index].start_time <= now + 1e-15
+            ):
+                flow = arrivals[arrival_index]
+                active[flow.flow_id] = flow
+                remaining[flow.flow_id] = flow.size
+                paths[flow.flow_id] = self._route(flow)
+                queueing.setdefault(flow.flow_id, 0.0)
+                arrival_index += 1
+
+            if not active and arrival_index >= len(arrivals):
+                break
+            if not active:
+                now = arrivals[arrival_index].start_time
+                continue
+
+            rates, hot_exposure = self._adjusted_rates(paths, remaining)
+            if self.reroute_adaptively:
+                rerouted = self._reroute_hot_flows(paths, remaining)
+                if rerouted:
+                    rates, hot_exposure = self._adjusted_rates(paths, remaining)
+
+            # Accrue queueing penalties for victims (once per exposure interval).
+            for flow_id, exposure in hot_exposure.items():
+                queueing[flow_id] = max(
+                    queueing[flow_id],
+                    self.congestion.victim_extra_latency(exposure),
+                )
+
+            # Next event: earliest completion or next arrival.
+            next_completion = float("inf")
+            for flow_id, rate in rates.items():
+                if rate <= 0:
+                    continue
+                next_completion = min(next_completion, remaining[flow_id] / rate)
+            next_arrival = (
+                arrivals[arrival_index].start_time - now
+                if arrival_index < len(arrivals)
+                else float("inf")
+            )
+            step = min(next_completion, next_arrival)
+            if step == float("inf"):
+                raise SimulationError("fabric deadlock: no progress possible")
+            step = max(step, 0.0)
+
+            # Advance.
+            now += step
+            finished: List[int] = []
+            for flow_id in list(active):
+                rate = rates.get(flow_id, 0.0)
+                remaining[flow_id] -= rate * step
+                if remaining[flow_id] <= 1e-9:
+                    finished.append(flow_id)
+            for flow_id in finished:
+                flow = active.pop(flow_id)
+                path = paths.pop(flow_id)
+                propagation = self._propagation_delay(path)
+                extra = queueing.pop(flow_id, 0.0)
+                results.append(
+                    FlowStats(
+                        flow_id=flow.flow_id,
+                        tag=flow.tag,
+                        size=flow.size,
+                        start_time=flow.start_time,
+                        finish_time=now + propagation + extra,
+                        path_hops=len(path) - 1,
+                        propagation_delay=propagation,
+                        extra_queueing=extra,
+                    )
+                )
+                del remaining[flow_id]
+        else:
+            raise SimulationError("fabric simulation exceeded max_iterations")
+
+        return results
+
+    def _reroute_hot_flows(
+        self, paths: Dict[int, Path], remaining_bytes: Optional[Dict[int, float]]
+    ) -> bool:
+        """Detour the slowest congested flows via Valiant paths (in place)."""
+        _, saturated = self._max_min_rates(paths, remaining_bytes)
+        rerouted = False
+        for flow_id, path in list(paths.items()):
+            if set(self._links_of(path)) & saturated:
+                source, destination = path[0], path[-1]
+                detour = valiant_route(self.topology, source, destination, rng=self.rng)
+                if detour != path:
+                    paths[flow_id] = detour
+                    rerouted = True
+        return rerouted

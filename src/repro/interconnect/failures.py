@@ -1,0 +1,180 @@
+"""Link/switch failure injection and topology resilience metrics.
+
+Large fabrics run degraded all the time: optical links flap, switches get
+drained for service. A topology family's value includes how gracefully it
+degrades — low-diameter networks buy their small hop counts with path
+diversity, which is exactly what failure tolerance consumes. This module
+injects random link or switch failures into a
+:class:`~repro.interconnect.topology.Topology` and measures:
+
+* terminal connectivity (fraction of terminal pairs still connected),
+* path stretch (average shortest-path inflation among surviving pairs),
+* the disconnection threshold (failure fraction where connectivity first
+  drops below a target).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RandomSource
+from repro.interconnect.topology import Topology
+
+
+@dataclass(frozen=True)
+class DegradedFabric:
+    """A topology after failure injection."""
+
+    topology: Topology
+    failed_links: Tuple[Tuple[str, str], ...]
+    failed_switches: Tuple[str, ...]
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self.topology.graph
+
+
+def fail_links(
+    topology: Topology,
+    fraction: float,
+    rng: Optional[RandomSource] = None,
+) -> DegradedFabric:
+    """Remove a random fraction of switch-to-switch links.
+
+    Terminal attachment links never fail here (a dead NIC is a node
+    failure, not a fabric failure).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("fraction must be in [0, 1]")
+    rng = rng or RandomSource(seed=17, name="failures")
+    graph = topology.graph.copy()
+    switch_links = [
+        (u, v)
+        for u, v in graph.edges()
+        if graph.nodes[u].get("role") == "switch"
+        and graph.nodes[v].get("role") == "switch"
+    ]
+    count = int(round(fraction * len(switch_links)))
+    failed = rng.sample(switch_links, count) if count else []
+    graph.remove_edges_from(failed)
+    degraded = Topology(f"{topology.name}[-{count}links]", graph)
+    return DegradedFabric(
+        topology=degraded,
+        failed_links=tuple(failed),
+        failed_switches=(),
+    )
+
+
+def fail_switches(
+    topology: Topology,
+    count: int,
+    rng: Optional[RandomSource] = None,
+) -> DegradedFabric:
+    """Remove ``count`` random switches (and everything attached to them)."""
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    rng = rng or RandomSource(seed=19, name="failures")
+    switches = topology.switches
+    if count >= len(switches):
+        raise ConfigurationError("cannot fail every switch")
+    victims = rng.sample(switches, count) if count else []
+    graph = topology.graph.copy()
+    for switch in victims:
+        # Terminals attached to a dead switch die with it.
+        terminals = [
+            n for n in graph.neighbors(switch)
+            if graph.nodes[n].get("role") == "terminal"
+        ]
+        graph.remove_nodes_from(terminals)
+        graph.remove_node(switch)
+    degraded = Topology(f"{topology.name}[-{count}switches]", graph)
+    return DegradedFabric(
+        topology=degraded,
+        failed_links=(),
+        failed_switches=tuple(victims),
+    )
+
+
+def terminal_connectivity(fabric: DegradedFabric, sample: int = 200,
+                          rng: Optional[RandomSource] = None) -> float:
+    """Fraction of sampled surviving terminal pairs still connected."""
+    rng = rng or RandomSource(seed=23, name="connectivity")
+    terminals = fabric.topology.terminals
+    if len(terminals) < 2:
+        return 0.0
+    graph = fabric.graph
+    components = list(nx.connected_components(graph))
+    component_of = {}
+    for index, component in enumerate(components):
+        for node in component:
+            component_of[node] = index
+    pairs = list(itertools.combinations(terminals, 2))
+    if len(pairs) > sample:
+        pairs = rng.sample(pairs, sample)
+    connected = sum(
+        1 for a, b in pairs if component_of.get(a) == component_of.get(b)
+    )
+    return connected / len(pairs)
+
+
+def path_stretch(
+    original: Topology,
+    fabric: DegradedFabric,
+    sample: int = 100,
+    rng: Optional[RandomSource] = None,
+) -> float:
+    """Mean shortest-path inflation among still-connected sampled pairs.
+
+    1.0 means failures cost no extra hops; higher values measure the
+    detour tax. Pairs disconnected by the failures are excluded (they are
+    counted by :func:`terminal_connectivity` instead).
+    """
+    rng = rng or RandomSource(seed=29, name="stretch")
+    terminals = [
+        t for t in original.terminals if t in fabric.graph
+    ]
+    pairs = list(itertools.combinations(terminals, 2))
+    if len(pairs) > sample:
+        pairs = rng.sample(pairs, sample)
+    stretches: List[float] = []
+    for a, b in pairs:
+        try:
+            degraded_hops = nx.shortest_path_length(fabric.graph, a, b)
+        except nx.NetworkXNoPath:
+            continue
+        original_hops = nx.shortest_path_length(original.graph, a, b)
+        if original_hops > 0:
+            stretches.append(degraded_hops / original_hops)
+    if not stretches:
+        return float("inf")
+    return sum(stretches) / len(stretches)
+
+
+def disconnection_threshold(
+    topology: Topology,
+    target_connectivity: float = 0.99,
+    step: float = 0.05,
+    rng: Optional[RandomSource] = None,
+) -> float:
+    """Smallest failed-link fraction where connectivity drops below target.
+
+    Returns 1.0 if the topology survives every step up to full failure
+    (practically impossible for real targets).
+    """
+    if not 0.0 < target_connectivity <= 1.0:
+        raise ConfigurationError("target_connectivity must be in (0, 1]")
+    if not 0.0 < step <= 0.5:
+        raise ConfigurationError("step must be in (0, 0.5]")
+    rng = rng or RandomSource(seed=31, name="threshold")
+    fraction = step
+    while fraction <= 1.0:
+        fabric = fail_links(topology, fraction, rng=rng.fork(f"f{fraction:.2f}"))
+        if terminal_connectivity(fabric, rng=rng.fork(f"c{fraction:.2f}")) < target_connectivity:
+            return fraction
+        fraction += step
+    return 1.0

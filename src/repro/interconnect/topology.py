@@ -1,0 +1,395 @@
+"""Network topology generators and structural metrics.
+
+The paper (§II.B): "low-diameter networks such as dragonfly and HyperX
+provide a path to low system latency and high global bandwidth." This module
+builds those topologies (plus fat-tree, two-tier leaf/spine and torus
+baselines) as :mod:`networkx` graphs wrapped in a :class:`Topology` object
+that computes the structural metrics the paper argues about: diameter,
+average shortest-path length, bisection bandwidth, switch/link counts and a
+cost estimate split into electrical and optical links.
+
+Nodes are strings: switches are ``'s<index>'`` (with topology-specific
+attributes) and terminals (compute endpoints) are ``'t<index>'``. Edges
+carry a ``bandwidth`` (bytes/s), ``latency`` (s) and ``optical`` flag.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.errors import ConfigurationError
+
+#: Default per-link bandwidth: a 200 Gbps link in bytes/s ("the
+#: current-generation 200 Gbps links", §II.B).
+DEFAULT_LINK_BANDWIDTH = 25e9
+#: Default per-hop switch + wire latency.
+DEFAULT_LINK_LATENCY = 300e-9
+#: Electrical reach limit in metres at 56G PAM-4 signalling; links longer
+#: than this must be optical (§II.B "increases in link speed have brought
+#: reductions in electrical reach").
+DEFAULT_ELECTRICAL_REACH = 3.0
+
+
+class Topology:
+    """A network topology with switches and terminal (compute) nodes."""
+
+    def __init__(self, name: str, graph: nx.Graph) -> None:
+        self.name = name
+        self.graph = graph
+        self._switches = [n for n, d in graph.nodes(data=True) if d.get("role") == "switch"]
+        self._terminals = [n for n, d in graph.nodes(data=True) if d.get("role") == "terminal"]
+        if not self._switches:
+            raise ConfigurationError(f"{name}: topology has no switches")
+
+    # --- structure ----------------------------------------------------------
+
+    @property
+    def switches(self) -> List[str]:
+        return list(self._switches)
+
+    @property
+    def terminals(self) -> List[str]:
+        return list(self._terminals)
+
+    @property
+    def switch_count(self) -> int:
+        return len(self._switches)
+
+    @property
+    def terminal_count(self) -> int:
+        return len(self._terminals)
+
+    @property
+    def link_count(self) -> int:
+        """Switch-to-switch links (terminal attachments excluded)."""
+        return sum(
+            1
+            for u, v in self.graph.edges()
+            if self.graph.nodes[u].get("role") == "switch"
+            and self.graph.nodes[v].get("role") == "switch"
+        )
+
+    def switch_graph(self) -> nx.Graph:
+        """The switch-only subgraph."""
+        return self.graph.subgraph(self._switches).copy()
+
+    def max_switch_degree(self) -> int:
+        """Largest switch radix consumed (switch-to-switch + terminal ports)."""
+        return max(self.graph.degree(s) for s in self._switches)
+
+    # --- metrics ------------------------------------------------------------
+
+    def diameter(self) -> int:
+        """Hop diameter of the switch-only graph."""
+        return nx.diameter(self.switch_graph())
+
+    def average_shortest_path(self) -> float:
+        """Mean switch-to-switch hop count."""
+        return nx.average_shortest_path_length(self.switch_graph())
+
+    def bisection_bandwidth(self) -> float:
+        """Approximate worst-equal-cut bandwidth in bytes/s.
+
+        Uses a Kernighan-Lin bisection of the switch graph (exact min-cut
+        bisection is NP-hard); adequate for comparing topology families.
+        """
+        switch_graph = self.switch_graph()
+        if switch_graph.number_of_nodes() < 2:
+            return 0.0
+        part_a, part_b = nx.algorithms.community.kernighan_lin_bisection(
+            switch_graph, seed=7
+        )
+        crossing = 0.0
+        for u, v, data in switch_graph.edges(data=True):
+            if (u in part_a) != (v in part_a):
+                crossing += data.get("bandwidth", DEFAULT_LINK_BANDWIDTH)
+        return crossing
+
+    def cost(
+        self,
+        switch_cost: float = 20_000.0,
+        electrical_link_cost: float = 300.0,
+        optical_link_cost: float = 2_000.0,
+    ) -> float:
+        """Total dollar cost: switches plus electrical/optical links.
+
+        Optical links are an order of magnitude more expensive ("pressure to
+        move to optical interconnect is increasing, but costs remain high").
+        """
+        cost = self.switch_count * switch_cost
+        for u, v, data in self.graph.edges(data=True):
+            if (
+                self.graph.nodes[u].get("role") == "switch"
+                and self.graph.nodes[v].get("role") == "switch"
+            ):
+                cost += optical_link_cost if data.get("optical") else electrical_link_cost
+        return cost
+
+    def cost_per_terminal(self, **kwargs: float) -> float:
+        """Network cost divided by attached terminals."""
+        if self.terminal_count == 0:
+            raise ConfigurationError(f"{self.name}: no terminals attached")
+        return self.cost(**kwargs) / self.terminal_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Topology({self.name!r}, switches={self.switch_count}, "
+            f"terminals={self.terminal_count})"
+        )
+
+
+def _add_switch(graph: nx.Graph, index: int, **attrs: object) -> str:
+    node = f"s{index}"
+    graph.add_node(node, role="switch", **attrs)
+    return node
+
+
+def _attach_terminals(
+    graph: nx.Graph,
+    switch: str,
+    count: int,
+    start_index: int,
+    bandwidth: float,
+    latency: float,
+) -> int:
+    """Attach ``count`` terminals to a switch; returns next free index."""
+    for offset in range(count):
+        terminal = f"t{start_index + offset}"
+        graph.add_node(terminal, role="terminal", attached_to=switch)
+        graph.add_edge(
+            terminal, switch, bandwidth=bandwidth, latency=latency, optical=False
+        )
+    return start_index + count
+
+
+def _link(
+    graph: nx.Graph,
+    u: str,
+    v: str,
+    bandwidth: float,
+    latency: float,
+    optical: bool,
+) -> None:
+    graph.add_edge(u, v, bandwidth=bandwidth, latency=latency, optical=optical)
+
+
+def build_dragonfly(
+    groups: int = 9,
+    routers_per_group: int = 4,
+    terminals_per_router: int = 4,
+    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+    global_links_per_router: Optional[int] = None,
+) -> Topology:
+    """A dragonfly network (Kim et al., ISCA 2008 — the paper's ref [11]).
+
+    Routers within a group are fully connected (electrical, short reach);
+    groups are connected by optical global links distributed round-robin
+    across routers. A balanced dragonfly has ``groups <= a*h + 1`` where
+    ``a`` is routers/group and ``h`` global links per router.
+    """
+    if groups < 2 or routers_per_group < 1 or terminals_per_router < 1:
+        raise ConfigurationError("dragonfly needs >=2 groups and >=1 router/terminal")
+    h = global_links_per_router
+    if h is None:
+        h = max(1, math.ceil((groups - 1) / routers_per_group))
+    if routers_per_group * h < groups - 1:
+        raise ConfigurationError(
+            f"dragonfly cannot reach all groups: a*h = {routers_per_group * h} "
+            f"< groups-1 = {groups - 1}"
+        )
+
+    graph = nx.Graph()
+    routers: Dict[int, List[str]] = {}
+    index = 0
+    for group in range(groups):
+        routers[group] = []
+        for _ in range(routers_per_group):
+            routers[group].append(_add_switch(graph, index, group=group))
+            index += 1
+
+    # Intra-group: full electrical mesh.
+    for group_routers in routers.values():
+        for u, v in itertools.combinations(group_routers, 2):
+            _link(graph, u, v, link_bandwidth, link_latency, optical=False)
+
+    # Inter-group: one optical link per group pair, assigned round-robin to
+    # routers so global links spread across the group.
+    assignment = {group: 0 for group in range(groups)}
+    for ga, gb in itertools.combinations(range(groups), 2):
+        ra = routers[ga][assignment[ga] % routers_per_group]
+        rb = routers[gb][assignment[gb] % routers_per_group]
+        assignment[ga] += 1
+        assignment[gb] += 1
+        _link(graph, ra, rb, link_bandwidth, link_latency * 2, optical=True)
+
+    terminal_index = 0
+    for group_routers in routers.values():
+        for router in group_routers:
+            terminal_index = _attach_terminals(
+                graph, router, terminals_per_router, terminal_index,
+                link_bandwidth, link_latency,
+            )
+    return Topology(f"dragonfly(g={groups},a={routers_per_group})", graph)
+
+
+def build_hyperx(
+    dims: Tuple[int, ...] = (4, 4),
+    terminals_per_switch: int = 4,
+    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+) -> Topology:
+    """A HyperX network (Ahn et al., SC 2009 — the paper's ref [12]).
+
+    Switches sit on an integer lattice; along every dimension, all switches
+    sharing the other coordinates are fully connected. Diameter equals the
+    number of dimensions.
+    """
+    if not dims or any(d < 2 for d in dims):
+        raise ConfigurationError("hyperx dims must each be >= 2")
+    graph = nx.Graph()
+    coords = list(itertools.product(*(range(d) for d in dims)))
+    switch_of: Dict[Tuple[int, ...], str] = {}
+    for index, coordinate in enumerate(coords):
+        switch_of[coordinate] = _add_switch(graph, index, coordinate=coordinate)
+
+    for coordinate in coords:
+        for axis in range(len(dims)):
+            for other in range(coordinate[axis] + 1, dims[axis]):
+                neighbour = list(coordinate)
+                neighbour[axis] = other
+                # Links along the highest dimension model longer (optical) reach.
+                optical = axis == len(dims) - 1 and dims[axis] > 2
+                _link(
+                    graph,
+                    switch_of[coordinate],
+                    switch_of[tuple(neighbour)],
+                    link_bandwidth,
+                    link_latency * (2 if optical else 1),
+                    optical=optical,
+                )
+
+    terminal_index = 0
+    for coordinate in coords:
+        terminal_index = _attach_terminals(
+            graph, switch_of[coordinate], terminals_per_switch, terminal_index,
+            link_bandwidth, link_latency,
+        )
+    return Topology(f"hyperx{dims}", graph)
+
+
+def build_fat_tree(
+    k: int = 4,
+    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+) -> Topology:
+    """A k-ary fat-tree (classic 3-tier Clos), the datacenter baseline.
+
+    ``k`` must be even: k pods, each with k/2 edge and k/2 aggregation
+    switches; ``(k/2)^2`` core switches; ``k^3/4`` terminals.
+    """
+    if k < 2 or k % 2:
+        raise ConfigurationError("fat-tree k must be even and >= 2")
+    half = k // 2
+    graph = nx.Graph()
+    index = 0
+
+    core = []
+    for _ in range(half * half):
+        core.append(_add_switch(graph, index, tier="core"))
+        index += 1
+
+    terminal_index = 0
+    for pod in range(k):
+        edge = []
+        aggregation = []
+        for _ in range(half):
+            aggregation.append(_add_switch(graph, index, tier="aggregation", pod=pod))
+            index += 1
+        for _ in range(half):
+            edge.append(_add_switch(graph, index, tier="edge", pod=pod))
+            index += 1
+        for e in edge:
+            for a in aggregation:
+                _link(graph, e, a, link_bandwidth, link_latency, optical=False)
+            terminal_index = _attach_terminals(
+                graph, e, half, terminal_index, link_bandwidth, link_latency
+            )
+        for a_index, a in enumerate(aggregation):
+            for c_offset in range(half):
+                c = core[a_index * half + c_offset]
+                _link(graph, a, c, link_bandwidth, link_latency * 2, optical=True)
+
+    return Topology(f"fat-tree(k={k})", graph)
+
+
+def build_two_tier(
+    leaves: int = 8,
+    spines: int = 4,
+    terminals_per_leaf: int = 8,
+    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+) -> Topology:
+    """A leaf-spine Clos, the rack/row-scale building block of Figure 2."""
+    if leaves < 1 or spines < 1:
+        raise ConfigurationError("need at least one leaf and one spine")
+    graph = nx.Graph()
+    index = 0
+    leaf_nodes = []
+    for _ in range(leaves):
+        leaf_nodes.append(_add_switch(graph, index, tier="leaf"))
+        index += 1
+    spine_nodes = []
+    for _ in range(spines):
+        spine_nodes.append(_add_switch(graph, index, tier="spine"))
+        index += 1
+    for leaf in leaf_nodes:
+        for spine in spine_nodes:
+            _link(graph, leaf, spine, link_bandwidth, link_latency, optical=False)
+    terminal_index = 0
+    for leaf in leaf_nodes:
+        terminal_index = _attach_terminals(
+            graph, leaf, terminals_per_leaf, terminal_index,
+            link_bandwidth, link_latency,
+        )
+    return Topology(f"leaf-spine({leaves}x{spines})", graph)
+
+
+def build_torus(
+    dims: Tuple[int, ...] = (4, 4, 4),
+    terminals_per_switch: int = 1,
+    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+) -> Topology:
+    """A k-ary n-cube torus, the classic pre-dragonfly HPC topology.
+
+    High diameter but cheap, short, fully electrical links — the foil for
+    the low-diameter argument.
+    """
+    if not dims or any(d < 2 for d in dims):
+        raise ConfigurationError("torus dims must each be >= 2")
+    graph = nx.Graph()
+    coords = list(itertools.product(*(range(d) for d in dims)))
+    switch_of: Dict[Tuple[int, ...], str] = {}
+    for index, coordinate in enumerate(coords):
+        switch_of[coordinate] = _add_switch(graph, index, coordinate=coordinate)
+
+    for coordinate in coords:
+        for axis, size in enumerate(dims):
+            neighbour = list(coordinate)
+            neighbour[axis] = (coordinate[axis] + 1) % size
+            u, v = switch_of[coordinate], switch_of[tuple(neighbour)]
+            if not graph.has_edge(u, v):
+                _link(graph, u, v, link_bandwidth, link_latency, optical=False)
+
+    terminal_index = 0
+    for coordinate in coords:
+        terminal_index = _attach_terminals(
+            graph, switch_of[coordinate], terminals_per_switch, terminal_index,
+            link_bandwidth, link_latency,
+        )
+    return Topology(f"torus{dims}", graph)

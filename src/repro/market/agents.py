@@ -1,0 +1,300 @@
+"""Market participants of the Open Compute Exchange.
+
+The paper (§III.F): "consumer and provider market orders strategies,
+third-party brokers, technology speculators and future HPC architectures
+risk hedging are only some of the possibilities that could now be
+envisioned." Each strategy here quotes limit orders once per market round:
+
+* :class:`ProviderAgent` — sells idle capacity above its marginal cost,
+  discounting as idle inventory ages (capacity is perishable: an idle
+  device-hour not sold is lost).
+* :class:`ConsumerAgent` — buys device-hours below its private valuation,
+  bidding more aggressively as its deadline approaches.
+* :class:`BrokerAgent` — a market maker quoting both sides around the last
+  price, earning the spread and providing the liquidity the paper says a
+  thin few-provider market lacks.
+* :class:`SpeculatorAgent` — momentum trader buying rising and selling
+  falling prices, bounded by inventory/short limits.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.errors import MarketError
+from repro.core.rng import RandomSource
+from repro.market.orders import Order, Side
+
+
+@dataclass
+class MarketView:
+    """What an agent sees before quoting: public book/tape state."""
+
+    resource: str
+    round_index: int
+    best_bid: Optional[float]
+    best_ask: Optional[float]
+    last_price: Optional[float]
+    price_history: List[float] = field(default_factory=list)
+
+    @property
+    def reference_price(self) -> Optional[float]:
+        """Mid if quotable, else last trade."""
+        if self.best_bid is not None and self.best_ask is not None:
+            return (self.best_bid + self.best_ask) / 2.0
+        return self.last_price
+
+
+class Agent(ABC):
+    """Base market participant with cash/inventory accounting."""
+
+    def __init__(self, agent_id: str, cash: float = 0.0) -> None:
+        self.agent_id = agent_id
+        self.cash = cash
+        self.inventory = 0.0  # device-hours held (consumers accumulate)
+
+    @abstractmethod
+    def quote(self, view: MarketView, rng: RandomSource) -> List[Order]:
+        """Orders to submit this round (possibly empty)."""
+
+    def on_buy(self, quantity: float, price: float) -> None:
+        self.cash -= quantity * price
+        self.inventory += quantity
+
+    def on_sell(self, quantity: float, price: float) -> None:
+        self.cash += quantity * price
+        self.inventory -= quantity
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.agent_id!r})"
+
+
+class ProviderAgent(Agent):
+    """A site selling idle capacity, with a ZIP-style adaptive margin.
+
+    The ask starts at ``marginal_cost * (1 + markup)``. After a round in
+    which the capacity went unsold, the margin *concedes* toward the cost
+    floor (capacity is perishable — an idle device-hour not sold is lost);
+    after a fully-sold round it tightens back up. This adaptive scheme is
+    the classic mechanism by which continuous double auctions discover the
+    competitive equilibrium.
+
+    Attributes
+    ----------
+    marginal_cost:
+        $/device-hour floor (power + amortisation) below which selling
+        loses money.
+    capacity_per_round:
+        Device-hours of idle capacity arriving each round.
+    concession:
+        Fraction of the remaining margin given up after an unsold round.
+    greed:
+        Relative ask increase after a fully-sold round.
+    """
+
+    def __init__(
+        self,
+        agent_id: str,
+        marginal_cost: float,
+        capacity_per_round: float,
+        markup: float = 0.5,
+        concession: float = 0.25,
+        greed: float = 0.05,
+    ) -> None:
+        super().__init__(agent_id)
+        if marginal_cost <= 0 or capacity_per_round <= 0:
+            raise MarketError("marginal_cost and capacity must be positive")
+        if not 0.0 < concession < 1.0:
+            raise MarketError("concession must be in (0, 1)")
+        if greed < 0:
+            raise MarketError("greed must be non-negative")
+        self.marginal_cost = marginal_cost
+        self.capacity_per_round = capacity_per_round
+        self.concession = concession
+        self.greed = greed
+        self._ask = marginal_cost * (1.0 + markup)
+        self._inventory_at_last_quote = self.inventory
+
+    def quote(self, view: MarketView, rng: RandomSource) -> List[Order]:
+        sold_last_round = self._inventory_at_last_quote - self.inventory
+        if view.round_index > 0:
+            if sold_last_round >= self.capacity_per_round * 0.999:
+                self._ask *= 1.0 + self.greed
+            elif sold_last_round <= 0:
+                margin = self._ask - self.marginal_cost
+                self._ask = self.marginal_cost + margin * (1.0 - self.concession)
+        self._inventory_at_last_quote = self.inventory
+        jitter = 1.0 + rng.normal(0.0, 0.01)
+        price = max(self.marginal_cost, self._ask * jitter)
+        return [
+            Order(
+                side=Side.ASK,
+                price=price,
+                quantity=self.capacity_per_round,
+                agent_id=self.agent_id,
+                resource=view.resource,
+            )
+        ]
+
+
+class ConsumerAgent(Agent):
+    """A user buying device-hours, with a ZIP-style adaptive margin.
+
+    The bid starts at 60% of the private valuation; unfilled rounds concede
+    upward toward the valuation (deadline pressure), filled rounds probe
+    back down. Never bids above the valuation — an extra-marginal consumer
+    (valuation below the equilibrium price) simply never trades, exactly as
+    theory requires.
+
+    Attributes
+    ----------
+    valuation:
+        Private $/device-hour value of getting the work done.
+    demand_per_round:
+        Device-hours wanted per round.
+    concession:
+        Fraction of the bid-to-valuation gap closed after an unfilled round.
+    thrift:
+        Relative bid decrease after a fully-filled round.
+    """
+
+    def __init__(
+        self,
+        agent_id: str,
+        valuation: float,
+        demand_per_round: float,
+        concession: float = 0.25,
+        thrift: float = 0.05,
+        patience: int = 20,
+    ) -> None:
+        super().__init__(agent_id, cash=valuation * demand_per_round * patience)
+        if valuation <= 0 or demand_per_round <= 0 or patience <= 0:
+            raise MarketError("valuation, demand and patience must be positive")
+        if not 0.0 < concession < 1.0:
+            raise MarketError("concession must be in (0, 1)")
+        if thrift < 0:
+            raise MarketError("thrift must be non-negative")
+        self.valuation = valuation
+        self.demand_per_round = demand_per_round
+        self.concession = concession
+        self.thrift = thrift
+        self.patience = patience
+        self._bid = 0.6 * valuation
+        self._inventory_at_last_quote = self.inventory
+
+    def quote(self, view: MarketView, rng: RandomSource) -> List[Order]:
+        bought_last_round = self.inventory - self._inventory_at_last_quote
+        if view.round_index > 0:
+            if bought_last_round >= self.demand_per_round * 0.999:
+                self._bid *= 1.0 - self.thrift
+            elif bought_last_round <= 0:
+                gap = self.valuation - self._bid
+                self._bid = self.valuation - gap * (1.0 - self.concession)
+        self._inventory_at_last_quote = self.inventory
+        jitter = 1.0 + rng.normal(0.0, 0.01)
+        price = min(self.valuation, max(0.01, self._bid * jitter))
+        return [
+            Order(
+                side=Side.BID,
+                price=price,
+                quantity=self.demand_per_round,
+                agent_id=self.agent_id,
+                resource=view.resource,
+            )
+        ]
+
+
+class BrokerAgent(Agent):
+    """A market maker quoting both sides around the reference price."""
+
+    def __init__(
+        self,
+        agent_id: str,
+        half_spread: float = 0.05,
+        quote_size: float = 10.0,
+        max_inventory: float = 200.0,
+    ) -> None:
+        super().__init__(agent_id, cash=10_000.0)
+        if half_spread <= 0 or quote_size <= 0 or max_inventory <= 0:
+            raise MarketError("broker parameters must be positive")
+        self.half_spread = half_spread
+        self.quote_size = quote_size
+        self.max_inventory = max_inventory
+
+    def quote(self, view: MarketView, rng: RandomSource) -> List[Order]:
+        reference = view.reference_price
+        if reference is None:
+            return []
+        # Inventory skew: long inventory lowers both quotes to shed it.
+        skew = -0.5 * self.half_spread * (self.inventory / self.max_inventory)
+        orders = []
+        if self.inventory < self.max_inventory:
+            orders.append(
+                Order(
+                    side=Side.BID,
+                    price=max(0.01, reference * (1.0 - self.half_spread + skew)),
+                    quantity=self.quote_size,
+                    agent_id=self.agent_id,
+                    resource=view.resource,
+                )
+            )
+        if self.inventory > -self.max_inventory:
+            orders.append(
+                Order(
+                    side=Side.ASK,
+                    price=reference * (1.0 + self.half_spread + skew),
+                    quantity=self.quote_size,
+                    agent_id=self.agent_id,
+                    resource=view.resource,
+                )
+            )
+        return orders
+
+
+class SpeculatorAgent(Agent):
+    """A momentum trader: buys rising markets, sells falling ones."""
+
+    def __init__(
+        self,
+        agent_id: str,
+        window: int = 5,
+        trade_size: float = 5.0,
+        max_position: float = 50.0,
+    ) -> None:
+        super().__init__(agent_id, cash=5_000.0)
+        if window < 2 or trade_size <= 0 or max_position <= 0:
+            raise MarketError("invalid speculator parameters")
+        self.window = window
+        self.trade_size = trade_size
+        self.max_position = max_position
+
+    def quote(self, view: MarketView, rng: RandomSource) -> List[Order]:
+        history = view.price_history
+        if len(history) < self.window:
+            return []
+        recent = history[-self.window:]
+        momentum = recent[-1] - recent[0]
+        reference = view.reference_price or recent[-1]
+        if momentum > 0 and self.inventory < self.max_position:
+            return [
+                Order(
+                    side=Side.BID,
+                    price=reference * 1.01,
+                    quantity=self.trade_size,
+                    agent_id=self.agent_id,
+                    resource=view.resource,
+                )
+            ]
+        if momentum < 0 and self.inventory > -self.max_position:
+            return [
+                Order(
+                    side=Side.ASK,
+                    price=max(0.01, reference * 0.99),
+                    quantity=self.trade_size,
+                    agent_id=self.agent_id,
+                    resource=view.resource,
+                )
+            ]
+        return []

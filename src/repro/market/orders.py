@@ -1,0 +1,78 @@
+"""Orders and trades for the compute exchange."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.errors import MarketError
+
+_order_ids = itertools.count()
+
+
+class Side(Enum):
+    """Order side: BID buys compute, ASK sells it."""
+
+    BID = "bid"
+    ASK = "ask"
+
+
+@dataclass
+class Order:
+    """A limit order for a quantity of a resource class.
+
+    Attributes
+    ----------
+    side:
+        BID (consumer buying device-hours) or ASK (provider selling).
+    price:
+        Limit price in dollars per device-hour.
+    quantity:
+        Device-hours offered or wanted (reduced as fills occur).
+    agent_id:
+        The submitting agent (settlement account key).
+    resource:
+        Resource class symbol, e.g. ``'gpu-hour'``.
+    timestamp:
+        Submission time; earlier orders at equal price match first.
+    """
+
+    side: Side
+    price: float
+    quantity: float
+    agent_id: str
+    resource: str
+    timestamp: float = 0.0
+    order_id: int = field(default_factory=lambda: next(_order_ids))
+
+    def __post_init__(self) -> None:
+        if self.price <= 0:
+            raise MarketError(f"order price must be positive: {self.price}")
+        if self.quantity <= 0:
+            raise MarketError(f"order quantity must be positive: {self.quantity}")
+
+    @property
+    def is_filled(self) -> bool:
+        return self.quantity <= 1e-12
+
+
+@dataclass(frozen=True)
+class Trade:
+    """An executed match between a bid and an ask.
+
+    The execution price is the resting (earlier) order's limit price, per
+    standard continuous-auction rules.
+    """
+
+    resource: str
+    price: float
+    quantity: float
+    buyer_id: str
+    seller_id: str
+    timestamp: float
+
+    @property
+    def notional(self) -> float:
+        """Dollar value of the trade."""
+        return self.price * self.quantity

@@ -1,0 +1,81 @@
+"""Scheduling: runtime prediction, cluster queueing and the meta-scheduler.
+
+The paper (§III.F): "Users will have their workloads run across a breadth
+of silicon options, ideally with a meta-scheduler that selects the best
+available for the job, but in a completely transparent manner to the
+applications."
+
+Layers:
+
+* :mod:`repro.scheduling.runtime` — analytical runtime/energy prediction of
+  a job on a device at a site (compute + communication + noise).
+* :mod:`repro.scheduling.noise` — the OS/interference noise model behind
+  the paper's "the slowest component dictates performance" claim (§II.C).
+* :mod:`repro.scheduling.cluster` — an event-driven single-site cluster
+  with pluggable queue policies (FCFS, SJF, EASY backfilling).
+* :mod:`repro.scheduling.metascheduler` — federation-wide placement:
+  best-silicon selection with data gravity, against static/random
+  baselines.
+"""
+
+from repro.scheduling.checkpointing import (
+    CheckpointedExecution,
+    CheckpointTarget,
+    FailureModel,
+    fabric_pm_target,
+    local_ssd_target,
+    parallel_filesystem_target,
+    young_daly_interval,
+)
+from repro.scheduling.cluster import ClusterSimulator, JobRecord
+from repro.scheduling.metascheduler import (
+    MetaScheduler,
+    PlacementDecision,
+    PlacementPolicy,
+)
+from repro.scheduling.noise import NoiseModel, bsp_slowdown, expected_max_of_normals
+from repro.scheduling.policies import (
+    EasyBackfillPolicy,
+    FcfsPolicy,
+    PriorityPolicy,
+    QueuePolicy,
+    SjfPolicy,
+)
+from repro.scheduling.runtime import RuntimeEstimate, estimate_job
+from repro.scheduling.taskgraph import (
+    DataTask,
+    Mapper,
+    Region,
+    TaskGraph,
+    TaskGraphExecutor,
+)
+
+__all__ = [
+    "CheckpointTarget",
+    "CheckpointedExecution",
+    "ClusterSimulator",
+    "DataTask",
+    "FailureModel",
+    "fabric_pm_target",
+    "local_ssd_target",
+    "parallel_filesystem_target",
+    "young_daly_interval",
+    "EasyBackfillPolicy",
+    "FcfsPolicy",
+    "JobRecord",
+    "Mapper",
+    "MetaScheduler",
+    "PriorityPolicy",
+    "Region",
+    "TaskGraph",
+    "TaskGraphExecutor",
+    "NoiseModel",
+    "PlacementDecision",
+    "PlacementPolicy",
+    "QueuePolicy",
+    "RuntimeEstimate",
+    "SjfPolicy",
+    "bsp_slowdown",
+    "estimate_job",
+    "expected_max_of_normals",
+]

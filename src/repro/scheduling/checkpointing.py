@@ -1,0 +1,188 @@
+"""Checkpoint/restart resilience with fabric-attached persistent memory.
+
+The paper (§III.C): "The design separates persistent memory, the first
+storage tier, from processing. It ensures global accessibility for
+resilience and capacity, while maintaining low latency for local access."
+
+At exascale, node counts push the system mean-time-between-failures (MTBF)
+into hours, so long jobs must checkpoint. The classical trade-off is the
+Young/Daly optimum: checkpoint too often and overhead dominates, too rarely
+and rework after failures dominates. Fabric-attached persistent memory
+(Gen-Z/CXL tier) changes the constants — checkpoints stream at memory-class
+bandwidth instead of parallel-filesystem bandwidth — which is exactly the
+resilience argument the paper makes for separating the persistence tier.
+
+Model
+-----
+* :class:`FailureModel` — per-node exponential failures; system MTBF =
+  node MTBF / nodes.
+* :class:`CheckpointTarget` — where checkpoints go (bandwidth + latency);
+  presets for a parallel filesystem, node-local SSD and fabric PM.
+* :func:`young_daly_interval` — the first-order optimal interval
+  ``sqrt(2 * MTBF * checkpoint_cost)``.
+* :class:`CheckpointedExecution` — expected wall-clock and efficiency of a
+  job under failures with periodic checkpointing (first-order Daly model).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Exponential node failures aggregated to system level.
+
+    Attributes
+    ----------
+    node_mtbf:
+        Mean time between failures of one node, seconds (typical: years).
+    nodes:
+        Nodes in the allocation.
+    """
+
+    node_mtbf: float
+    nodes: int
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf <= 0:
+            raise ConfigurationError("node_mtbf must be positive")
+        if self.nodes < 1:
+            raise ConfigurationError("nodes must be >= 1")
+
+    @property
+    def system_mtbf(self) -> float:
+        """MTBF of the allocation: first failure among independent nodes."""
+        return self.node_mtbf / self.nodes
+
+
+@dataclass(frozen=True)
+class CheckpointTarget:
+    """Where checkpoint data is written.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    bandwidth:
+        Per-node sustained checkpoint bandwidth, bytes/s.
+    latency:
+        Fixed per-checkpoint overhead (coordination, metadata), seconds.
+    survives_node_loss:
+        Whether the checkpoint is readable after the writing node dies.
+        Node-local SSD fails this; restart must fall back to an older
+        global checkpoint, modelled as a restart-cost multiplier.
+    """
+
+    name: str
+    bandwidth: float
+    latency: float = 1.0
+    survives_node_loss: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.latency < 0:
+            raise ConfigurationError("invalid checkpoint target parameters")
+
+    def checkpoint_time(self, bytes_per_node: float) -> float:
+        """Time to write one checkpoint."""
+        if bytes_per_node < 0:
+            raise ValueError("bytes_per_node must be non-negative")
+        return self.latency + bytes_per_node / self.bandwidth
+
+
+def parallel_filesystem_target() -> CheckpointTarget:
+    """A Lustre-class PFS: ~1 GB/s per node effective under contention."""
+    return CheckpointTarget("parallel-fs", bandwidth=1e9, latency=5.0)
+
+
+def local_ssd_target() -> CheckpointTarget:
+    """Node-local NVMe: fast but lost with the node."""
+    return CheckpointTarget(
+        "local-ssd", bandwidth=5e9, latency=0.5, survives_node_loss=False
+    )
+
+
+def fabric_pm_target() -> CheckpointTarget:
+    """Fabric-attached persistent memory (the paper's first storage tier):
+    memory-class bandwidth, globally accessible after node loss."""
+    return CheckpointTarget("fabric-pm", bandwidth=40e9, latency=0.1)
+
+
+def young_daly_interval(system_mtbf: float, checkpoint_cost: float) -> float:
+    """The Young/Daly first-order optimal checkpoint interval, seconds."""
+    if system_mtbf <= 0 or checkpoint_cost < 0:
+        raise ConfigurationError("invalid Young-Daly inputs")
+    if checkpoint_cost == 0:
+        return float("inf")
+    return math.sqrt(2.0 * system_mtbf * checkpoint_cost)
+
+
+@dataclass(frozen=True)
+class CheckpointedExecution:
+    """Expected execution of a job under failures with checkpointing.
+
+    Attributes
+    ----------
+    work_time:
+        Failure-free compute time of the job, seconds.
+    checkpoint_bytes_per_node:
+        Checkpoint footprint per node.
+    failures:
+        The failure model.
+    target:
+        Checkpoint destination.
+    restart_time:
+        Time to restart and reload a checkpoint after a failure.
+    """
+
+    work_time: float
+    checkpoint_bytes_per_node: float
+    failures: FailureModel
+    target: CheckpointTarget
+    restart_time: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.work_time <= 0:
+            raise ConfigurationError("work_time must be positive")
+        if self.checkpoint_bytes_per_node < 0 or self.restart_time < 0:
+            raise ConfigurationError("invalid execution parameters")
+
+    @property
+    def checkpoint_cost(self) -> float:
+        return self.target.checkpoint_time(self.checkpoint_bytes_per_node)
+
+    @property
+    def optimal_interval(self) -> float:
+        return young_daly_interval(self.failures.system_mtbf, self.checkpoint_cost)
+
+    def effective_restart_time(self) -> float:
+        """Restart cost, tripled when the checkpoint died with the node
+        (fall back to an older global checkpoint and redo more work)."""
+        if self.target.survives_node_loss:
+            return self.restart_time
+        return 3.0 * self.restart_time
+
+    def expected_time(self, interval: float = 0.0) -> float:
+        """Expected wall-clock under the first-order Daly model.
+
+        ``interval`` of 0 uses the Young/Daly optimum. The model charges,
+        per interval: the checkpoint cost, plus (probability of a failure
+        in the interval) x (half an interval of rework + restart).
+        """
+        mtbf = self.failures.system_mtbf
+        tau = interval if interval > 0 else self.optimal_interval
+        if math.isinf(tau):
+            return self.work_time
+        cost = self.checkpoint_cost
+        segments = self.work_time / tau
+        per_segment = tau + cost
+        failure_probability = 1.0 - math.exp(-per_segment / mtbf)
+        rework = failure_probability * (per_segment / 2.0 + self.effective_restart_time())
+        return segments * (per_segment + rework)
+
+    def efficiency(self, interval: float = 0.0) -> float:
+        """Useful work over expected wall-clock (1.0 = failure-free ideal)."""
+        return self.work_time / self.expected_time(interval)

@@ -1,0 +1,189 @@
+"""Event-driven single-site cluster simulator.
+
+Simulates one site's job queue on the :class:`~repro.core.events.Simulation`
+kernel: jobs arrive, a :class:`~repro.scheduling.policies.QueuePolicy`
+orders the queue, and devices are held for each job's predicted runtime.
+Per-job :class:`JobRecord` outcomes feed utilisation/wait/makespan metrics
+for the scheduling and federation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError, SchedulingError
+from repro.core.events import Simulation
+from repro.federation.site import Site
+from repro.hardware.device import Device
+from repro.scheduling.policies import FcfsPolicy, QueuePolicy
+from repro.scheduling.runtime import estimate_job
+from repro.workloads.base import Job
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle record of one job through a cluster."""
+
+    job: Job
+    device: Device
+    submit_time: float
+    predicted_runtime: float
+    start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    transfer_time: float = 0.0
+
+    @property
+    def queue_wait(self) -> float:
+        if self.start_time is None:
+            raise SchedulingError(f"{self.job.name} never started")
+        return self.start_time - self.submit_time
+
+    @property
+    def completion_time(self) -> float:
+        """Submission-to-finish time (includes queue wait and staging)."""
+        if self.finish_time is None:
+            raise SchedulingError(f"{self.job.name} never finished")
+        return self.finish_time - self.submit_time
+
+    @property
+    def slowdown(self) -> float:
+        """Bounded slowdown: completion over max(runtime, 10 s)."""
+        return self.completion_time / max(self.predicted_runtime, 10.0)
+
+
+class ClusterSimulator:
+    """One site's queue and devices under a queue policy.
+
+    Parameters
+    ----------
+    site:
+        The site providing devices and noise characteristics.
+    device:
+        The device pool jobs run on. The cluster schedules over this single
+        homogeneous pool; heterogeneous placement happens a level up in the
+        meta-scheduler, which owns the choice of pool per job.
+    policy:
+        Queue ordering policy (default FCFS).
+    simulation:
+        An external simulation clock to share (a fresh one by default).
+    """
+
+    def __init__(
+        self,
+        site: Site,
+        device: Device,
+        policy: Optional[QueuePolicy] = None,
+        simulation: Optional[Simulation] = None,
+    ) -> None:
+        if site.count(device) < 1:
+            raise ConfigurationError(f"{site.name} has no {device.name}")
+        self.site = site
+        self.device = device
+        self.policy = policy or FcfsPolicy()
+        self.simulation = simulation or Simulation()
+        self.capacity = site.count(device)
+        self._free = self.capacity
+        self._queue: List[Tuple[JobRecord, float, int]] = []
+        self._running: Dict[int, Tuple[float, int]] = {}  # job_id -> (finish, devices)
+        self.records: List[JobRecord] = []
+        self._busy_device_seconds = 0.0
+
+    # --- submission -----------------------------------------------------------
+
+    def submit(self, job: Job, transfer_time: float = 0.0) -> JobRecord:
+        """Queue a job at its arrival time (plus any staging delay)."""
+        estimate = estimate_job(job, self.device, self.site)
+        if not estimate.feasible:
+            raise SchedulingError(
+                f"{job.name} infeasible on {self.device.name}: "
+                f"{estimate.infeasible_reason}"
+            )
+        if job.ranks > self.capacity:
+            raise SchedulingError(
+                f"{job.name} needs {job.ranks} x {self.device.name}, "
+                f"cluster has {self.capacity}"
+            )
+        record = JobRecord(
+            job=job,
+            device=self.device,
+            submit_time=job.arrival_time,
+            predicted_runtime=estimate.time,
+            transfer_time=transfer_time,
+        )
+        self.records.append(record)
+        ready_time = job.arrival_time + transfer_time
+        delay = max(0.0, ready_time - self.simulation.now)
+        self.simulation.schedule(delay, lambda: self._enqueue(record))
+        return record
+
+    def _enqueue(self, record: JobRecord) -> None:
+        self._queue.append((record, record.predicted_runtime, record.job.ranks))
+        self._dispatch()
+
+    # --- dispatch loop -----------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        while True:
+            running = list(self._running.values())
+            index = self.policy.select(
+                self._queue, self._free, running, self.simulation.now
+            )
+            if index is None:
+                return
+            record, runtime, needed = self._queue.pop(index)
+            self._start(record, runtime, needed)
+
+    def _start(self, record: JobRecord, runtime: float, needed: int) -> None:
+        record.start_time = self.simulation.now
+        self._free -= needed
+        self._busy_device_seconds += runtime * needed
+        finish = self.simulation.now + runtime
+        self._running[record.job.job_id] = (finish, needed)
+        self.simulation.schedule(runtime, lambda: self._finish(record, needed))
+
+    def _finish(self, record: JobRecord, needed: int) -> None:
+        record.finish_time = self.simulation.now
+        self._free += needed
+        del self._running[record.job.job_id]
+        self._dispatch()
+
+    # --- runs and metrics -----------------------------------------------------------
+
+    def run(self) -> List[JobRecord]:
+        """Run the simulation to completion and return all records."""
+        self.simulation.run()
+        unfinished = [r for r in self.records if r.finish_time is None]
+        if unfinished:
+            names = ", ".join(r.job.name for r in unfinished[:5])
+            raise SchedulingError(f"jobs never finished: {names}")
+        return self.records
+
+    @property
+    def estimated_queue_wait(self) -> float:
+        """Crude wait estimate: queued + running work over capacity.
+
+        Used by bursting policies to decide overflow before running.
+        """
+        backlog = sum(runtime * needed for _, runtime, needed in self._queue)
+        for finish, needed in self._running.values():
+            backlog += max(0.0, finish - self.simulation.now) * needed
+        return backlog / self.capacity
+
+    def makespan(self) -> float:
+        """Finish time of the last job."""
+        if not self.records:
+            return 0.0
+        return max(r.finish_time for r in self.records if r.finish_time is not None)
+
+    def mean_queue_wait(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.queue_wait for r in self.records) / len(self.records)
+
+    def utilization(self) -> float:
+        """Busy device-seconds over capacity x makespan."""
+        span = self.makespan()
+        if span == 0:
+            return 0.0
+        return self._busy_device_seconds / (self.capacity * span)

@@ -1,0 +1,101 @@
+"""Workload models: HPC kernels, AI models, hybrid loops and edge streams.
+
+The paper's convergence argument (Figure 1, §I) is that future systems run
+a *mix* of classical simulation, data analytics and machine learning. This
+subpackage provides generators for all three, plus:
+
+* hybrid closed-loop workflows where DL inference accelerates simulation
+  steps (§III.B),
+* instrumentation edge streams from "particle accelerators or light
+  sources" (§III.A),
+* statistical job-trace generators for scheduling experiments.
+
+Workloads are device independent: they describe *what* must be computed
+(FLOPs, bytes, communication and synchronisation structure); the hardware
+and scheduling layers decide where and how fast it runs.
+"""
+
+from repro.workloads.ai import (
+    AIModel,
+    LayerShape,
+    build_cnn,
+    build_mlp,
+    build_transformer,
+)
+from repro.workloads.base import (
+    Job,
+    JobClass,
+    Phase,
+    PhaseKind,
+    Task,
+)
+from repro.workloads.control import (
+    DecisionMaker,
+    TieredControlPolicy,
+    edge_ai,
+    human_operator,
+    remote_ai,
+    science_yield,
+)
+from repro.workloads.edge import DetectorPreset, InstrumentStream
+from repro.workloads.hpc import (
+    dense_linear_algebra,
+    nbody,
+    sparse_solver,
+    spectral_transform,
+    stencil,
+)
+from repro.workloads.hybrid import ClosedLoopWorkflow, SurrogateModel
+from repro.workloads.interchange import (
+    CompiledModel,
+    PortableModel,
+    best_target,
+    compile_for_device,
+    export_model,
+    from_wire,
+    import_model,
+    to_wire,
+)
+from repro.workloads.synthetic import GanPair, build_gan, synthesise_dataset
+from repro.workloads.traces import JobTraceGenerator, TraceConfig
+
+__all__ = [
+    "AIModel",
+    "ClosedLoopWorkflow",
+    "CompiledModel",
+    "DecisionMaker",
+    "GanPair",
+    "PortableModel",
+    "build_gan",
+    "synthesise_dataset",
+    "TieredControlPolicy",
+    "edge_ai",
+    "human_operator",
+    "remote_ai",
+    "science_yield",
+    "best_target",
+    "compile_for_device",
+    "export_model",
+    "from_wire",
+    "import_model",
+    "to_wire",
+    "DetectorPreset",
+    "InstrumentStream",
+    "Job",
+    "JobClass",
+    "JobTraceGenerator",
+    "LayerShape",
+    "Phase",
+    "PhaseKind",
+    "SurrogateModel",
+    "Task",
+    "TraceConfig",
+    "build_cnn",
+    "build_mlp",
+    "build_transformer",
+    "dense_linear_algebra",
+    "nbody",
+    "sparse_solver",
+    "spectral_transform",
+    "stencil",
+]

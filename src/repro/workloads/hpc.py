@@ -1,0 +1,210 @@
+"""Classical HPC kernel generators.
+
+Each generator builds a :class:`~repro.workloads.base.Job` whose FLOP,
+byte and communication structure follows the standard analytical model of
+the kernel family. The families span the arithmetic-intensity spectrum:
+
+===================  ==========================  =======================
+kernel               arithmetic intensity        synchronisation
+===================  ==========================  =======================
+stencil              low (memory bound)          every timestep (halo)
+spectral (FFT)       low-medium                  all-to-all per step
+sparse solver        very low                    every iteration (dot)
+n-body (direct)      high (compute bound)        once per step
+dense linear algebra high (BLAS-3)               coarse
+===================  ==========================  =======================
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import ConfigurationError
+from repro.hardware.device import KernelProfile
+from repro.hardware.precision import Precision
+from repro.workloads.base import Job, JobClass, Phase, PhaseKind, Task
+
+
+def stencil(
+    grid_points: int,
+    timesteps: int = 100,
+    ranks: int = 1,
+    stencil_points: int = 7,
+    precision: Precision = Precision.FP64,
+    name: str = "stencil",
+) -> Job:
+    """A 3-D finite-difference stencil sweep (e.g. heat equation).
+
+    Per point per step: ``stencil_points`` multiply-adds; two grids
+    streamed. Halo exchange scales with the per-rank surface area; a barrier
+    closes every step — the canonical noise-sensitive BSP pattern.
+    """
+    if grid_points <= 0 or timesteps <= 0 or ranks <= 0:
+        raise ConfigurationError("grid_points, timesteps, ranks must be positive")
+    points_per_rank = grid_points / ranks
+    flops = points_per_rank * 2 * stencil_points
+    bytes_moved = points_per_rank * 2 * precision.bytes
+    side = points_per_rank ** (1.0 / 3.0)
+    halo_bytes = 6.0 * side * side * precision.bytes  # six faces
+    kernel = KernelProfile(flops=flops, bytes_moved=bytes_moved, precision=precision)
+    task = Task(
+        name=f"{name}-sweep",
+        ranks=ranks,
+        phases=[
+            Phase(kind=PhaseKind.COMPUTE, kernel=kernel),
+            Phase(kind=PhaseKind.COMMUNICATION, comm_bytes=max(halo_bytes, 1.0), sync=True),
+        ],
+    )
+    return Job(
+        name=name,
+        job_class=JobClass.SIMULATION,
+        tasks=[task],
+        iterations=timesteps,
+        precision=precision,
+    )
+
+
+def spectral_transform(
+    grid_points: int,
+    timesteps: int = 50,
+    ranks: int = 1,
+    precision: Precision = Precision.FP64,
+    name: str = "spectral",
+) -> Job:
+    """A 3-D FFT-based spectral solver step.
+
+    FLOPs per step: ``5 N log2 N`` (complex FFT); the distributed transpose
+    is an all-to-all moving the full per-rank grid, synchronising all ranks.
+    """
+    if grid_points <= 1 or timesteps <= 0 or ranks <= 0:
+        raise ConfigurationError("grid_points must be > 1; timesteps, ranks positive")
+    points_per_rank = grid_points / ranks
+    flops = 5.0 * points_per_rank * math.log2(grid_points)
+    complex_bytes = 2 * precision.bytes
+    bytes_moved = points_per_rank * complex_bytes * 2
+    transpose_bytes = points_per_rank * complex_bytes
+    kernel = KernelProfile(flops=flops, bytes_moved=bytes_moved, precision=precision)
+    task = Task(
+        name=f"{name}-step",
+        ranks=ranks,
+        phases=[
+            Phase(kind=PhaseKind.COMPUTE, kernel=kernel),
+            Phase(kind=PhaseKind.COMMUNICATION, comm_bytes=transpose_bytes, sync=True),
+        ],
+    )
+    return Job(
+        name=name,
+        job_class=JobClass.SIMULATION,
+        tasks=[task],
+        iterations=timesteps,
+        precision=precision,
+    )
+
+
+def nbody(
+    bodies: int,
+    timesteps: int = 10,
+    ranks: int = 1,
+    precision: Precision = Precision.FP64,
+    name: str = "nbody",
+) -> Job:
+    """Direct-summation N-body dynamics (O(N^2) interactions per step).
+
+    ~20 FLOPs per pairwise interaction; positions broadcast once per step.
+    Very high arithmetic intensity — the compute-bound end of the spectrum.
+    """
+    if bodies <= 1 or timesteps <= 0 or ranks <= 0:
+        raise ConfigurationError("bodies must be > 1; timesteps, ranks positive")
+    interactions_per_rank = bodies * (bodies - 1) / ranks
+    flops = 20.0 * interactions_per_rank
+    bytes_moved = bodies * 4 * precision.bytes  # positions + masses, read once
+    broadcast_bytes = bodies * 3 * precision.bytes
+    kernel = KernelProfile(flops=flops, bytes_moved=bytes_moved, precision=precision)
+    task = Task(
+        name=f"{name}-step",
+        ranks=ranks,
+        phases=[
+            Phase(kind=PhaseKind.COMPUTE, kernel=kernel),
+            Phase(kind=PhaseKind.COMMUNICATION, comm_bytes=broadcast_bytes, sync=True),
+        ],
+    )
+    return Job(
+        name=name,
+        job_class=JobClass.SIMULATION,
+        tasks=[task],
+        iterations=timesteps,
+        precision=precision,
+    )
+
+
+def sparse_solver(
+    unknowns: int,
+    nonzeros_per_row: int = 27,
+    iterations: int = 500,
+    ranks: int = 1,
+    precision: Precision = Precision.FP64,
+    name: str = "sparse-cg",
+) -> Job:
+    """A conjugate-gradient sparse solve: SpMV plus dot products per iteration.
+
+    SpMV moves the matrix every iteration (intensity < 0.25 FLOP/byte) and
+    the dot-product reductions synchronise every iteration — the most
+    noise-sensitive and bandwidth-bound family here.
+    """
+    if unknowns <= 0 or nonzeros_per_row <= 0 or iterations <= 0 or ranks <= 0:
+        raise ConfigurationError("all sparse-solver parameters must be positive")
+    rows_per_rank = unknowns / ranks
+    nnz_per_rank = rows_per_rank * nonzeros_per_row
+    flops = 2.0 * nnz_per_rank + 10.0 * rows_per_rank  # SpMV + vector ops
+    index_bytes = 4.0
+    bytes_moved = nnz_per_rank * (precision.bytes + index_bytes) + rows_per_rank * 6 * precision.bytes
+    reduction_bytes = 3 * precision.bytes * math.ceil(math.log2(max(ranks, 2)))
+    kernel = KernelProfile(flops=flops, bytes_moved=bytes_moved, precision=precision)
+    task = Task(
+        name=f"{name}-iteration",
+        ranks=ranks,
+        phases=[
+            Phase(kind=PhaseKind.COMPUTE, kernel=kernel),
+            Phase(kind=PhaseKind.COMMUNICATION, comm_bytes=max(reduction_bytes, 1.0), sync=True),
+        ],
+    )
+    return Job(
+        name=name,
+        job_class=JobClass.SIMULATION,
+        tasks=[task],
+        iterations=iterations,
+        precision=precision,
+    )
+
+
+def dense_linear_algebra(
+    matrix_dim: int,
+    ranks: int = 1,
+    precision: Precision = Precision.FP64,
+    name: str = "dgemm",
+) -> Job:
+    """A blocked dense matrix multiply / factorisation (BLAS-3, HPL-like).
+
+    ``2 N^3`` FLOPs over ``3 N^2`` words: arithmetic intensity grows with N,
+    so large problems are compute bound everywhere. Communication is a
+    coarse block redistribution, barely synchronising.
+    """
+    if matrix_dim <= 0 or ranks <= 0:
+        raise ConfigurationError("matrix_dim and ranks must be positive")
+    flops = 2.0 * matrix_dim**3 / ranks
+    bytes_moved = 3.0 * matrix_dim**2 * precision.bytes / ranks
+    block_bytes = matrix_dim**2 * precision.bytes / max(ranks, 1)
+    kernel = KernelProfile(flops=flops, bytes_moved=bytes_moved, precision=precision)
+    phases = [Phase(kind=PhaseKind.COMPUTE, kernel=kernel)]
+    if ranks > 1:
+        phases.append(
+            Phase(kind=PhaseKind.COMMUNICATION, comm_bytes=block_bytes, sync=False)
+        )
+    task = Task(name=f"{name}-block", ranks=ranks, phases=phases)
+    return Job(
+        name=name,
+        job_class=JobClass.SIMULATION,
+        tasks=[task],
+        iterations=1,
+        precision=precision,
+    )

@@ -1,0 +1,40 @@
+"""Tests for metric summaries."""
+
+import pytest
+
+from repro.analysis.metrics import Percentiles, SeriesStats, summarize
+
+
+class TestPercentiles:
+    def test_of_constant_series(self):
+        percentiles = Percentiles.of([5.0] * 10)
+        assert percentiles.p50 == percentiles.p99 == 5.0
+
+    def test_ordering(self):
+        percentiles = Percentiles.of(list(range(1000)))
+        assert percentiles.p50 <= percentiles.p90 <= percentiles.p99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Percentiles.of([])
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_cv(self):
+        stats = summarize([10.0, 10.0, 10.0])
+        assert stats.cv == 0.0
+
+    def test_cv_zero_mean(self):
+        stats = summarize([-1.0, 1.0])
+        assert stats.cv == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,144 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SimulationError
+from repro.core.events import Simulation
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulation().now == 0.0
+
+    def test_event_fires_at_scheduled_time(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule_at(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulation().schedule(-1.0, lambda: None)
+
+    def test_schedule_into_past_raises(self):
+        sim = Simulation()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulation()
+        order = []
+        sim.schedule(3.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(2.0, lambda: order.append("middle"))
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_equal_times_fire_fifo(self):
+        sim = Simulation()
+        order = []
+        for label in ("first", "second", "third"):
+            sim.schedule(1.0, lambda l=label: order.append(l))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_nested_scheduling(self):
+        sim = Simulation()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(2.0, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulation()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulation()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.cancel(event)  # must not raise
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulation()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(event)
+        assert sim.pending == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_horizon(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(100.0, lambda: None)
+        final = sim.run(until=10.0)
+        assert final == 10.0
+        assert sim.pending == 1
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulation()
+        assert sim.run(until=42.0) == 42.0
+
+    def test_max_events_limits_firing(self):
+        sim = Simulation()
+        fired = []
+        for index in range(5):
+            sim.schedule(float(index + 1), lambda i=index: fired.append(i))
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulation().step() is False
+
+    def test_processed_counts_events(self):
+        sim = Simulation()
+        for index in range(3):
+            sim.schedule(float(index), lambda: None)
+        sim.run()
+        assert sim.processed == 3
+
+
+class TestPropertyBased:
+    @given(delays=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_fires_in_nondecreasing_time_order(self, delays):
+        sim = Simulation()
+        times = []
+        for delay in delays:
+            sim.schedule(delay, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+    @given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_clock_ends_at_latest_event(self, delays):
+        sim = Simulation()
+        for delay in delays:
+            sim.schedule(delay, lambda: None)
+        final = sim.run()
+        assert final == pytest.approx(max(delays))

@@ -1,0 +1,71 @@
+"""Tests for SLAs and QoS tracking."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.federation.sla import (
+    QoSClass,
+    ServiceLevelAgreement,
+    SlaTracker,
+)
+
+
+class TestQoSClass:
+    def test_weights_ordered(self):
+        assert (
+            QoSClass.BEST_EFFORT.weight
+            < QoSClass.STANDARD.weight
+            < QoSClass.PREMIUM.weight
+            < QoSClass.REAL_TIME.weight
+        )
+
+    def test_price_scales_with_class(self):
+        assert QoSClass.REAL_TIME.price_multiplier > QoSClass.BEST_EFFORT.price_multiplier
+
+
+class TestServiceLevelAgreement:
+    def test_rejects_bad_deadline(self):
+        with pytest.raises(ConfigurationError):
+            ServiceLevelAgreement(deadline=0.0)
+
+    def test_no_constraints_always_met(self):
+        sla = ServiceLevelAgreement()
+        assert sla.is_met(queue_wait=1e9, completion_time=1e9)
+
+    def test_deadline_violation(self):
+        sla = ServiceLevelAgreement(deadline=100.0)
+        assert sla.is_met(0.0, 99.0)
+        assert not sla.is_met(0.0, 101.0)
+
+    def test_queue_wait_violation(self):
+        sla = ServiceLevelAgreement(max_queue_wait=10.0)
+        assert not sla.is_met(11.0, 12.0)
+
+
+class TestSlaTracker:
+    def test_attainment_empty_is_one(self):
+        assert SlaTracker().attainment() == 1.0
+
+    def test_attainment_fraction(self):
+        tracker = SlaTracker()
+        sla = ServiceLevelAgreement(deadline=100.0, violation_penalty=50.0)
+        tracker.record("j1", "provider-a", sla, 0.0, 50.0)   # met
+        tracker.record("j2", "provider-a", sla, 0.0, 150.0)  # violated
+        assert tracker.attainment() == 0.5
+        assert tracker.total_penalties() == 50.0
+
+    def test_by_provider(self):
+        tracker = SlaTracker()
+        sla = ServiceLevelAgreement(deadline=100.0)
+        tracker.record("j1", "good", sla, 0.0, 50.0)
+        tracker.record("j2", "bad", sla, 0.0, 500.0)
+        attainment = tracker.by_provider()
+        assert attainment == {"bad": 0.0, "good": 1.0}
+
+    def test_provider_filter(self):
+        tracker = SlaTracker()
+        sla = ServiceLevelAgreement(deadline=100.0)
+        tracker.record("j1", "a", sla, 0.0, 50.0)
+        tracker.record("j2", "b", sla, 0.0, 500.0)
+        assert tracker.attainment("a") == 1.0
+        assert tracker.attainment("b") == 0.0

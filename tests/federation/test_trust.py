@@ -1,0 +1,111 @@
+"""Tests for the cross-institutional trust registry (§III.G)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.federation.trust import (
+    FederatedAction,
+    FederationAgreement,
+    Organisation,
+    TrustRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    registry = TrustRegistry()
+    registry.register(Organisation("alice-lab", domain="university-a"))
+    registry.register(Organisation("bob-group", domain="national-lab"))
+    registry.register(Organisation("vendor-x", domain="industry"))
+    return registry
+
+
+class TestRegistration:
+    def test_duplicate_org_rejected(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.register(Organisation("alice-lab", domain="university-a"))
+
+    def test_unknown_org_lookup(self, registry):
+        with pytest.raises(KeyError):
+            registry.organisation("ghost")
+
+    def test_domains_tracked(self, registry):
+        assert registry.domains == ["industry", "national-lab", "university-a"]
+
+    def test_agreement_requires_known_domains(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.agree(FederationAgreement(
+                from_domain="university-a", to_domain="mars",
+                actions=frozenset({FederatedAction.SUBMIT_JOBS}),
+            ))
+
+    def test_agreement_needs_actions(self):
+        with pytest.raises(ConfigurationError):
+            FederationAgreement(
+                from_domain="a", to_domain="b", actions=frozenset(),
+            )
+
+
+class TestAuthorisation:
+    def test_own_domain_always_authorised(self, registry):
+        assert registry.is_authorised(
+            "alice-lab", "university-a", FederatedAction.SUBMIT_JOBS
+        )
+
+    def test_cross_domain_denied_by_default(self, registry):
+        """Zero trust: no agreement, no access."""
+        assert not registry.is_authorised(
+            "alice-lab", "national-lab", FederatedAction.SUBMIT_JOBS
+        )
+
+    def test_agreement_grants_named_actions_only(self, registry):
+        registry.agree(FederationAgreement(
+            from_domain="university-a", to_domain="national-lab",
+            actions=frozenset({FederatedAction.SUBMIT_JOBS}),
+        ))
+        assert registry.is_authorised(
+            "alice-lab", "national-lab", FederatedAction.SUBMIT_JOBS
+        )
+        assert not registry.is_authorised(
+            "alice-lab", "national-lab", FederatedAction.READ_INSTITUTIONAL_DATA
+        )
+
+    def test_agreements_are_directed(self, registry):
+        registry.agree(FederationAgreement(
+            from_domain="university-a", to_domain="national-lab",
+            actions=frozenset({FederatedAction.SUBMIT_JOBS}),
+        ))
+        assert not registry.is_authorised(
+            "bob-group", "university-a", FederatedAction.SUBMIT_JOBS
+        )
+
+    def test_expiry_enforced(self, registry):
+        registry.agree(FederationAgreement(
+            from_domain="university-a", to_domain="national-lab",
+            actions=frozenset({FederatedAction.SUBMIT_JOBS}),
+            expires_at=100.0,
+        ))
+        assert registry.is_authorised(
+            "alice-lab", "national-lab", FederatedAction.SUBMIT_JOBS, now=50.0
+        )
+        assert not registry.is_authorised(
+            "alice-lab", "national-lab", FederatedAction.SUBMIT_JOBS, now=150.0
+        )
+
+
+class TestCoverage:
+    def test_authorised_domains_and_fraction(self, registry):
+        """'Selective federation will be a workaround for political
+        road-blocks' (SV): coverage grows agreement by agreement."""
+        action = FederatedAction.SUBMIT_JOBS
+        assert registry.authorised_domains("alice-lab", action) == ["university-a"]
+        assert registry.reachable_fraction("alice-lab", action) == pytest.approx(1 / 3)
+        registry.agree(FederationAgreement(
+            from_domain="university-a", to_domain="national-lab",
+            actions=frozenset({action}),
+        ))
+        registry.agree(FederationAgreement(
+            from_domain="university-a", to_domain="industry",
+            actions=frozenset({action}),
+        ))
+        assert registry.reachable_fraction("alice-lab", action) == pytest.approx(1.0)

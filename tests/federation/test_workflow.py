@@ -1,0 +1,158 @@
+"""Tests for the cross-site workflow engine."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, SchedulingError
+from repro.federation import Dataset, WorkflowEngine, WorkflowStep
+from repro.hardware.precision import Precision
+from repro.workloads.base import JobClass, make_single_kernel_job
+
+
+def step_job(name, flops=1e12, precision=Precision.FP32, ranks=1):
+    return make_single_kernel_job(
+        name=name, job_class=JobClass.ANALYTICS,
+        flops=flops, bytes_moved=flops / 10,
+        precision=precision, ranks=ranks,
+    )
+
+
+@pytest.fixture
+def seeded_federation(small_federation):
+    small_federation.add_dataset(
+        Dataset(name="raw", size_bytes=50e9, replicas={"onprem"})
+    )
+    return small_federation
+
+
+class TestOrdering:
+    def test_program_order_preserved_without_dependencies(self, seeded_federation):
+        engine = WorkflowEngine(seeded_federation)
+        steps = [
+            WorkflowStep("a", step_job("a"), outputs=(("out-a", 1e9),)),
+            WorkflowStep("b", step_job("b"), outputs=(("out-b", 1e9),)),
+        ]
+        result = engine.run(steps)
+        assert [e.step.name for e in result.executions] == ["a", "b"]
+
+    def test_dependency_reorders(self, seeded_federation):
+        engine = WorkflowEngine(seeded_federation)
+        steps = [
+            WorkflowStep("consumer", step_job("c"), inputs=("intermediate",)),
+            WorkflowStep(
+                "producer", step_job("p"), inputs=("raw",),
+                outputs=(("intermediate", 1e9),),
+            ),
+        ]
+        result = engine.run(steps)
+        names = [e.step.name for e in result.executions]
+        assert names.index("producer") < names.index("consumer")
+
+    def test_cycle_rejected(self, seeded_federation):
+        engine = WorkflowEngine(seeded_federation)
+        steps = [
+            WorkflowStep("x", step_job("x"), inputs=("b-out",),
+                         outputs=(("a-out", 1.0),)),
+            WorkflowStep("y", step_job("y"), inputs=("a-out",),
+                         outputs=(("b-out", 1.0),)),
+        ]
+        with pytest.raises(ConfigurationError):
+            engine.run(steps)
+
+    def test_duplicate_producer_rejected(self, seeded_federation):
+        engine = WorkflowEngine(seeded_federation)
+        steps = [
+            WorkflowStep("a", step_job("a"), outputs=(("same", 1.0),)),
+            WorkflowStep("b", step_job("b"), outputs=(("same", 1.0),)),
+        ]
+        with pytest.raises(ConfigurationError):
+            engine.run(steps)
+
+    def test_unknown_input_rejected(self, seeded_federation):
+        engine = WorkflowEngine(seeded_federation)
+        with pytest.raises(ConfigurationError):
+            engine.run([WorkflowStep("a", step_job("a"), inputs=("ghost",))])
+
+
+class TestPlacementAndData:
+    def test_gravity_keeps_chain_at_data_site(self, seeded_federation):
+        """Consecutive steps over a heavy dataset stay where it lives."""
+        engine = WorkflowEngine(seeded_federation)
+        steps = [
+            WorkflowStep(
+                "clean", step_job("clean"), inputs=("raw",),
+                outputs=(("cleaned", 40e9),),
+            ),
+            WorkflowStep(
+                "aggregate", step_job("aggregate"), inputs=("cleaned",),
+                outputs=(("aggregated", 1e9),),
+            ),
+        ]
+        result = engine.run(steps)
+        assert result.execution_of("clean").site_name == "onprem"
+        assert result.execution_of("aggregate").site_name == "onprem"
+        assert result.total_wan_bytes == 0.0
+
+    def test_site_pin_respected(self, seeded_federation):
+        engine = WorkflowEngine(seeded_federation)
+        steps = [
+            WorkflowStep(
+                "pinned", step_job("pinned"), inputs=("raw",),
+                outputs=(("product", 1e9),), site_pin="super",
+            ),
+        ]
+        result = engine.run(steps)
+        assert result.execution_of("pinned").site_name == "super"
+        assert result.total_wan_bytes == pytest.approx(50e9)
+
+    def test_outputs_registered_with_replicas(self, seeded_federation):
+        engine = WorkflowEngine(seeded_federation)
+        engine.run([
+            WorkflowStep("a", step_job("a"), inputs=("raw",),
+                         outputs=(("product", 2e9),)),
+        ])
+        product = seeded_federation.catalog.get("product")
+        assert product.size_bytes == 2e9
+        assert product.replicas == {"onprem"}
+
+    def test_infeasible_step_raises(self, seeded_federation):
+        engine = WorkflowEngine(seeded_federation)
+        impossible = step_job("wide", ranks=10_000)
+        with pytest.raises(SchedulingError):
+            engine.run([WorkflowStep("wide", impossible)])
+
+
+class TestProvenanceAndMetrics:
+    def test_lineage_records_chain(self, seeded_federation):
+        engine = WorkflowEngine(seeded_federation)
+        result = engine.run([
+            WorkflowStep("clean", step_job("clean"), inputs=("raw",),
+                         outputs=(("cleaned", 1e9),)),
+            WorkflowStep("train", step_job("train"), inputs=("cleaned",),
+                         outputs=(("model", 1e8),)),
+        ])
+        assert result.lineage.sources_of("model") == {"raw"}
+        path = result.lineage.derivation_path("raw", "model")
+        assert [t.name for t in path] == ["clean", "train"]
+
+    def test_makespan_respects_dependencies(self, seeded_federation):
+        engine = WorkflowEngine(seeded_federation)
+        result = engine.run([
+            WorkflowStep("a", step_job("a", flops=1e13), inputs=("raw",),
+                         outputs=(("mid", 1e9),)),
+            WorkflowStep("b", step_job("b", flops=1e13), inputs=("mid",),
+                         outputs=(("end", 1e9),)),
+        ])
+        a = result.execution_of("a")
+        b = result.execution_of("b")
+        assert b.start >= a.finish
+        assert result.makespan == pytest.approx(b.finish)
+
+    def test_sites_used(self, seeded_federation):
+        engine = WorkflowEngine(seeded_federation)
+        result = engine.run([
+            WorkflowStep("edgey", step_job("edgey"), inputs=("raw",),
+                         outputs=(("x", 1e9),)),
+            WorkflowStep("core", step_job("core"), site_pin="super",
+                         inputs=("x",), outputs=(("y", 1e9),)),
+        ])
+        assert result.sites_used == ["onprem", "super"]

@@ -1,0 +1,156 @@
+"""Tests for the flow-level fabric simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.interconnect.congestion import (
+    FlowBasedCongestionControl,
+    NoCongestionControl,
+)
+from repro.interconnect.fabric import FabricSimulator, Flow
+from repro.interconnect.topology import (
+    DEFAULT_LINK_BANDWIDTH,
+    build_dragonfly,
+    build_two_tier,
+)
+
+
+@pytest.fixture
+def topology():
+    return build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+
+
+class TestFlow:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            Flow(source="a", destination="b", size=0.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigurationError):
+            Flow(source="a", destination="b", size=1.0, start_time=-1.0)
+
+    def test_flow_ids_unique(self):
+        a = Flow(source="a", destination="b", size=1.0)
+        b = Flow(source="a", destination="b", size=1.0)
+        assert a.flow_id != b.flow_id
+
+
+class TestSingleFlow:
+    def test_ideal_completion_time(self, topology):
+        terminals = topology.terminals
+        sim = FabricSimulator(topology)
+        size = 1e9
+        [stats] = sim.run([Flow(source=terminals[0], destination=terminals[-1], size=size)])
+        # Alone on the network: line rate plus propagation.
+        expected = size / DEFAULT_LINK_BANDWIDTH + stats.propagation_delay
+        assert stats.completion_time == pytest.approx(expected, rel=1e-6)
+
+    def test_empty_flow_list(self, topology):
+        assert FabricSimulator(topology).run([]) == []
+
+    def test_slowdown_is_one_when_alone(self, topology):
+        terminals = topology.terminals
+        sim = FabricSimulator(topology)
+        [stats] = sim.run([Flow(source=terminals[0], destination=terminals[-1], size=1e9)])
+        assert stats.slowdown(DEFAULT_LINK_BANDWIDTH) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestSharing:
+    def test_two_flows_share_bottleneck(self, topology):
+        """Two flows into the same terminal halve each other's rate."""
+        terminals = topology.terminals
+        sim = FabricSimulator(topology)
+        size = 1e9
+        flows = [
+            Flow(source=terminals[0], destination=terminals[-1], size=size),
+            Flow(source=terminals[1], destination=terminals[-1], size=size),
+        ]
+        stats = sim.run(flows)
+        for s in stats:
+            assert s.completion_time >= 2 * size / DEFAULT_LINK_BANDWIDTH * 0.99
+
+    def test_disjoint_flows_do_not_interact(self, topology):
+        terminals = topology.terminals
+        sim = FabricSimulator(topology)
+        size = 1e9
+        flows = [
+            Flow(source=terminals[0], destination=terminals[1], size=size),
+            Flow(source=terminals[4], destination=terminals[5], size=size),
+        ]
+        stats = sim.run(flows)
+        ideal = size / DEFAULT_LINK_BANDWIDTH
+        for s in stats:
+            assert s.completion_time == pytest.approx(
+                ideal + s.propagation_delay, rel=1e-6
+            )
+
+    def test_staggered_arrivals(self, topology):
+        terminals = topology.terminals
+        sim = FabricSimulator(topology)
+        flows = [
+            Flow(source=terminals[0], destination=terminals[1], size=1e9),
+            Flow(source=terminals[2], destination=terminals[3], size=1e9, start_time=5.0),
+        ]
+        stats = {s.flow_id: s for s in sim.run(flows)}
+        assert stats[flows[1].flow_id].start_time == 5.0
+        assert stats[flows[1].flow_id].finish_time > 5.0
+
+
+class TestConservation:
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1e6, max_value=1e9), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_all_flows_complete_with_all_bytes(self, sizes):
+        topology = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        terminals = topology.terminals
+        sim = FabricSimulator(topology)
+        flows = [
+            Flow(
+                source=terminals[i % 8],
+                destination=terminals[(i + 5) % 8 + 8],
+                size=size,
+            )
+            for i, size in enumerate(sizes)
+        ]
+        stats = sim.run(flows)
+        assert len(stats) == len(flows)
+        assert all(s.finish_time >= s.start_time for s in stats)
+
+    def test_fct_never_beats_line_rate(self, topology):
+        """No flow can finish faster than its size at line rate."""
+        terminals = topology.terminals
+        sim = FabricSimulator(topology, congestion=FlowBasedCongestionControl())
+        flows = [
+            Flow(source=terminals[i], destination=terminals[15 - i], size=1e8)
+            for i in range(6)
+        ]
+        for s in sim.run(flows):
+            assert s.completion_time >= s.size / DEFAULT_LINK_BANDWIDTH
+
+
+class TestRouting:
+    def test_valiant_routing_runs(self, topology):
+        terminals = topology.terminals
+        sim = FabricSimulator(topology, routing="valiant")
+        stats = sim.run([Flow(source=terminals[0], destination=terminals[-1], size=1e8)])
+        assert len(stats) == 1
+
+    def test_unknown_routing_rejected(self, topology):
+        with pytest.raises(ConfigurationError):
+            FabricSimulator(topology, routing="magic")
+
+    def test_adaptive_rerouting_on_dragonfly(self):
+        topology = build_dragonfly(groups=4, routers_per_group=2, terminals_per_router=2)
+        terminals = topology.terminals
+        sim = FabricSimulator(topology, reroute_adaptively=True)
+        flows = [
+            Flow(source=terminals[i], destination=terminals[-1], size=50e6)
+            for i in range(5)
+        ]
+        stats = sim.run(flows)
+        assert len(stats) == 5

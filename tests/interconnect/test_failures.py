@@ -1,0 +1,101 @@
+"""Tests for failure injection and topology resilience."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RandomSource
+from repro.interconnect.failures import (
+    disconnection_threshold,
+    fail_links,
+    fail_switches,
+    path_stretch,
+    terminal_connectivity,
+)
+from repro.interconnect.topology import build_dragonfly, build_hyperx, build_torus
+
+
+@pytest.fixture
+def topology():
+    return build_dragonfly(groups=6, routers_per_group=4, terminals_per_router=2)
+
+
+class TestFailLinks:
+    def test_zero_fraction_changes_nothing(self, topology):
+        fabric = fail_links(topology, 0.0)
+        assert fabric.failed_links == ()
+        assert fabric.graph.number_of_edges() == topology.graph.number_of_edges()
+
+    def test_fraction_removes_expected_count(self, topology):
+        fabric = fail_links(topology, 0.2, rng=RandomSource(seed=1))
+        assert len(fabric.failed_links) == round(0.2 * topology.link_count)
+
+    def test_terminal_links_never_fail(self, topology):
+        fabric = fail_links(topology, 1.0, rng=RandomSource(seed=1))
+        for u, v in fabric.failed_links:
+            assert fabric.graph.nodes.get(u, {}).get("role") != "terminal"
+            assert fabric.graph.nodes.get(v, {}).get("role") != "terminal"
+
+    def test_invalid_fraction_rejected(self, topology):
+        with pytest.raises(ConfigurationError):
+            fail_links(topology, 1.5)
+
+    def test_deterministic_for_seed(self, topology):
+        a = fail_links(topology, 0.3, rng=RandomSource(seed=5))
+        b = fail_links(topology, 0.3, rng=RandomSource(seed=5))
+        assert a.failed_links == b.failed_links
+
+
+class TestFailSwitches:
+    def test_switch_and_terminals_removed(self, topology):
+        fabric = fail_switches(topology, 2, rng=RandomSource(seed=2))
+        assert len(fabric.failed_switches) == 2
+        assert fabric.topology.switch_count == topology.switch_count - 2
+        assert fabric.topology.terminal_count < topology.terminal_count
+
+    def test_cannot_fail_everything(self, topology):
+        with pytest.raises(ConfigurationError):
+            fail_switches(topology, topology.switch_count)
+
+
+class TestConnectivity:
+    def test_intact_fabric_fully_connected(self, topology):
+        fabric = fail_links(topology, 0.0)
+        assert terminal_connectivity(fabric) == 1.0
+
+    def test_connectivity_degrades_with_failures(self, topology):
+        rng = RandomSource(seed=3)
+        light = terminal_connectivity(fail_links(topology, 0.1, rng=rng.fork("a")))
+        heavy = terminal_connectivity(fail_links(topology, 0.8, rng=rng.fork("b")))
+        assert heavy <= light
+
+    def test_path_stretch_at_least_one(self, topology):
+        fabric = fail_links(topology, 0.2, rng=RandomSource(seed=4))
+        stretch = path_stretch(topology, fabric)
+        assert stretch >= 1.0
+
+    def test_no_failures_no_stretch(self, topology):
+        fabric = fail_links(topology, 0.0)
+        assert path_stretch(topology, fabric) == pytest.approx(1.0)
+
+
+class TestResilienceComparison:
+    def test_rich_topologies_survive_moderate_failures(self):
+        """Low-diameter families carry enough path diversity to absorb 10%
+        link loss with minor stretch."""
+        for topology in (
+            build_dragonfly(groups=6, routers_per_group=4, terminals_per_router=2),
+            build_hyperx(dims=(4, 4), terminals_per_switch=2),
+        ):
+            fabric = fail_links(topology, 0.1, rng=RandomSource(seed=6))
+            assert terminal_connectivity(fabric) > 0.9
+            assert path_stretch(topology, fabric) < 1.6
+
+    def test_disconnection_threshold_orders_families(self):
+        """The ring-like torus disconnects earlier than the dense HyperX."""
+        hyperx = build_hyperx(dims=(4, 4), terminals_per_switch=1)
+        torus = build_torus(dims=(4, 4), terminals_per_switch=1)
+        assert disconnection_threshold(hyperx) >= disconnection_threshold(torus)
+
+    def test_threshold_validation(self, topology):
+        with pytest.raises(ConfigurationError):
+            disconnection_threshold(topology, target_connectivity=0.0)

@@ -1,0 +1,154 @@
+"""Tests for market agent strategies."""
+
+import pytest
+
+from repro.core.errors import MarketError
+from repro.core.rng import RandomSource
+from repro.market.agents import (
+    BrokerAgent,
+    ConsumerAgent,
+    MarketView,
+    ProviderAgent,
+    SpeculatorAgent,
+)
+from repro.market.orders import Side
+
+
+def view(round_index=0, best_bid=None, best_ask=None, last=None, history=()):
+    return MarketView(
+        resource="gpu-hour",
+        round_index=round_index,
+        best_bid=best_bid,
+        best_ask=best_ask,
+        last_price=last,
+        price_history=list(history),
+    )
+
+
+@pytest.fixture
+def rng():
+    return RandomSource(seed=55)
+
+
+class TestProvider:
+    def test_never_asks_below_cost(self, rng):
+        provider = ProviderAgent("p", marginal_cost=1.0, capacity_per_round=10)
+        for round_index in range(50):
+            orders = provider.quote(view(round_index=round_index), rng)
+            assert all(o.price >= 1.0 for o in orders)
+            assert all(o.side is Side.ASK for o in orders)
+
+    def test_unsold_rounds_concede_toward_cost(self, rng):
+        provider = ProviderAgent(
+            "p", marginal_cost=1.0, capacity_per_round=10, markup=0.5
+        )
+        first = provider.quote(view(round_index=0), rng)[0].price
+        # Never trades; by round 30 the ask must be close to cost.
+        last = None
+        for round_index in range(1, 30):
+            last = provider.quote(view(round_index=round_index), rng)[0].price
+        assert last < first
+        assert last == pytest.approx(1.0, rel=0.05)
+
+    def test_sold_out_rounds_raise_ask(self, rng):
+        provider = ProviderAgent("p", marginal_cost=1.0, capacity_per_round=10, greed=0.1)
+        before = provider.quote(view(round_index=0), rng)[0].price
+        provider.on_sell(10.0, 1.5)  # full fill
+        after = provider.quote(view(round_index=1), rng)[0].price
+        assert after > before * 0.99  # does not concede after selling out
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(MarketError):
+            ProviderAgent("p", marginal_cost=0.0, capacity_per_round=10)
+        with pytest.raises(MarketError):
+            ProviderAgent("p", marginal_cost=1.0, capacity_per_round=10, concession=1.0)
+
+
+class TestConsumer:
+    def test_never_bids_above_valuation(self, rng):
+        consumer = ConsumerAgent("c", valuation=2.0, demand_per_round=5)
+        for round_index in range(50):
+            orders = consumer.quote(view(round_index=round_index), rng)
+            assert all(o.price <= 2.0 for o in orders)
+            assert all(o.side is Side.BID for o in orders)
+
+    def test_unfilled_rounds_concede_toward_valuation(self, rng):
+        consumer = ConsumerAgent("c", valuation=2.0, demand_per_round=5)
+        first = consumer.quote(view(round_index=0), rng)[0].price
+        last = None
+        for round_index in range(1, 30):
+            last = consumer.quote(view(round_index=round_index), rng)[0].price
+        assert last > first
+        assert last == pytest.approx(2.0, rel=0.05)
+
+    def test_filled_rounds_probe_down(self, rng):
+        consumer = ConsumerAgent("c", valuation=2.0, demand_per_round=5, thrift=0.1)
+        before = consumer.quote(view(round_index=0), rng)[0].price
+        consumer.on_buy(5.0, 1.0)  # full fill
+        after = consumer.quote(view(round_index=1), rng)[0].price
+        assert after < before * 1.05
+
+
+class TestBroker:
+    def test_no_reference_no_quotes(self, rng):
+        broker = BrokerAgent("b")
+        assert broker.quote(view(), rng) == []
+
+    def test_quotes_both_sides_around_reference(self, rng):
+        broker = BrokerAgent("b", half_spread=0.05)
+        orders = broker.quote(view(best_bid=0.9, best_ask=1.1), rng)
+        sides = {o.side for o in orders}
+        assert sides == {Side.BID, Side.ASK}
+        bid_order = next(o for o in orders if o.side is Side.BID)
+        ask_order = next(o for o in orders if o.side is Side.ASK)
+        assert bid_order.price < 1.0 < ask_order.price
+
+    def test_long_inventory_skews_quotes_down(self, rng):
+        neutral = BrokerAgent("b1", half_spread=0.05)
+        long_broker = BrokerAgent("b2", half_spread=0.05, max_inventory=100)
+        long_broker.inventory = 100.0
+        market = view(best_bid=0.9, best_ask=1.1)
+        neutral_ask = next(
+            o for o in neutral.quote(market, rng) if o.side is Side.ASK
+        )
+        long_ask = next(
+            o for o in long_broker.quote(market, rng) if o.side is Side.ASK
+        )
+        assert long_ask.price < neutral_ask.price
+
+
+class TestSpeculator:
+    def test_no_history_no_trades(self, rng):
+        speculator = SpeculatorAgent("s", window=5)
+        assert speculator.quote(view(history=[1.0, 1.1]), rng) == []
+
+    def test_buys_momentum(self, rng):
+        speculator = SpeculatorAgent("s", window=3)
+        rising = view(best_bid=1.1, best_ask=1.3, history=[1.0, 1.1, 1.2])
+        orders = speculator.quote(rising, rng)
+        assert len(orders) == 1
+        assert orders[0].side is Side.BID
+
+    def test_sells_falling(self, rng):
+        speculator = SpeculatorAgent("s", window=3)
+        falling = view(best_bid=0.8, best_ask=1.0, history=[1.2, 1.1, 1.0])
+        orders = speculator.quote(falling, rng)
+        assert orders[0].side is Side.ASK
+
+    def test_position_limits(self, rng):
+        speculator = SpeculatorAgent("s", window=3, max_position=10)
+        speculator.inventory = 10.0
+        rising = view(best_bid=1.1, best_ask=1.3, history=[1.0, 1.1, 1.2])
+        assert speculator.quote(rising, rng) == []
+
+
+class TestAccounting:
+    def test_buy_sell_cycle(self):
+        consumer = ConsumerAgent("c", valuation=2.0, demand_per_round=5)
+        cash_before = consumer.cash
+        consumer.on_buy(5.0, 1.0)
+        assert consumer.cash == cash_before - 5.0
+        assert consumer.inventory == 5.0
+        consumer.on_sell(5.0, 1.2)
+        assert consumer.cash == pytest.approx(cash_before + 1.0)
+        assert consumer.inventory == 0.0

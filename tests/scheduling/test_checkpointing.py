@@ -1,0 +1,130 @@
+"""Tests for checkpoint/restart resilience (C16)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.scheduling.checkpointing import (
+    CheckpointedExecution,
+    CheckpointTarget,
+    FailureModel,
+    fabric_pm_target,
+    local_ssd_target,
+    parallel_filesystem_target,
+    young_daly_interval,
+)
+
+YEAR = 365.25 * 86_400
+
+
+class TestFailureModel:
+    def test_system_mtbf_shrinks_with_nodes(self):
+        node = FailureModel(node_mtbf=5 * YEAR, nodes=1)
+        system = FailureModel(node_mtbf=5 * YEAR, nodes=10_000)
+        assert system.system_mtbf == pytest.approx(node.system_mtbf / 10_000)
+
+    def test_exascale_mtbf_is_hours(self):
+        """The resilience premise: 10k nodes at 5-year MTBF fail every
+        few hours."""
+        system = FailureModel(node_mtbf=5 * YEAR, nodes=10_000)
+        assert 1 * 3600 < system.system_mtbf < 24 * 3600
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            FailureModel(node_mtbf=0.0, nodes=10)
+        with pytest.raises(ConfigurationError):
+            FailureModel(node_mtbf=1.0, nodes=0)
+
+
+class TestCheckpointTarget:
+    def test_checkpoint_time(self):
+        target = CheckpointTarget("x", bandwidth=1e9, latency=5.0)
+        assert target.checkpoint_time(10e9) == pytest.approx(15.0)
+
+    def test_presets_ordering(self):
+        """Fabric PM streams checkpoints far faster than the PFS."""
+        data = 64e9
+        assert fabric_pm_target().checkpoint_time(data) < local_ssd_target().checkpoint_time(data)
+        assert local_ssd_target().checkpoint_time(data) < parallel_filesystem_target().checkpoint_time(data)
+
+    def test_local_ssd_does_not_survive(self):
+        assert not local_ssd_target().survives_node_loss
+        assert fabric_pm_target().survives_node_loss
+
+
+class TestYoungDaly:
+    def test_formula(self):
+        assert young_daly_interval(10_000.0, 50.0) == pytest.approx(
+            math.sqrt(2 * 10_000.0 * 50.0)
+        )
+
+    def test_zero_cost_means_never_checkpoint(self):
+        assert young_daly_interval(1e4, 0.0) == float("inf")
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            young_daly_interval(0.0, 1.0)
+
+    @given(
+        mtbf=st.floats(min_value=100.0, max_value=1e7),
+        cost=st.floats(min_value=0.1, max_value=1e3),
+    )
+    @settings(max_examples=40)
+    def test_interval_between_cost_and_mtbf_scales(self, mtbf, cost):
+        interval = young_daly_interval(mtbf, cost)
+        assert interval > 0
+
+
+class TestCheckpointedExecution:
+    def make_execution(self, target, nodes=10_000):
+        return CheckpointedExecution(
+            work_time=24 * 3600.0,
+            checkpoint_bytes_per_node=64e9,
+            failures=FailureModel(node_mtbf=5 * YEAR, nodes=nodes),
+            target=target,
+        )
+
+    def test_expected_time_exceeds_work(self):
+        execution = self.make_execution(parallel_filesystem_target())
+        assert execution.expected_time() > execution.work_time
+
+    def test_efficiency_in_unit_interval(self):
+        execution = self.make_execution(parallel_filesystem_target())
+        assert 0.0 < execution.efficiency() < 1.0
+
+    def test_optimal_interval_beats_extremes(self):
+        """Young/Daly is near the minimum of expected time over intervals."""
+        execution = self.make_execution(parallel_filesystem_target())
+        optimum = execution.expected_time()
+        too_often = execution.expected_time(interval=60.0)
+        too_rare = execution.expected_time(interval=50 * 3600.0)
+        assert optimum < too_often
+        assert optimum < too_rare
+
+    def test_fabric_pm_beats_pfs_efficiency(self):
+        """§III.C: the persistent-memory tier pays off in resilience."""
+        pfs = self.make_execution(parallel_filesystem_target())
+        pm = self.make_execution(fabric_pm_target())
+        assert pm.efficiency() > pfs.efficiency()
+
+    def test_efficiency_degrades_with_scale(self):
+        target = parallel_filesystem_target()
+        small = self.make_execution(target, nodes=1_000)
+        large = self.make_execution(target, nodes=100_000)
+        assert large.efficiency() < small.efficiency()
+
+    def test_local_ssd_pays_restart_penalty(self):
+        ssd = self.make_execution(local_ssd_target())
+        assert ssd.effective_restart_time() == pytest.approx(360.0)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointedExecution(
+                work_time=0.0,
+                checkpoint_bytes_per_node=1.0,
+                failures=FailureModel(node_mtbf=YEAR, nodes=10),
+                target=fabric_pm_target(),
+            )

@@ -1,0 +1,127 @@
+"""Tests for the event-driven cluster simulator."""
+
+import pytest
+
+from repro.core.errors import SchedulingError
+from repro.federation.site import Site, SiteKind
+from repro.scheduling.cluster import ClusterSimulator
+from repro.scheduling.policies import EasyBackfillPolicy, FcfsPolicy, SjfPolicy
+from repro.workloads.base import JobClass, make_single_kernel_job
+
+
+def make_job(name, flops=1e13, ranks=1, arrival=0.0):
+    job = make_single_kernel_job(
+        name=name, job_class=JobClass.ANALYTICS,
+        flops=flops, bytes_moved=flops / 10, ranks=ranks,
+    )
+    job.arrival_time = arrival
+    return job
+
+
+@pytest.fixture
+def cluster(catalog):
+    cpu = catalog.get("epyc-class-cpu")
+    site = Site(name="s", kind=SiteKind.ON_PREMISE, devices={cpu: 4})
+    return ClusterSimulator(site=site, device=cpu)
+
+
+class TestSubmission:
+    def test_oversized_job_rejected(self, cluster):
+        with pytest.raises(SchedulingError):
+            cluster.submit(make_job("wide", ranks=100))
+
+    def test_infeasible_job_rejected(self, catalog):
+        tpu = catalog.get("tpu-like")
+        site = Site(name="s", kind=SiteKind.ON_PREMISE, devices={tpu: 4})
+        cluster = ClusterSimulator(site=site, device=tpu)
+        from repro.workloads.hpc import stencil
+        with pytest.raises(SchedulingError):
+            cluster.submit(stencil(grid_points=1000))  # FP64 on a TPU
+
+    def test_single_job_runs(self, cluster):
+        record = cluster.submit(make_job("solo"))
+        cluster.run()
+        assert record.finish_time is not None
+        assert record.queue_wait == 0.0
+        assert record.completion_time == pytest.approx(record.predicted_runtime)
+
+
+class TestQueueing:
+    def test_fcfs_order(self, cluster):
+        # 4 devices; two 4-rank jobs must serialise.
+        first = cluster.submit(make_job("first", ranks=4, arrival=0.0))
+        second = cluster.submit(make_job("second", ranks=4, arrival=0.0))
+        cluster.run()
+        assert second.start_time >= first.finish_time
+
+    def test_parallel_when_capacity_allows(self, cluster):
+        a = cluster.submit(make_job("a", ranks=2))
+        b = cluster.submit(make_job("b", ranks=2))
+        cluster.run()
+        assert a.start_time == b.start_time == 0.0
+
+    def test_transfer_time_delays_start(self, cluster):
+        record = cluster.submit(make_job("staged"), transfer_time=100.0)
+        cluster.run()
+        assert record.start_time >= 100.0
+
+    def test_arrival_time_respected(self, cluster):
+        record = cluster.submit(make_job("late", arrival=50.0))
+        cluster.run()
+        assert record.start_time >= 50.0
+
+
+class TestBackfilling:
+    def test_backfill_improves_utilisation(self, catalog):
+        """A narrow short job jumps past a blocked wide head."""
+        cpu = catalog.get("epyc-class-cpu")
+
+        def build(policy):
+            site = Site(name="s", kind=SiteKind.ON_PREMISE, devices={cpu: 4})
+            cluster = ClusterSimulator(site=site, device=cpu, policy=policy)
+            cluster.submit(make_job("running", flops=1e15, ranks=3, arrival=0.0))
+            cluster.submit(make_job("wide-head", flops=1e14, ranks=4, arrival=1.0))
+            cluster.submit(make_job("little", flops=1e12, ranks=1, arrival=2.0))
+            records = {r.job.name: r for r in cluster.run()}
+            return records
+
+        fcfs = build(FcfsPolicy())
+        backfill = build(EasyBackfillPolicy())
+        assert backfill["little"].queue_wait < fcfs["little"].queue_wait
+
+    def test_sjf_prefers_short(self, catalog):
+        cpu = catalog.get("epyc-class-cpu")
+        site = Site(name="s", kind=SiteKind.ON_PREMISE, devices={cpu: 1})
+        cluster = ClusterSimulator(site=site, device=cpu, policy=SjfPolicy())
+        cluster.submit(make_job("blocker", flops=1e14, arrival=0.0))
+        long_job = cluster.submit(make_job("long", flops=1e15, arrival=1.0))
+        short_job = cluster.submit(make_job("short", flops=1e12, arrival=1.0))
+        cluster.run()
+        assert short_job.start_time < long_job.start_time
+
+
+class TestMetrics:
+    def test_utilization_bounds(self, cluster):
+        for index in range(6):
+            cluster.submit(make_job(f"j{index}", ranks=2))
+        cluster.run()
+        assert 0.0 < cluster.utilization() <= 1.0
+
+    def test_makespan_is_last_finish(self, cluster):
+        records = [cluster.submit(make_job(f"j{i}", ranks=4)) for i in range(3)]
+        cluster.run()
+        assert cluster.makespan() == max(r.finish_time for r in records)
+
+    def test_estimated_queue_wait_grows_with_backlog(self, cluster):
+        assert cluster.estimated_queue_wait == 0.0
+        for index in range(8):
+            cluster.submit(make_job(f"j{index}", ranks=4))
+        # Before running, everything is queued at t=0... submit schedules
+        # enqueue events; run one step to let them queue.
+        cluster.simulation.run(until=0.0)
+        assert cluster.estimated_queue_wait > 0.0
+
+    def test_empty_cluster_metrics(self, cluster):
+        assert cluster.makespan() == 0.0
+        assert cluster.mean_queue_wait() == 0.0
+        assert cluster.utilization() == 0.0

@@ -1,0 +1,114 @@
+"""Tests for cost-optimised placement (aaS economics)."""
+
+import pytest
+
+from repro.federation import Federation, Site, SiteKind, WanLink
+from repro.scheduling import MetaScheduler, PlacementPolicy
+from repro.workloads.base import JobClass, make_single_kernel_job
+from repro.hardware.precision import Precision
+
+
+@pytest.fixture
+def priced_federation(catalog):
+    """Two sites with explicit price lists: a premium fast site and a
+    budget site."""
+    cpu = catalog.get("epyc-class-cpu")
+    gpu = catalog.get("hpc-gpu")
+    federation = Federation(name="priced")
+    premium = Site(
+        name="premium", kind=SiteKind.CLOUD,
+        devices={cpu: 64, gpu: 64},
+        price_per_device_hour={"epyc-class-cpu": 4.0, "hpc-gpu": 12.0},
+    )
+    budget = Site(
+        name="budget", kind=SiteKind.CLOUD,
+        devices={cpu: 64},
+        price_per_device_hour={"epyc-class-cpu": 0.5},
+    )
+    federation.add_site(premium)
+    federation.add_site(budget)
+    federation.connect(premium, budget, WanLink(bandwidth=1.25e9, latency=0.02))
+    return federation
+
+
+def cheap_job(deadline=None):
+    job = make_single_kernel_job(
+        name="batch", job_class=JobClass.ANALYTICS,
+        flops=1e14, bytes_moved=1e13, precision=Precision.FP32, ranks=4,
+    )
+    job.deadline = deadline
+    return job
+
+
+class TestCostOptimized:
+    def test_best_effort_goes_budget(self, priced_federation):
+        scheduler = MetaScheduler(
+            priced_federation, policy=PlacementPolicy.COST_OPTIMIZED
+        )
+        scheduler.run([cheap_job()])
+        [decision] = scheduler.decisions
+        assert decision.site.name == "budget"
+
+    def test_tight_deadline_forces_premium_silicon(self, priced_federation):
+        """With a deadline the budget CPU cannot meet (~54 s per-rank
+        compute), cost optimisation pays for the premium GPU (~17 s)."""
+        scheduler = MetaScheduler(
+            priced_federation, policy=PlacementPolicy.COST_OPTIMIZED
+        )
+        heavy = make_single_kernel_job(
+            name="urgent", job_class=JobClass.ANALYTICS,
+            flops=2e14, bytes_moved=1e12, precision=Precision.FP32, ranks=4,
+        )
+        heavy.deadline = 30.0
+        scheduler.run([heavy])
+        [decision] = scheduler.decisions
+        assert decision.device.name == "hpc-gpu"
+        assert decision.predicted_completion <= 30.0
+
+    def test_cost_accounting(self, priced_federation):
+        scheduler = MetaScheduler(
+            priced_federation, policy=PlacementPolicy.COST_OPTIMIZED
+        )
+        scheduler.run([cheap_job()])
+        [decision] = scheduler.decisions
+        expected = decision.runtime / 3600.0 * 4 * 0.5  # 4 ranks at $0.5/h
+        assert decision.dollar_cost == pytest.approx(expected)
+        assert scheduler.total_dollar_cost() == pytest.approx(expected)
+
+    def test_energy_policy_minimises_joules(self, priced_federation):
+        energy_scheduler = MetaScheduler(
+            priced_federation, policy=PlacementPolicy.ENERGY_OPTIMIZED
+        )
+        energy_scheduler.run([cheap_job()])
+        fast_scheduler = MetaScheduler(
+            priced_federation, policy=PlacementPolicy.BEST_SILICON
+        )
+        fast_scheduler.run([cheap_job()])
+        assert energy_scheduler.total_energy() <= fast_scheduler.total_energy()
+
+    def test_energy_policy_respects_deadline(self, priced_federation):
+        scheduler = MetaScheduler(
+            priced_federation, policy=PlacementPolicy.ENERGY_OPTIMIZED
+        )
+        heavy = make_single_kernel_job(
+            name="urgent", job_class=JobClass.ANALYTICS,
+            flops=2e14, bytes_moved=1e12, precision=Precision.FP32, ranks=4,
+        )
+        heavy.deadline = 30.0
+        scheduler.run([heavy])
+        [decision] = scheduler.decisions
+        assert decision.predicted_completion <= 30.0
+
+    def test_cost_policy_cheaper_than_best_silicon(self, priced_federation):
+        jobs = [cheap_job() for _ in range(5)]
+        for index, job in enumerate(jobs):
+            job.arrival_time = index * 10.0
+        cost_scheduler = MetaScheduler(
+            priced_federation, policy=PlacementPolicy.COST_OPTIMIZED
+        )
+        cost_scheduler.run([cheap_job() for _ in range(5)])
+        fast_scheduler = MetaScheduler(
+            priced_federation, policy=PlacementPolicy.BEST_SILICON
+        )
+        fast_scheduler.run([cheap_job() for _ in range(5)])
+        assert cost_scheduler.total_dollar_cost() <= fast_scheduler.total_dollar_cost()

@@ -1,0 +1,103 @@
+"""Tests for the noise model — the paper's cloud-interference claim (C7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RandomSource
+from repro.scheduling.noise import (
+    NoiseModel,
+    bsp_slowdown,
+    expected_max_of_normals,
+)
+
+
+class TestExpectedMax:
+    def test_single_rank_no_penalty(self):
+        assert expected_max_of_normals(1, 0.1) == 0.0
+
+    def test_zero_noise_no_penalty(self):
+        assert expected_max_of_normals(1000, 0.0) == 0.0
+
+    def test_two_ranks_exact(self):
+        # E[max of 2 iid N(0,1)] = 1/sqrt(pi).
+        assert expected_max_of_normals(2, 1.0) == pytest.approx(0.5642, rel=0.01)
+
+    def test_grows_with_count(self):
+        values = [expected_max_of_normals(n, 0.1) for n in (2, 10, 100, 10_000)]
+        assert values == sorted(values)
+
+    def test_linear_in_std(self):
+        assert expected_max_of_normals(100, 0.2) == pytest.approx(
+            2 * expected_max_of_normals(100, 0.1)
+        )
+
+    def test_matches_monte_carlo(self):
+        """Closed form within 10% of sampled truth at moderate P."""
+        import numpy as np
+        rng = np.random.default_rng(0)
+        samples = rng.normal(0.0, 0.05, size=(20_000, 256)).max(axis=1)
+        empirical = float(samples.mean())
+        analytic = expected_max_of_normals(256, 0.05)
+        assert analytic == pytest.approx(empirical, rel=0.1)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            expected_max_of_normals(0, 0.1)
+        with pytest.raises(ValueError):
+            expected_max_of_normals(10, -0.1)
+
+
+class TestBspSlowdown:
+    def test_at_least_one(self):
+        assert bsp_slowdown(1, 0.5) == 1.0
+        assert bsp_slowdown(1000, 0.0) == 1.0
+
+    def test_paper_claim_cloud_noise_hurts_at_scale(self):
+        """§II.C: cloud noise (cv ~ 8%) is crippling at scale, while a
+        quiet supercomputer stack (cv ~ 0.3%) stays near 1."""
+        cloud = bsp_slowdown(4096, 0.08)
+        supercomputer = bsp_slowdown(4096, 0.003)
+        assert cloud > 1.25
+        assert supercomputer < 1.02
+
+    def test_slowdown_grows_without_bound(self):
+        assert bsp_slowdown(10**6, 0.08) > bsp_slowdown(10**3, 0.08)
+
+    @given(ranks=st.integers(1, 10**6), cv=st.floats(0.0, 0.5))
+    @settings(max_examples=60)
+    def test_always_at_least_one(self, ranks, cv):
+        assert bsp_slowdown(ranks, cv) >= 1.0
+
+
+class TestNoiseModel:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel(noise_cv=-0.1)
+        with pytest.raises(ConfigurationError):
+            NoiseModel(noise_cv=0.1, heavy_tail_probability=2.0)
+        with pytest.raises(ConfigurationError):
+            NoiseModel(noise_cv=0.1, heavy_tail_magnitude=0.5)
+
+    def test_sampled_superstep_near_expectation(self):
+        model = NoiseModel(noise_cv=0.05)
+        rng = RandomSource(seed=6)
+        samples = [model.sample_superstep(256, 1.0, rng) for _ in range(500)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(model.expected_slowdown(256), rel=0.1)
+
+    def test_heavy_tail_raises_expectation(self):
+        quiet = NoiseModel(noise_cv=0.01)
+        spiky = NoiseModel(
+            noise_cv=0.01, heavy_tail_probability=0.01, heavy_tail_magnitude=5.0
+        )
+        assert spiky.expected_slowdown(100) > quiet.expected_slowdown(100)
+
+    def test_sample_rejects_bad_args(self):
+        model = NoiseModel(noise_cv=0.05)
+        rng = RandomSource(seed=6)
+        with pytest.raises(ValueError):
+            model.sample_superstep(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            model.sample_superstep(4, -1.0, rng)

@@ -1,0 +1,74 @@
+"""Tests for queue policies."""
+
+import pytest
+
+from repro.scheduling.policies import (
+    EasyBackfillPolicy,
+    FcfsPolicy,
+    SjfPolicy,
+)
+
+# Queue entries are (record, predicted_runtime, required_devices).
+ENTRY = object()
+
+
+class TestFcfs:
+    def test_empty_queue(self):
+        assert FcfsPolicy().select([], 10, [], 0.0) is None
+
+    def test_head_fits(self):
+        queue = [(ENTRY, 10.0, 4), (ENTRY, 1.0, 1)]
+        assert FcfsPolicy().select(queue, 4, [], 0.0) == 0
+
+    def test_head_blocked_blocks_everything(self):
+        queue = [(ENTRY, 10.0, 8), (ENTRY, 1.0, 1)]
+        assert FcfsPolicy().select(queue, 4, [], 0.0) is None
+
+
+class TestSjf:
+    def test_picks_shortest_fitting(self):
+        queue = [(ENTRY, 10.0, 2), (ENTRY, 1.0, 2), (ENTRY, 5.0, 2)]
+        assert SjfPolicy().select(queue, 4, [], 0.0) == 1
+
+    def test_skips_oversized(self):
+        queue = [(ENTRY, 1.0, 8), (ENTRY, 5.0, 2)]
+        assert SjfPolicy().select(queue, 4, [], 0.0) == 1
+
+    def test_nothing_fits(self):
+        queue = [(ENTRY, 1.0, 8)]
+        assert SjfPolicy().select(queue, 4, [], 0.0) is None
+
+
+class TestEasyBackfill:
+    def test_head_starts_when_it_fits(self):
+        queue = [(ENTRY, 10.0, 4)]
+        assert EasyBackfillPolicy().select(queue, 4, [], 0.0) == 0
+
+    def test_backfills_short_job_before_shadow(self):
+        # Head needs 8 devices; 4 free; a running job releases 4 at t=100.
+        # A 50-second 4-device job fits before the shadow -> backfill it.
+        queue = [(ENTRY, 1000.0, 8), (ENTRY, 50.0, 4)]
+        running = [(100.0, 4)]
+        assert EasyBackfillPolicy().select(queue, 4, running, 0.0) == 1
+
+    def test_refuses_backfill_that_delays_head(self):
+        # Same setup but the candidate runs 500 s, past the shadow at 100 s,
+        # and would hold devices the head needs.
+        queue = [(ENTRY, 1000.0, 8), (ENTRY, 500.0, 4)]
+        running = [(100.0, 4)]
+        assert EasyBackfillPolicy().select(queue, 4, running, 0.0) is None
+
+    def test_allows_long_backfill_in_spare_devices(self):
+        # Head needs 6; free 4; running releases 4 at t=100 -> shadow start
+        # has 8 available, 2 spare. A long 2-device job cannot delay the head.
+        queue = [(ENTRY, 1000.0, 6), (ENTRY, 5000.0, 2)]
+        running = [(100.0, 4)]
+        assert EasyBackfillPolicy().select(queue, 4, running, 0.0) == 1
+
+    def test_impossible_head_lets_anything_backfill(self):
+        # Head wants more devices than exist; shadow is infinite.
+        queue = [(ENTRY, 10.0, 100), (ENTRY, 99999.0, 4)]
+        assert EasyBackfillPolicy().select(queue, 4, [], 0.0) == 1
+
+    def test_empty_queue(self):
+        assert EasyBackfillPolicy().select([], 4, [], 0.0) is None

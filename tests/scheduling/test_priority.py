@@ -1,0 +1,87 @@
+"""Tests for the QoS-weighted priority queue policy."""
+
+import pytest
+
+from repro.federation.site import Site, SiteKind
+from repro.federation.sla import QoSClass
+from repro.scheduling.cluster import ClusterSimulator
+from repro.scheduling.policies import PriorityPolicy
+from repro.workloads.base import JobClass, make_single_kernel_job
+
+
+def make_job(name, qos=QoSClass.BEST_EFFORT, flops=1e13, arrival=0.0, ranks=1):
+    job = make_single_kernel_job(
+        name=name, job_class=JobClass.ANALYTICS,
+        flops=flops, bytes_moved=flops / 10, ranks=ranks,
+    )
+    job.qos_weight = qos.weight
+    job.arrival_time = arrival
+    return job
+
+
+class TestPolicyUnit:
+    def test_rejects_bad_halflife(self):
+        with pytest.raises(ValueError):
+            PriorityPolicy(ageing_halflife=0.0)
+
+    def test_empty_queue(self):
+        assert PriorityPolicy().select([], 4, [], 0.0) is None
+
+    def test_higher_weight_wins(self):
+        class FakeRecord:
+            def __init__(self, weight, submit=0.0):
+                self.job = type("J", (), {"qos_weight": weight})()
+                self.submit_time = submit
+
+        queue = [
+            (FakeRecord(1.0), 10.0, 1),
+            (FakeRecord(8.0), 10.0, 1),
+            (FakeRecord(2.0), 10.0, 1),
+        ]
+        assert PriorityPolicy().select(queue, 4, [], 0.0) == 1
+
+    def test_ageing_eventually_beats_weight(self):
+        class FakeRecord:
+            def __init__(self, weight, submit):
+                self.job = type("J", (), {"qos_weight": weight})()
+                self.submit_time = submit
+
+        old_cheap = (FakeRecord(1.0, submit=0.0), 10.0, 1)
+        new_premium = (FakeRecord(4.0, submit=99_000.0), 10.0, 1)
+        # At t=100000 the best-effort job has aged ~28 halflives.
+        policy = PriorityPolicy(ageing_halflife=3_600.0)
+        assert policy.select([new_premium, old_cheap], 4, [], 100_000.0) == 1
+
+    def test_oversized_jobs_skipped(self):
+        class FakeRecord:
+            def __init__(self):
+                self.job = type("J", (), {"qos_weight": 10.0})()
+                self.submit_time = 0.0
+
+        queue = [(FakeRecord(), 1.0, 8), (FakeRecord(), 1.0, 2)]
+        assert PriorityPolicy().select(queue, 4, [], 0.0) == 1
+
+
+class TestClusterIntegration:
+    def test_premium_jumps_best_effort_queue(self, catalog):
+        cpu = catalog.get("epyc-class-cpu")
+        site = Site(name="s", kind=SiteKind.ON_PREMISE, devices={cpu: 1})
+        cluster = ClusterSimulator(site=site, device=cpu, policy=PriorityPolicy())
+        blocker = cluster.submit(make_job("blocker", flops=1e14))
+        cheap = cluster.submit(make_job("cheap", qos=QoSClass.BEST_EFFORT, arrival=1.0))
+        premium = cluster.submit(
+            make_job("premium", qos=QoSClass.REAL_TIME, arrival=2.0)
+        )
+        cluster.run()
+        assert premium.start_time < cheap.start_time
+
+    def test_default_weight_behaves_like_fcfs_tiebreak(self, catalog):
+        cpu = catalog.get("epyc-class-cpu")
+        site = Site(name="s", kind=SiteKind.ON_PREMISE, devices={cpu: 1})
+        cluster = ClusterSimulator(site=site, device=cpu, policy=PriorityPolicy())
+        first = cluster.submit(make_job("first", arrival=0.0, flops=1e14))
+        second = cluster.submit(make_job("second", arrival=10.0))
+        third = cluster.submit(make_job("third", arrival=20.0))
+        cluster.run()
+        # Equal weights: older job has aged more, so queue order holds.
+        assert second.start_time < third.start_time

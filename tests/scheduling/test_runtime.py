@@ -1,0 +1,141 @@
+"""Tests for runtime/energy prediction."""
+
+import pytest
+
+from repro.federation.site import Site, SiteKind
+from repro.hardware.precision import Precision
+from repro.scheduling.runtime import (
+    best_device_at_site,
+    estimate_job,
+    resolve_precision,
+)
+from repro.workloads.ai import build_mlp
+from repro.workloads.base import JobClass, make_single_kernel_job
+from repro.workloads.hpc import sparse_solver, stencil
+
+
+class TestResolvePrecision:
+    def test_native_support_wins(self, catalog):
+        gpu = catalog.get("hpc-gpu")
+        job = make_single_kernel_job(
+            name="j", job_class=JobClass.SIMULATION,
+            flops=1e9, bytes_moved=1e9, precision=Precision.FP64,
+        )
+        assert resolve_precision(job, gpu) is Precision.FP64
+
+    def test_simulation_never_degrades(self, catalog):
+        tpu = catalog.get("tpu-like")  # no FP64
+        job = make_single_kernel_job(
+            name="j", job_class=JobClass.SIMULATION,
+            flops=1e9, bytes_moved=1e9, precision=Precision.FP64,
+        )
+        assert resolve_precision(job, tpu) is None
+
+    def test_ml_degrades_down_ladder(self, catalog):
+        tpu = catalog.get("tpu-like")
+        job = build_mlp().training_job(batch=64, steps=1, precision=Precision.FP32)
+        # TPU supports FP32 natively here; force a precision it lacks:
+        job = build_mlp().training_job(batch=64, steps=1, precision=Precision.FP64)
+        resolved = resolve_precision(job, tpu)
+        assert resolved is not None
+        assert resolved.bits < 64
+
+    def test_analog_accepts_degradable_narrow_jobs(self, catalog):
+        dpe = catalog.get("analog-dpe")
+        job = build_mlp().inference_job(requests=100, precision=Precision.INT8)
+        assert resolve_precision(job, dpe) is not None
+
+
+class TestEstimateJob:
+    @pytest.fixture
+    def quiet_site(self, catalog):
+        cpu = catalog.get("epyc-class-cpu")
+        gpu = catalog.get("hpc-gpu")
+        return Site(
+            name="quiet", kind=SiteKind.SUPERCOMPUTER,
+            devices={cpu: 64, gpu: 64},
+        )
+
+    @pytest.fixture
+    def noisy_site(self, catalog):
+        cpu = catalog.get("epyc-class-cpu")
+        gpu = catalog.get("hpc-gpu")
+        return Site(
+            name="noisy", kind=SiteKind.CLOUD,
+            devices={cpu: 64, gpu: 64},
+        )
+
+    def test_feasible_estimate_positive(self, catalog, quiet_site):
+        cpu = catalog.get("epyc-class-cpu")
+        job = stencil(grid_points=10**6, timesteps=10, ranks=4)
+        estimate = estimate_job(job, cpu, quiet_site)
+        assert estimate.feasible
+        assert estimate.time > 0
+        assert estimate.energy > 0
+
+    def test_infeasible_reports_reason(self, catalog, quiet_site):
+        tpu = catalog.get("tpu-like")
+        job = stencil(grid_points=10**6, timesteps=10)
+        estimate = estimate_job(job, tpu, quiet_site)
+        assert not estimate.feasible
+        assert "fp64" in estimate.infeasible_reason.lower() or "support" in estimate.infeasible_reason
+
+    def test_noise_inflates_synchronised_jobs(self, catalog, quiet_site, noisy_site):
+        """§II.C quantified: the same barrier-heavy job runs slower on the
+        noisy cloud."""
+        cpu = catalog.get("epyc-class-cpu")
+        job = sparse_solver(unknowns=10**6, iterations=100, ranks=32)
+        quiet = estimate_job(job, cpu, quiet_site)
+        noisy = estimate_job(job, cpu, noisy_site)
+        assert noisy.time > quiet.time
+
+    def test_noise_irrelevant_for_single_rank(self, catalog, quiet_site, noisy_site):
+        cpu = catalog.get("epyc-class-cpu")
+        job = stencil(grid_points=10**6, timesteps=10, ranks=1)
+        quiet = estimate_job(job, cpu, quiet_site)
+        noisy = estimate_job(job, cpu, noisy_site)
+        assert noisy.time == pytest.approx(quiet.time)
+
+    def test_iterations_scale_time(self, catalog, quiet_site):
+        cpu = catalog.get("epyc-class-cpu")
+        short = estimate_job(stencil(grid_points=10**6, timesteps=10), cpu, quiet_site)
+        long = estimate_job(stencil(grid_points=10**6, timesteps=100), cpu, quiet_site)
+        assert long.time == pytest.approx(10 * short.time, rel=0.01)
+
+    def test_gpu_beats_cpu_on_training(self, catalog, quiet_site):
+        job = build_mlp(hidden_dim=4096).training_job(batch=256, steps=10)
+        cpu_est = estimate_job(job, catalog.get("epyc-class-cpu"), quiet_site)
+        gpu_est = estimate_job(job, catalog.get("hpc-gpu"), quiet_site)
+        assert gpu_est.time < cpu_est.time
+
+
+class TestBestDeviceAtSite:
+    def test_picks_specialised_silicon(self, catalog):
+        site = Site(
+            name="s", kind=SiteKind.SUPERCOMPUTER,
+            devices={
+                catalog.get("epyc-class-cpu"): 16,
+                catalog.get("hpc-gpu"): 16,
+                catalog.get("tpu-like"): 16,
+            },
+        )
+        training = build_mlp(hidden_dim=4096).training_job(batch=256, steps=10)
+        best = best_device_at_site(training, site)
+        assert best is not None
+        assert best.name in ("hpc-gpu", "tpu-like")
+
+    def test_respects_rank_capacity(self, catalog):
+        site = Site(
+            name="s", kind=SiteKind.ON_PREMISE,
+            devices={catalog.get("epyc-class-cpu"): 2},
+        )
+        wide = stencil(grid_points=10**7, ranks=64)
+        assert best_device_at_site(wide, site) is None
+
+    def test_none_when_nothing_feasible(self, catalog):
+        site = Site(
+            name="s", kind=SiteKind.EDGE,
+            devices={catalog.get("edge-npu"): 4},
+        )
+        fp64_sim = stencil(grid_points=10**6, ranks=1)
+        assert best_device_at_site(fp64_sim, site) is None

@@ -1,0 +1,124 @@
+"""Tests for AI model workloads."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.hardware.precision import Precision
+from repro.workloads.ai import (
+    AIModel,
+    LayerShape,
+    build_cnn,
+    build_mlp,
+    build_transformer,
+)
+from repro.workloads.base import JobClass
+
+
+class TestLayerShape:
+    def test_forward_flops(self):
+        layer = LayerShape("l", m=10, k=20, n=30)
+        assert layer.forward_flops() == 2.0 * 10 * 20 * 30
+
+    def test_backward_is_double_forward(self):
+        layer = LayerShape("l", m=10, k=20, n=30)
+        assert layer.backward_flops() == 2 * layer.forward_flops()
+
+    def test_batch_scales_flops(self):
+        layer = LayerShape("l", m=10, k=20, n=30)
+        assert layer.forward_flops(batch=4) == 4 * layer.forward_flops()
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            LayerShape("l", m=0, k=1, n=1)
+
+
+class TestAIModel:
+    def test_parameter_count(self):
+        model = AIModel("m", [LayerShape("a", 1, 10, 20), LayerShape("b", 1, 20, 5)])
+        assert model.parameter_count == 10 * 20 + 20 * 5
+
+    def test_sparsity_reduces_flops(self):
+        layers = [LayerShape("a", 1, 100, 100)]
+        dense = AIModel("d", layers, sparsity=0.0)
+        sparse = AIModel("s", layers, sparsity=0.9)
+        assert sparse.forward_flops() == pytest.approx(0.1 * dense.forward_flops())
+
+    def test_sparsity_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AIModel("m", [LayerShape("a", 1, 2, 2)], sparsity=1.0)
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AIModel("m", [])
+
+    def test_parameter_bytes_by_precision(self):
+        model = AIModel("m", [LayerShape("a", 1, 100, 100)])
+        assert model.parameter_bytes(Precision.FP32) == pytest.approx(
+            2 * model.parameter_bytes(Precision.FP16)
+        )
+
+
+class TestTrainingJob:
+    def test_class_and_sync(self):
+        model = build_mlp()
+        job = model.training_job(batch=256, steps=100, ranks=4)
+        assert job.job_class is JobClass.ML_TRAINING
+        assert job.barrier_count == 100  # one all-reduce per step
+
+    def test_allreduce_bytes_track_parameters(self):
+        model = build_mlp()
+        job = model.training_job(batch=256, steps=1, ranks=2)
+        comm = job.tasks[0].phases[1].comm_bytes
+        assert comm == pytest.approx(2.0 * model.parameter_bytes(Precision.BF16))
+
+    def test_batch_below_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_mlp().training_job(batch=2, steps=1, ranks=4)
+
+
+class TestInferenceJob:
+    def test_class_and_mvm_dimension(self):
+        model = build_mlp(hidden_dim=2048)
+        job = model.inference_job(requests=1000, batch=10)
+        assert job.job_class is JobClass.ML_INFERENCE
+        kernel = job.tasks[0].phases[0].kernel
+        assert kernel.mvm_dimension == 2048
+
+    def test_batching_reduces_iterations(self):
+        model = build_mlp()
+        unbatched = model.inference_job(requests=1000, batch=1)
+        batched = model.inference_job(requests=1000, batch=100)
+        assert batched.iterations == unbatched.iterations // 100
+
+    def test_rejects_nonpositive_requests(self):
+        with pytest.raises(ConfigurationError):
+            build_mlp().inference_job(requests=0)
+
+
+class TestBuilders:
+    def test_mlp_depth(self):
+        model = build_mlp(depth=4)
+        assert len(model.layers) == 5  # in + 3 hidden + out
+
+    def test_cnn_spatial_reduction(self):
+        model = build_cnn(image_size=64, stages=3)
+        # m (spatial positions) must shrink across stages.
+        ms = [l.m for l in model.layers[:-1]]
+        assert ms == sorted(ms, reverse=True)
+
+    def test_transformer_layer_count(self):
+        model = build_transformer(depth=6)
+        assert len(model.layers) == 6 * 4
+
+    def test_transformer_parameter_scale(self):
+        """12 x (3d^2 + d^2 + 4d^2 + 4d^2) = 144 d^2 for d=1024 -> ~150 M."""
+        model = build_transformer(hidden_dim=1024, depth=12)
+        assert model.parameter_count == 12 * 12 * 1024 * 1024
+
+    def test_builders_reject_bad_depth(self):
+        with pytest.raises(ConfigurationError):
+            build_mlp(depth=0)
+        with pytest.raises(ConfigurationError):
+            build_transformer(depth=0)
+        with pytest.raises(ConfigurationError):
+            build_cnn(stages=0)

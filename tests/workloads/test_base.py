@@ -1,0 +1,152 @@
+"""Tests for the workload base classes."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.hardware.device import KernelProfile
+from repro.hardware.precision import Precision
+from repro.workloads.base import (
+    Job,
+    JobClass,
+    Phase,
+    PhaseKind,
+    Task,
+    make_single_kernel_job,
+)
+
+
+def compute_phase(flops=1e9, bytes_moved=1e6):
+    return Phase(
+        kind=PhaseKind.COMPUTE,
+        kernel=KernelProfile(flops=flops, bytes_moved=bytes_moved),
+    )
+
+
+class TestPhase:
+    def test_compute_requires_kernel(self):
+        with pytest.raises(ConfigurationError):
+            Phase(kind=PhaseKind.COMPUTE)
+
+    def test_communication_requires_bytes(self):
+        with pytest.raises(ConfigurationError):
+            Phase(kind=PhaseKind.COMMUNICATION)
+
+    def test_io_requires_bytes(self):
+        with pytest.raises(ConfigurationError):
+            Phase(kind=PhaseKind.IO)
+
+    def test_barrier_needs_nothing(self):
+        phase = Phase(kind=PhaseKind.BARRIER, sync=True)
+        assert phase.sync
+
+
+class TestTask:
+    def test_requires_phases(self):
+        with pytest.raises(ConfigurationError):
+            Task(name="empty", phases=[])
+
+    def test_requires_positive_ranks(self):
+        with pytest.raises(ConfigurationError):
+            Task(name="t", phases=[compute_phase()], ranks=0)
+
+    def test_total_flops_scales_with_ranks(self):
+        task = Task(name="t", phases=[compute_phase(flops=100.0)], ranks=4)
+        assert task.total_flops == 400.0
+
+    def test_barrier_count(self):
+        task = Task(
+            name="t",
+            phases=[
+                compute_phase(),
+                Phase(kind=PhaseKind.COMMUNICATION, comm_bytes=10.0, sync=True),
+                Phase(kind=PhaseKind.BARRIER, sync=True),
+            ],
+        )
+        assert task.barrier_count == 2
+
+
+class TestJob:
+    def make_job(self, iterations=1, ranks=1, sync=False, flops=1e9):
+        phases = [compute_phase(flops=flops)]
+        if sync:
+            phases.append(Phase(kind=PhaseKind.BARRIER, sync=True))
+        task = Task(name="t", phases=phases, ranks=ranks)
+        return Job(
+            name="job",
+            job_class=JobClass.SIMULATION,
+            tasks=[task],
+            iterations=iterations,
+        )
+
+    def test_requires_tasks(self):
+        with pytest.raises(ConfigurationError):
+            Job(name="j", job_class=JobClass.SIMULATION, tasks=[])
+
+    def test_iterations_multiply_work(self):
+        assert self.make_job(iterations=5).total_flops == 5 * self.make_job().total_flops
+
+    def test_job_ids_unique(self):
+        assert self.make_job().job_id != self.make_job().job_id
+
+    def test_ranks_is_max_over_tasks(self):
+        tasks = [
+            Task(name="a", phases=[compute_phase()], ranks=4),
+            Task(name="b", phases=[compute_phase()], ranks=16),
+        ]
+        job = Job(name="j", job_class=JobClass.SIMULATION, tasks=tasks)
+        assert job.ranks == 16
+
+    def test_sync_sensitivity_fine_grained(self):
+        """Frequent barriers + little work per barrier = sensitive."""
+        sensitive = self.make_job(iterations=1000, ranks=8, sync=True, flops=1e6)
+        assert sensitive.is_synchronisation_sensitive
+
+    def test_sync_insensitivity_coarse_grained(self):
+        insensitive = self.make_job(iterations=2, ranks=8, sync=True, flops=1e13)
+        assert not insensitive.is_synchronisation_sensitive
+
+    def test_no_barriers_never_sensitive(self):
+        assert not self.make_job(sync=False).is_synchronisation_sensitive
+
+    def test_arithmetic_intensity(self):
+        job = self.make_job()
+        assert job.arithmetic_intensity() == pytest.approx(1e9 / 1e6)
+
+
+class TestMakeSingleKernelJob:
+    def test_builds_compute_only(self):
+        job = make_single_kernel_job(
+            name="j", job_class=JobClass.ANALYTICS, flops=1e9, bytes_moved=1e9
+        )
+        assert len(job.tasks) == 1
+        assert job.tasks[0].phases[0].kind is PhaseKind.COMPUTE
+
+    def test_adds_comm_phase(self):
+        job = make_single_kernel_job(
+            name="j",
+            job_class=JobClass.SIMULATION,
+            flops=1e9,
+            bytes_moved=1e9,
+            comm_bytes_per_iteration=1e6,
+            sync_every_iteration=True,
+        )
+        kinds = [p.kind for p in job.tasks[0].phases]
+        assert kinds == [PhaseKind.COMPUTE, PhaseKind.COMMUNICATION]
+        assert job.tasks[0].phases[1].sync
+
+    def test_sync_without_comm_adds_barrier(self):
+        job = make_single_kernel_job(
+            name="j",
+            job_class=JobClass.SIMULATION,
+            flops=1e9,
+            bytes_moved=1e9,
+            sync_every_iteration=True,
+        )
+        assert job.tasks[0].phases[-1].kind is PhaseKind.BARRIER
+
+    def test_passes_mvm_dimension(self):
+        job = make_single_kernel_job(
+            name="j", job_class=JobClass.ML_INFERENCE,
+            flops=1e9, bytes_moved=1e6, mvm_dimension=1024,
+        )
+        assert job.tasks[0].phases[0].kernel.mvm_dimension == 1024

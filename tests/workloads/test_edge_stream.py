@@ -1,0 +1,81 @@
+"""Tests for instrumentation edge streams (C6)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RandomSource
+from repro.workloads.edge import DetectorPreset, InstrumentStream
+
+
+class TestDetectorPreset:
+    def test_light_source_rate(self):
+        preset = DetectorPreset.LIGHT_SOURCE_IMAGING
+        assert preset.data_rate == pytest.approx(3_000.0 * 8e6)
+
+    def test_all_presets_have_positive_rates(self):
+        for preset in DetectorPreset:
+            assert preset.data_rate > 0
+
+
+class TestInstrumentStream:
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            InstrumentStream(
+                preset=DetectorPreset.PARTICLE_DETECTOR, interesting_fraction=0.0
+            )
+
+    def test_rate_scale_multiplies(self):
+        base = InstrumentStream(preset=DetectorPreset.CRYO_EM, rate_scale=1.0)
+        fast = InstrumentStream(preset=DetectorPreset.CRYO_EM, rate_scale=4.0)
+        assert fast.data_rate == pytest.approx(4 * base.data_rate)
+
+    def test_filtered_bytes(self):
+        stream = InstrumentStream(
+            preset=DetectorPreset.PARTICLE_DETECTOR,
+            interesting_fraction=0.05,
+            duration=10.0,
+        )
+        assert stream.filtered_bytes == pytest.approx(0.05 * stream.total_bytes)
+
+    def test_imperfect_classifier_keeps_more_than_perfect(self):
+        stream = InstrumentStream(
+            preset=DetectorPreset.PARTICLE_DETECTOR, interesting_fraction=0.02
+        )
+        perfect = stream.filtered_bytes
+        sloppy = stream.filtered_bytes_with_recall(recall=1.0, false_positive_rate=0.1)
+        assert sloppy > perfect
+
+    def test_low_recall_keeps_less_signal(self):
+        stream = InstrumentStream(
+            preset=DetectorPreset.PARTICLE_DETECTOR, interesting_fraction=0.02
+        )
+        assert stream.filtered_bytes_with_recall(0.5, 0.0) == pytest.approx(
+            0.5 * stream.filtered_bytes
+        )
+
+    def test_recall_bounds(self):
+        stream = InstrumentStream(preset=DetectorPreset.RADIO_TELESCOPE)
+        with pytest.raises(ConfigurationError):
+            stream.filtered_bytes_with_recall(1.5, 0.0)
+
+
+class TestEventArrivals:
+    def test_arrivals_sorted_and_bounded(self):
+        stream = InstrumentStream(
+            preset=DetectorPreset.CRYO_EM, duration=10.0
+        )
+        arrivals = stream.event_arrivals(RandomSource(seed=8))
+        times = [t for t, _ in arrivals]
+        assert times == sorted(times)
+        assert all(0 < t <= 10.0 for t in times)
+
+    def test_rate_roughly_matches(self):
+        stream = InstrumentStream(preset=DetectorPreset.CRYO_EM, duration=50.0)
+        arrivals = stream.event_arrivals(RandomSource(seed=8), max_events=10_000)
+        observed_rate = len(arrivals) / 50.0
+        assert observed_rate == pytest.approx(stream.event_rate, rel=0.2)
+
+    def test_max_events_cap(self):
+        stream = InstrumentStream(preset=DetectorPreset.PARTICLE_DETECTOR, duration=3600.0)
+        arrivals = stream.event_arrivals(RandomSource(seed=8), max_events=100)
+        assert len(arrivals) == 100

@@ -1,0 +1,90 @@
+"""Tests for GAN-based synthetic data generation."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.datafoundation.lineage import LineageGraph
+from repro.federation import Federation, Site, SiteKind
+from repro.workloads.base import JobClass
+from repro.workloads.synthetic import GanPair, build_gan, synthesise_dataset
+
+
+@pytest.fixture
+def gan():
+    return build_gan(latent_dim=64, sample_dim=1024, hidden_dim=512)
+
+
+class TestGanPair:
+    def test_build_gan_shapes(self, gan):
+        assert gan.generator.layers[0].k == 64
+        assert gan.generator.layers[-1].n == 1024
+        assert gan.discriminator.layers[0].k == 1024
+        assert gan.discriminator.layers[-1].n == 1
+
+    def test_rejects_bad_sample_bytes(self, gan):
+        with pytest.raises(ConfigurationError):
+            GanPair(
+                generator=gan.generator,
+                discriminator=gan.discriminator,
+                sample_bytes=0.0,
+            )
+
+    def test_training_step_flops_counts_both_networks(self, gan):
+        combined = gan.training_step_flops(batch=32)
+        generator_only = gan.generator.training_step_flops(32)
+        assert combined > generator_only * 1.5
+
+    def test_training_job_class_and_sync(self, gan):
+        job = gan.training_job(batch=64, steps=10, ranks=2)
+        assert job.job_class is JobClass.ML_TRAINING
+        assert job.barrier_count == 10
+
+    def test_training_job_validation(self, gan):
+        with pytest.raises(ConfigurationError):
+            gan.training_job(batch=1, steps=10, ranks=4)
+
+    def test_generation_job_iterations(self, gan):
+        job = gan.generation_job(samples=1000, batch=100)
+        assert job.iterations == 10
+        assert job.job_class is JobClass.ML_INFERENCE
+
+    def test_generation_includes_sample_io(self, gan):
+        job = gan.generation_job(samples=100, batch=100)
+        io_phases = [p for t in job.tasks for p in t.phases if p.io_bytes > 0]
+        assert io_phases
+        assert io_phases[0].io_bytes == pytest.approx(100 * gan.sample_bytes)
+
+
+class TestSynthesiseDataset:
+    @pytest.fixture
+    def federation(self, catalog):
+        federation = Federation(name="synth")
+        site = Site(
+            name="core", kind=SiteKind.SUPERCOMPUTER,
+            devices={catalog.get("hpc-gpu"): 8},
+        )
+        federation.add_site(site)
+        return federation, site
+
+    def test_dataset_registered_with_size(self, gan, federation, catalog):
+        fed, site = federation
+        dataset, elapsed = synthesise_dataset(
+            gan, samples=10_000, device=catalog.get("hpc-gpu"),
+            federation=fed, site=site, dataset_name="synthetic-events",
+        )
+        assert elapsed > 0
+        assert dataset.size_bytes == pytest.approx(10_000 * gan.sample_bytes)
+        assert fed.catalog.get("synthetic-events").has_replica_at(site)
+
+    def test_provenance_records_source(self, gan, federation, catalog):
+        fed, site = federation
+        lineage = LineageGraph()
+        synthesise_dataset(
+            gan, samples=100, device=catalog.get("hpc-gpu"),
+            federation=fed, site=site, dataset_name="synthetic",
+            lineage=lineage, source_dataset="real-measurements",
+        )
+        assert lineage.sources_of("synthetic") == {"real-measurements"}
+        producer = lineage.producer("synthetic")
+        assert producer is not None
+        assert "generator" in producer.parameters

@@ -1,0 +1,118 @@
+"""Tests for the job trace generator."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RandomSource
+from repro.workloads.base import JobClass
+from repro.workloads.traces import JobTraceGenerator, TraceConfig
+
+
+class TestTraceConfig:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            TraceConfig(arrival_rate=0.0)
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ConfigurationError):
+            TraceConfig(mix={})
+
+    def test_rejects_zero_weights(self):
+        with pytest.raises(ConfigurationError):
+            TraceConfig(mix={JobClass.SIMULATION: 0.0})
+
+
+class TestGeneration:
+    def make_trace(self, **config_kwargs):
+        defaults = dict(arrival_rate=0.05, duration=20_000.0, max_jobs=300)
+        defaults.update(config_kwargs)
+        generator = JobTraceGenerator(
+            TraceConfig(**defaults), rng=RandomSource(seed=77)
+        )
+        return generator.generate()
+
+    def test_arrivals_sorted(self):
+        jobs = self.make_trace()
+        times = [j.arrival_time for j in jobs]
+        assert times == sorted(times)
+
+    def test_arrival_rate_approximate(self):
+        jobs = self.make_trace(max_jobs=10_000)
+        observed = len(jobs) / 20_000.0
+        assert observed == pytest.approx(0.05, rel=0.2)
+
+    def test_mix_respected(self):
+        jobs = self.make_trace(
+            max_jobs=500,
+            mix={JobClass.SIMULATION: 0.5, JobClass.ML_TRAINING: 0.5},
+        )
+        classes = {j.job_class for j in jobs}
+        assert classes == {JobClass.SIMULATION, JobClass.ML_TRAINING}
+
+    def test_single_class_mix(self):
+        jobs = self.make_trace(max_jobs=50, mix={JobClass.ANALYTICS: 1.0})
+        assert all(j.job_class is JobClass.ANALYTICS for j in jobs)
+
+    def test_analytics_jobs_carry_datasets(self):
+        jobs = self.make_trace(max_jobs=30, mix={JobClass.ANALYTICS: 1.0})
+        assert all(j.input_dataset is not None for j in jobs)
+        assert all(j.input_bytes > 0 for j in jobs)
+
+    def test_deterministic_for_seed(self):
+        a = JobTraceGenerator(
+            TraceConfig(arrival_rate=0.05, duration=5_000, max_jobs=50),
+            rng=RandomSource(seed=3),
+        ).generate()
+        b = JobTraceGenerator(
+            TraceConfig(arrival_rate=0.05, duration=5_000, max_jobs=50),
+            rng=RandomSource(seed=3),
+        ).generate()
+        assert [j.name for j in a] == [j.name for j in b]
+        assert [j.arrival_time for j in a] == [j.arrival_time for j in b]
+
+    def test_max_jobs_cap(self):
+        jobs = self.make_trace(max_jobs=10)
+        assert len(jobs) == 10
+
+    def test_diurnal_rate_varies(self):
+        """Diurnal traces must show arrival-rate modulation across the day."""
+        generator = JobTraceGenerator(
+            TraceConfig(
+                arrival_rate=0.05,
+                duration=86_400.0,
+                diurnal=True,
+                max_jobs=10_000,
+            ),
+            rng=RandomSource(seed=5),
+        )
+        jobs = generator.generate()
+        # Compare first-quarter (rising sine) with third-quarter (falling).
+        quarter = 86_400.0 / 4
+        first = sum(1 for j in jobs if j.arrival_time < quarter)
+        third = sum(1 for j in jobs if 2 * quarter <= j.arrival_time < 3 * quarter)
+        assert first > third * 1.5
+
+    def test_every_job_is_valid(self):
+        for job in self.make_trace(max_jobs=100):
+            assert job.total_flops > 0
+            assert job.ranks >= 1
+
+    def test_qos_mix_assigns_weights(self):
+        from repro.federation.sla import QoSClass
+
+        jobs = self.make_trace(
+            max_jobs=60,
+            qos_mix={QoSClass.BEST_EFFORT: 0.5, QoSClass.REAL_TIME: 0.5},
+        )
+        weights = {job.qos_weight for job in jobs}
+        assert weights == {QoSClass.BEST_EFFORT.weight, QoSClass.REAL_TIME.weight}
+
+    def test_no_qos_mix_leaves_best_effort(self):
+        jobs = self.make_trace(max_jobs=10)
+        assert all(job.qos_weight == 1.0 for job in jobs)
+
+    def test_qos_mix_validation(self):
+        from repro.federation.sla import QoSClass
+
+        with pytest.raises(ConfigurationError):
+            TraceConfig(qos_mix={QoSClass.PREMIUM: 0.0})
