@@ -38,6 +38,8 @@ Subpackages
     Platform standardisation cost model.
 ``repro.analysis``
     Metrics and table rendering for benchmarks.
+``repro.observability``
+    Simulation telemetry: tracer, metrics registry, probes, trace export.
 """
 
 from repro.core import RandomSource, Simulation
@@ -67,6 +69,7 @@ from repro.interconnect import (
     build_torus,
 )
 from repro.market import ComputeExchange, MarketSimulation, ResourceClass
+from repro.observability import MetricsRegistry, Telemetry, Tracer
 from repro.scheduling import MetaScheduler, PlacementPolicy
 from repro.workloads import (
     AIModel,
@@ -95,6 +98,7 @@ __all__ = [
     "KernelProfile",
     "MarketSimulation",
     "MetaScheduler",
+    "MetricsRegistry",
     "PlacementPolicy",
     "Precision",
     "RandomSource",
@@ -102,8 +106,10 @@ __all__ = [
     "Simulation",
     "Site",
     "SiteKind",
+    "Telemetry",
     "Topology",
     "TraceConfig",
+    "Tracer",
     "WanLink",
     "build_dragonfly",
     "build_fat_tree",

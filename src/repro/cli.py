@@ -5,7 +5,9 @@ Run as ``python -m repro <command>``:
 * ``catalog``    — the device catalog with reference-kernel timings,
 * ``topology``   — build a topology family and print its metrics,
 * ``roadmap``    — the technology-scaling table (C13's data),
-* ``experiments``— the experiment index with bench targets.
+* ``experiments``— the experiment index with bench targets,
+* ``trace``      — run a profiled experiment, write a Chrome trace,
+* ``metrics``    — run a profiled experiment, print its counter tables.
 """
 
 from __future__ import annotations
@@ -172,6 +174,85 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profile_or_fail(experiment_id: str):
+    """Run one telemetry profile; prints the traceable ids on a bad id."""
+    from repro.profiles import run_profile
+
+    try:
+        return run_profile(experiment_id)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return None
+
+
+def _print_summary(result) -> None:
+    table = Table(
+        f"Run summary: {result.experiment_id} — {result.title}",
+        ["metric", "value"],
+    )
+    for name, value in result.summary:
+        table.add_row(name, value)
+    table.print()
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    """Run one experiment profile with tracing on; export and summarise."""
+    from repro.observability.export import (
+        top_time_sinks,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    result = _run_profile_or_fail(args.experiment)
+    if result is None:
+        return 2
+    tracer = result.telemetry.tracer
+    output = args.output or f"trace_{result.experiment_id.lower()}.json"
+    path = write_chrome_trace(tracer, output)
+    _print_summary(result)
+    sinks = Table(
+        f"Top {args.top} time sinks (total simulated seconds per span group)",
+        ["category", "span", "total (s)", "count", "mean (s)"],
+    )
+    for category, name, total, count, mean in top_time_sinks(tracer, n=args.top):
+        sinks.add_row(category, name, total, count, mean)
+    sinks.print()
+    print(f"wrote {len(tracer)} trace records to {path} "
+          "(open at https://ui.perfetto.dev or chrome://tracing)")
+    if args.jsonl:
+        jsonl_path = write_jsonl(tracer, args.jsonl)
+        print(f"wrote JSONL archival export to {jsonl_path}")
+    return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    """Run one experiment profile and print its metric tables."""
+    from repro.observability.export import counter_rows, histogram_rows
+
+    result = _run_profile_or_fail(args.experiment)
+    if result is None:
+        return 2
+    registry = result.telemetry.metrics
+    _print_summary(result)
+    counters = Table(
+        f"Counters and gauges: {result.experiment_id}",
+        ["metric", "labels", "value"],
+    )
+    for name, labels, value in sorted(counter_rows(registry)):
+        counters.add_row(name, labels or "-", value)
+    counters.print()
+    histogram_data = histogram_rows(registry)
+    if histogram_data:
+        histograms = Table(
+            f"Histograms: {result.experiment_id}",
+            ["metric", "labels", "bucket", "count", "mean"],
+        )
+        for name, labels, bucket, count, mean in histogram_data:
+            histograms.add_row(name, labels or "-", bucket, count, mean)
+        histograms.print()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -197,6 +278,26 @@ def build_parser() -> argparse.ArgumentParser:
     topology.add_argument("--terminals", type=int, default=4)
     topology.add_argument("--dims", type=int, nargs="+", default=[4, 4])
     topology.add_argument("--k", type=int, default=8)
+
+    trace = subparsers.add_parser(
+        "trace", help="run an experiment profile and export a Chrome trace"
+    )
+    trace.add_argument("experiment", help="experiment id (e.g. F1, C1)")
+    trace.add_argument(
+        "--output", default=None,
+        help="Chrome trace JSON path (default: trace_<id>.json)",
+    )
+    trace.add_argument(
+        "--jsonl", default=None, help="also write a JSONL archival export here"
+    )
+    trace.add_argument(
+        "--top", type=int, default=10, help="how many time-sink rows to print"
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics", help="run an experiment profile and print metric tables"
+    )
+    metrics.add_argument("experiment", help="experiment id (e.g. F1, C1)")
     return parser
 
 
@@ -206,6 +307,8 @@ _HANDLERS = {
     "roadmap": _command_roadmap,
     "experiments": _command_experiments,
     "report": _command_report,
+    "trace": _command_trace,
+    "metrics": _command_metrics,
 }
 
 

@@ -12,7 +12,7 @@ from repro.core.errors import (
     ReproError,
     SimulationError,
 )
-from repro.core.events import Event, Simulation
+from repro.core.events import Event, Simulation, SimulationHooks
 from repro.core.rng import RandomSource
 from repro.core.units import (
     GB,
@@ -61,6 +61,7 @@ __all__ = [
     "ReproError",
     "Simulation",
     "SimulationError",
+    "SimulationHooks",
     "TB",
     "TFLOP",
     "format_bytes",

@@ -41,12 +41,43 @@ class Event:
         Zero-argument callable invoked when the event fires.
     cancelled:
         Set by :meth:`Simulation.cancel`; cancelled events are skipped.
+    fired:
+        Set by :meth:`Simulation.step` just before the callback runs;
+        fired events cannot be cancelled.
+    daemon:
+        Daemon events (periodic telemetry samplers) never keep the
+        simulation alive: they are excluded from :attr:`Simulation.pending`
+        and :meth:`Simulation.run` stops once only daemon events remain.
     """
 
     time: float
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
+    daemon: bool = field(default=False, compare=False)
+
+
+class SimulationHooks:
+    """Observer protocol for the simulation kernel's lifecycle.
+
+    Subclass (or duck-type) and attach via :meth:`Simulation.set_hooks` to
+    observe every schedule/fire/cancel without touching the hot loop:
+    with no hooks attached the kernel pays a single ``is None`` test per
+    operation and its behaviour is bit-identical to an unhooked run.
+
+    Hooks must not mutate the queue they observe (scheduling *new* work
+    from a hook is allowed — the telemetry samplers rely on it).
+    """
+
+    def on_schedule(self, simulation: "Simulation", event: Event) -> None:
+        """Called after ``event`` is pushed onto the queue."""
+
+    def on_fire(self, simulation: "Simulation", event: Event) -> None:
+        """Called after ``event``'s callback ran (clock is at the event)."""
+
+    def on_cancel(self, simulation: "Simulation", event: Event) -> None:
+        """Called when a live event is cancelled (not for no-op cancels)."""
 
 
 class Simulation:
@@ -61,6 +92,8 @@ class Simulation:
         self._queue: List[Event] = []
         self._sequence = itertools.count()
         self._processed = 0
+        self._live = 0
+        self._hooks: Optional[SimulationHooks] = None
 
     @property
     def now(self) -> float:
@@ -69,36 +102,73 @@ class Simulation:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (not cancelled, not fired) non-daemon events queued.
+
+        O(1): maintained as a counter on schedule/cancel/fire, so samplers
+        may poll it every tick without scanning the heap. Daemon events do
+        not count — they are bookkeeping, not simulated work.
+        """
+        return self._live
+
+    @property
+    def hooks(self) -> Optional[SimulationHooks]:
+        """The attached :class:`SimulationHooks` observer, if any."""
+        return self._hooks
+
+    def set_hooks(self, hooks: Optional[SimulationHooks]) -> None:
+        """Attach (or detach, with ``None``) a lifecycle observer."""
+        self._hooks = hooks
 
     @property
     def processed(self) -> int:
         """Number of events fired so far."""
         return self._processed
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+    def schedule(
+        self, delay: float, callback: Callable[[], None], daemon: bool = False
+    ) -> Event:
         """Schedule ``callback`` to fire ``delay`` seconds from now.
 
         Returns the :class:`Event`, which can be passed to :meth:`cancel`.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback, daemon=daemon)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` at an absolute simulated time."""
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], daemon: bool = False
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulated time.
+
+        Daemon events (``daemon=True``) are bookkeeping work — periodic
+        telemetry samplers — that must never keep the simulation alive:
+        they do not count towards :attr:`pending` and an unbounded
+        :meth:`run` stops as soon as only daemon events remain.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        event = Event(time=time, sequence=next(self._sequence), callback=callback)
+        event = Event(
+            time=time, sequence=next(self._sequence), callback=callback,
+            daemon=daemon,
+        )
         heapq.heappush(self._queue, event)
+        if not daemon:
+            self._live += 1
+        if self._hooks is not None:
+            self._hooks.on_schedule(self, event)
         return event
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (no-op if already fired)."""
+        if event.cancelled or event.fired:
+            return
         event.cancelled = True
+        if not event.daemon:
+            self._live -= 1
+        if self._hooks is not None:
+            self._hooks.on_cancel(self, event)
 
     def step(self) -> bool:
         """Fire the next event. Returns ``False`` when the queue is empty."""
@@ -106,9 +176,14 @@ class Simulation:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            event.fired = True
+            if not event.daemon:
+                self._live -= 1
             self._now = event.time
             self._processed += 1
             event.callback()
+            if self._hooks is not None:
+                self._hooks.on_fire(self, event)
             return True
         return False
 
@@ -117,10 +192,14 @@ class Simulation:
 
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the last event fires earlier, so periodic samplers observe a
-        consistent horizon. Returns the final simulated time.
+        consistent horizon. An unbounded run (no ``until``) stops once only
+        daemon events remain, so self-rescheduling samplers cannot keep a
+        drained simulation alive. Returns the final simulated time.
         """
         fired = 0
         while self._queue:
+            if until is None and self._live == 0:
+                break
             next_event = self._queue[0]
             if next_event.cancelled:
                 heapq.heappop(self._queue)

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import List
+from typing import List, Optional
 
 from repro.core.errors import ConfigurationError
 from repro.federation.site import Site, SiteKind
+from repro.observability.probes import Telemetry
 from repro.workloads.base import Job
 
 
@@ -76,11 +77,17 @@ class BurstingPolicy:
         Price multiplier accepted when bursting (cloud on-demand premium).
     max_burst_fraction:
         Cap on the fraction of jobs allowed to burst (budget guard).
+    telemetry:
+        Optional :class:`~repro.observability.probes.Telemetry`; when set,
+        every decision bumps ``federation.burst.considered`` and (for
+        positive decisions) ``federation.burst.bursted``, with the refusal
+        reason labelled on ``federation.burst.refused``.
     """
 
     queue_threshold: float = 3_600.0
     burst_premium: float = 2.0
     max_burst_fraction: float = 0.5
+    telemetry: Optional[Telemetry] = None
 
     def __post_init__(self) -> None:
         if self.queue_threshold < 0:
@@ -100,16 +107,25 @@ class BurstingPolicy:
         threshold and the burst budget is not exhausted.
         """
         self._considered += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("federation.burst.considered").inc()
         if job.is_synchronisation_sensitive:
-            return False
+            return self._refuse("sync_sensitive")
         if estimated_local_wait <= self.queue_threshold:
-            return False
+            return self._refuse("below_threshold")
         if self._considered > 0:
             burst_fraction = self._bursted / self._considered
             if burst_fraction >= self.max_burst_fraction:
-                return False
+                return self._refuse("budget_exhausted")
         self._bursted += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("federation.burst.bursted").inc()
         return True
+
+    def _refuse(self, reason: str) -> bool:
+        if self.telemetry is not None:
+            self.telemetry.counter("federation.burst.refused").inc(reason=reason)
+        return False
 
     @property
     def burst_rate(self) -> float:

@@ -19,16 +19,31 @@ from repro.federation.datasets import Dataset, DatasetCatalog
 from repro.federation.site import Site, SiteKind
 from repro.federation.wan import WanLink, WanNetwork
 from repro.hardware.device import Device, DeviceKind
+from repro.observability.probes import Telemetry
 
 
 class Federation:
     """Sites joined by a WAN, with a shared dataset catalog."""
 
-    def __init__(self, name: str = "federation") -> None:
+    def __init__(
+        self, name: str = "federation", telemetry: Optional[Telemetry] = None
+    ) -> None:
         self.name = name
-        self.wan = WanNetwork()
+        self.telemetry = telemetry
+        self.wan = WanNetwork(telemetry=telemetry)
         self.catalog = DatasetCatalog(self.wan)
         self._sites: Dict[str, Site] = {}
+
+    def attach_telemetry(self, telemetry: Telemetry) -> Telemetry:
+        """Wire one telemetry object through the federation and its WAN.
+
+        Call any time before (or during) a run; cross-site transfers
+        recorded via :meth:`WanNetwork.record_transfer` start accounting
+        from that point on.
+        """
+        self.telemetry = telemetry
+        self.wan.telemetry = telemetry
+        return telemetry
 
     # --- construction -----------------------------------------------------------
 

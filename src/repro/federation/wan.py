@@ -19,6 +19,7 @@ import networkx as nx
 
 from repro.core.errors import ConfigurationError
 from repro.federation.site import Site
+from repro.observability.probes import CATEGORY_WAN, Telemetry
 
 
 @dataclass(frozen=True)
@@ -56,10 +57,17 @@ class WanLink:
 
 
 class WanNetwork:
-    """The federation's WAN as a site graph."""
+    """The federation's WAN as a site graph.
 
-    def __init__(self) -> None:
+    ``telemetry`` (usually wired by ``Federation.attach_telemetry``) makes
+    :meth:`record_transfer` account actual cross-site movements; the pure
+    ``transfer_time``/``transfer_dollars`` queries stay side-effect free so
+    placement scoring never pollutes the metrics.
+    """
+
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
         self._graph = nx.Graph()
+        self.telemetry = telemetry
 
     def add_site(self, site: Site) -> None:
         self._graph.add_node(site.name, site=site)
@@ -122,6 +130,39 @@ class WanNetwork:
             raise ValueError("size_bytes must be non-negative")
         links = self._path(a, b, weight="cost")
         return sum(link.transfer_dollars(size_bytes) for link, _, _ in links)
+
+    def record_transfer(
+        self,
+        a: Site,
+        b: Site,
+        size_bytes: float,
+        at_time: float = 0.0,
+    ) -> float:
+        """Account an *actual* transfer of ``size_bytes`` from ``a`` to ``b``.
+
+        Returns the transfer time over the fastest path (0 for same-site),
+        and — when telemetry is attached — bumps the ``wan.transfer_bytes``
+        / ``wan.transfers`` / ``wan.transfer_dollars`` counters and records
+        a ``wan`` span from ``at_time`` to ``at_time + elapsed``.
+        """
+        elapsed = self.transfer_time(a, b, size_bytes)
+        if self.telemetry is not None and a.name != b.name:
+            dollars = self.transfer_dollars(a, b, size_bytes)
+            self.telemetry.counter("wan.transfers").inc(
+                src=a.name, dst=b.name
+            )
+            self.telemetry.counter("wan.transfer_bytes").inc(
+                size_bytes, src=a.name, dst=b.name
+            )
+            self.telemetry.counter("wan.transfer_dollars").inc(
+                dollars, src=a.name, dst=b.name
+            )
+            self.telemetry.tracer.complete(
+                f"xfer:{a.name}->{b.name}", CATEGORY_WAN,
+                at_time, at_time + elapsed,
+                bytes=size_bytes, dollars=dollars,
+            )
+        return elapsed
 
     def bandwidth_between(self, a: Site, b: Site) -> float:
         """Bottleneck bandwidth on the fastest path (inf for same site)."""

@@ -29,6 +29,16 @@ from repro.core.rng import RandomSource
 from repro.interconnect.congestion import CongestionManager, NoCongestionControl
 from repro.interconnect.routing import Path, minimal_route, valiant_route
 from repro.interconnect.topology import Topology
+from repro.observability.metrics import exponential_buckets
+from repro.observability.probes import (
+    CATEGORY_CONGESTION,
+    CATEGORY_FLOW,
+    Telemetry,
+)
+
+#: Bucket bounds (seconds) for the flow-completion-time histogram:
+#: 1 us .. 100 s in decades, covering mice on a rack and elephants on a WAN.
+FCT_BUCKETS = exponential_buckets(1e-6, 10.0, 9)
 
 _flow_ids = itertools.count()
 
@@ -106,6 +116,11 @@ class FabricSimulator:
         When True, flows crossing a saturated link are re-routed via a
         Valiant detour at the next rate computation — a coarse model of
         per-packet adaptive routing.
+    telemetry:
+        Optional :class:`~repro.observability.probes.Telemetry`; when set,
+        the simulator records per-flow spans and an FCT histogram,
+        per-link byte counters, and congestion-onset events. The fabric
+        keeps its own clock, so all trace timestamps are explicit.
     """
 
     def __init__(
@@ -115,6 +130,7 @@ class FabricSimulator:
         routing: str = "minimal",
         reroute_adaptively: bool = False,
         rng: Optional[RandomSource] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if routing not in ("minimal", "valiant"):
             raise ConfigurationError(f"unknown routing: {routing!r}")
@@ -123,6 +139,7 @@ class FabricSimulator:
         self.routing = routing
         self.reroute_adaptively = reroute_adaptively
         self.rng = rng or RandomSource(seed=11, name="fabric")
+        self.telemetry = telemetry
         self._capacities = self._link_capacities()
 
     # --- static helpers -------------------------------------------------------
@@ -232,11 +249,12 @@ class FabricSimulator:
         self,
         paths: Dict[int, Path],
         remaining_bytes: Optional[Dict[int, float]] = None,
-    ) -> Tuple[Dict[int, float], Dict[int, int]]:
+    ) -> Tuple[Dict[int, float], Dict[int, int], Set[Tuple[str, str]]]:
         """Max-min rates with congestion-policy adjustments.
 
-        Returns rates and, for victims, the count of hot switches on their
-        path (used for extra queueing accounting).
+        Returns rates, the per-victim count of hot switches on their path
+        (used for extra queueing accounting), and the congested link set
+        (used by telemetry to mark congestion onsets).
         """
         rates, saturated = self._max_min_rates(paths, remaining_bytes)
         hot_switches = self._hot_switches(saturated)
@@ -251,7 +269,7 @@ class FabricSimulator:
                 if exposure:
                     rates[flow_id] *= self.congestion.victim_rate_factor(exposure)
                     hot_exposure[flow_id] = exposure
-        return rates, hot_exposure
+        return rates, hot_exposure, saturated
 
     # --- simulation loop ----------------------------------------------------------
 
@@ -268,6 +286,7 @@ class FabricSimulator:
         queueing: Dict[int, float] = {}
         results: List[FlowStats] = []
         arrival_index = 0
+        congested_now: Set[Tuple[str, str]] = set()
 
         for _ in range(max_iterations):
             # Admit arrivals due now.
@@ -288,11 +307,17 @@ class FabricSimulator:
                 now = arrivals[arrival_index].start_time
                 continue
 
-            rates, hot_exposure = self._adjusted_rates(paths, remaining)
+            rates, hot_exposure, saturated = self._adjusted_rates(paths, remaining)
             if self.reroute_adaptively:
                 rerouted = self._reroute_hot_flows(paths, remaining)
                 if rerouted:
-                    rates, hot_exposure = self._adjusted_rates(paths, remaining)
+                    rates, hot_exposure, saturated = self._adjusted_rates(
+                        paths, remaining
+                    )
+            if self.telemetry is not None:
+                congested_now = self._record_congestion(
+                    now, saturated, congested_now, active
+                )
 
             # Accrue queueing penalties for victims (once per exposure interval).
             for flow_id, exposure in hot_exposure.items():
@@ -322,7 +347,10 @@ class FabricSimulator:
             finished: List[int] = []
             for flow_id in list(active):
                 rate = rates.get(flow_id, 0.0)
-                remaining[flow_id] -= rate * step
+                moved = rate * step
+                remaining[flow_id] -= moved
+                if self.telemetry is not None and moved > 0:
+                    self._account_link_bytes(paths[flow_id], moved)
                 if remaining[flow_id] <= 1e-9:
                     finished.append(flow_id)
             for flow_id in finished:
@@ -330,23 +358,71 @@ class FabricSimulator:
                 path = paths.pop(flow_id)
                 propagation = self._propagation_delay(path)
                 extra = queueing.pop(flow_id, 0.0)
-                results.append(
-                    FlowStats(
-                        flow_id=flow.flow_id,
-                        tag=flow.tag,
-                        size=flow.size,
-                        start_time=flow.start_time,
-                        finish_time=now + propagation + extra,
-                        path_hops=len(path) - 1,
-                        propagation_delay=propagation,
-                        extra_queueing=extra,
-                    )
+                stats = FlowStats(
+                    flow_id=flow.flow_id,
+                    tag=flow.tag,
+                    size=flow.size,
+                    start_time=flow.start_time,
+                    finish_time=now + propagation + extra,
+                    path_hops=len(path) - 1,
+                    propagation_delay=propagation,
+                    extra_queueing=extra,
                 )
+                results.append(stats)
+                if self.telemetry is not None:
+                    self._record_flow(stats)
                 del remaining[flow_id]
         else:
             raise SimulationError("fabric simulation exceeded max_iterations")
 
         return results
+
+    # --- telemetry --------------------------------------------------------------
+
+    def _record_flow(self, stats: FlowStats) -> None:
+        """Account one finished flow: FCT histogram + a trace span."""
+        tag = stats.tag or "flow"
+        self.telemetry.histogram(
+            "fabric.fct_seconds", FCT_BUCKETS, "flow completion time"
+        ).observe(stats.completion_time, tag=tag)
+        self.telemetry.counter("fabric.flow_bytes").inc(stats.size, tag=tag)
+        self.telemetry.tracer.complete(
+            f"flow:{tag}", CATEGORY_FLOW, stats.start_time, stats.finish_time,
+            flow_id=stats.flow_id, bytes=stats.size, hops=stats.path_hops,
+        )
+
+    def _account_link_bytes(self, path: Path, moved: float) -> None:
+        """Spread one interval's bytes over every link the flow traverses."""
+        link_bytes = self.telemetry.counter(
+            "fabric.link_bytes", "bytes carried per directed link"
+        )
+        for u, v in zip(path, path[1:]):
+            link_bytes.inc(moved, link=f"{u}->{v}")
+
+    def _record_congestion(
+        self,
+        now: float,
+        saturated: Set[Tuple[str, str]],
+        congested_before: Set[Tuple[str, str]],
+        active: Dict[int, Flow],
+    ) -> Set[Tuple[str, str]]:
+        """Mark congestion onsets (newly-saturated links) in the trace."""
+        onsets = saturated - congested_before
+        if onsets:
+            events = self.telemetry.counter(
+                "fabric.congestion_events", "congestion onsets per link"
+            )
+            for u, v in sorted(onsets):
+                events.inc(link=f"{u}->{v}")
+                self.telemetry.tracer.instant(
+                    "congestion_onset", CATEGORY_CONGESTION, now,
+                    link=f"{u}->{v}", active_flows=len(active),
+                )
+        self.telemetry.tracer.sample(
+            "fabric.active_flows", now, flows=len(active),
+            congested_links=len(saturated),
+        )
+        return set(saturated)
 
     def _reroute_hot_flows(
         self, paths: Dict[int, Path], remaining_bytes: Optional[Dict[int, float]]

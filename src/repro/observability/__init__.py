@@ -1,0 +1,79 @@
+"""Simulation telemetry: tracing, metrics and export for instrumented runs.
+
+The observability layer answers "where do simulated time, bytes and
+dollars go?" for any run of the framework:
+
+* :mod:`~repro.observability.tracer` — spans/instants/counter samples on
+  the simulation clock,
+* :mod:`~repro.observability.metrics` — named counters, gauges and
+  fixed-bucket histograms with label support, plus sim-clock samplers,
+* :mod:`~repro.observability.probes` — the :class:`Telemetry` facade the
+  instrumented subsystems accept, kernel hooks and sampler attachments,
+* :mod:`~repro.observability.export` — Chrome ``trace_event`` JSON, JSONL
+  round-trip and top-N time-sink summaries.
+
+Overhead contract: everything is **off by default**. A subsystem built
+without a :class:`Telemetry` object performs one ``is not None`` test per
+instrumented operation and records nothing; the kernel without hooks is
+bit-identical to the unhooked kernel (same event order, same final clock).
+This package depends only on :mod:`repro.core` — subsystems import it,
+never the reverse.
+"""
+
+from repro.observability.export import (
+    chrome_trace,
+    counter_rows,
+    histogram_rows,
+    jsonl_lines,
+    load_jsonl,
+    top_time_sinks,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PeriodicSampler,
+    exponential_buckets,
+)
+from repro.observability.probes import (
+    KernelProbe,
+    Telemetry,
+    attach_cluster_sampler,
+    attach_kernel_sampler,
+)
+from repro.observability.tracer import (
+    NULL_TRACER,
+    CounterRecord,
+    InstantRecord,
+    SpanRecord,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "CounterRecord",
+    "Gauge",
+    "Histogram",
+    "InstantRecord",
+    "KernelProbe",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "PeriodicSampler",
+    "SpanRecord",
+    "Telemetry",
+    "Tracer",
+    "attach_cluster_sampler",
+    "attach_kernel_sampler",
+    "chrome_trace",
+    "counter_rows",
+    "exponential_buckets",
+    "histogram_rows",
+    "jsonl_lines",
+    "load_jsonl",
+    "top_time_sinks",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,224 @@
+"""Trace and metrics export: Chrome ``trace_event`` JSON, JSONL, summaries.
+
+Chrome's trace-event format (load the file at ``chrome://tracing`` or
+https://ui.perfetto.dev) wants microsecond timestamps; simulated seconds
+are scaled by 1e6. Spans become complete events (``"ph": "X"`` with
+``ts``/``dur``), instants ``"ph": "I"``, counter samples ``"ph": "C"``.
+Each category gets its own ``tid`` track, named via thread-name metadata
+events, so kernel/queue/job/flow/wan activity renders as separate lanes.
+
+The JSONL export is one record per line (``kind`` discriminated) and
+round-trips through :func:`load_jsonl` — the archival format for diffing
+runs; Chrome JSON is the viewing format.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Tuple, Union
+
+from repro.observability.tracer import (
+    CounterRecord,
+    InstantRecord,
+    SpanRecord,
+    Tracer,
+)
+
+#: Simulated seconds -> Chrome trace microseconds.
+_US = 1e6
+
+
+def _track_ids(tracer: Tracer) -> Dict[str, int]:
+    """Stable per-category track ids, in first-seen order (tid 1, 2, ...)."""
+    return {category: index + 1 for index, category in enumerate(tracer.categories)}
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The tracer's records as a Chrome ``trace_event`` JSON object."""
+    tracks = _track_ids(tracer)
+    events: List[dict] = []
+    for category, tid in tracks.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": category},
+            }
+        )
+    for span in tracer.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": span.duration * _US,
+                "pid": 0,
+                "tid": tracks.get(span.category, 0),
+                "args": span.args,
+            }
+        )
+    for instant in tracer.instants:
+        events.append(
+            {
+                "name": instant.name,
+                "cat": instant.category,
+                "ph": "I",
+                "s": "t",
+                "ts": instant.time * _US,
+                "pid": 0,
+                "tid": tracks.get(instant.category, 0),
+                "args": instant.args,
+            }
+        )
+    for counter in tracer.counters:
+        events.append(
+            {
+                "name": counter.name,
+                "ph": "C",
+                "ts": counter.time * _US,
+                "pid": 0,
+                "args": counter.values,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write the Chrome trace JSON; returns the path written."""
+    output = pathlib.Path(path)
+    output.write_text(json.dumps(chrome_trace(tracer), indent=1))
+    return output
+
+
+def jsonl_lines(tracer: Tracer) -> List[str]:
+    """One JSON object per record: spans, instants, then counter samples."""
+    lines = []
+    for span in tracer.spans:
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "span",
+                    "name": span.name,
+                    "category": span.category,
+                    "start": span.start,
+                    "end": span.end,
+                    "args": span.args,
+                }
+            )
+        )
+    for instant in tracer.instants:
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "instant",
+                    "name": instant.name,
+                    "category": instant.category,
+                    "time": instant.time,
+                    "args": instant.args,
+                }
+            )
+        )
+    for counter in tracer.counters:
+        lines.append(
+            json.dumps(
+                {
+                    "kind": "counter",
+                    "name": counter.name,
+                    "time": counter.time,
+                    "values": counter.values,
+                }
+            )
+        )
+    return lines
+
+
+def write_jsonl(tracer: Tracer, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write the JSONL archival export; returns the path written."""
+    output = pathlib.Path(path)
+    output.write_text("\n".join(jsonl_lines(tracer)) + "\n")
+    return output
+
+
+def load_jsonl(path: Union[str, pathlib.Path]) -> Tracer:
+    """Rebuild a (clockless) tracer from a JSONL export."""
+    tracer = Tracer()
+    for line in pathlib.Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.get("kind")
+        if kind == "span":
+            tracer.spans.append(
+                SpanRecord(
+                    record["name"], record["category"],
+                    record["start"], record["end"], record.get("args", {}),
+                )
+            )
+        elif kind == "instant":
+            tracer.instants.append(
+                InstantRecord(
+                    record["name"], record["category"],
+                    record["time"], record.get("args", {}),
+                )
+            )
+        elif kind == "counter":
+            tracer.counters.append(
+                CounterRecord(record["name"], record["time"], record.get("values", {}))
+            )
+        else:
+            raise ValueError(f"unknown record kind in {path}: {kind!r}")
+    return tracer
+
+
+def top_time_sinks(
+    tracer: Tracer, n: int = 10
+) -> List[Tuple[str, str, float, int, float]]:
+    """The top-``n`` ``(category, name, total, count, mean)`` span groups.
+
+    Spans are grouped by ``(category, name)`` and ranked by total
+    simulated seconds — the run profile's "where did the time go" view.
+    Note that overlapping spans (e.g. concurrent jobs) each contribute
+    their full duration, so totals can exceed the wall span of the run.
+    """
+    totals: Dict[Tuple[str, str], List[float]] = {}
+    for span in tracer.spans:
+        bucket = totals.setdefault((span.category, span.name), [0.0, 0])
+        bucket[0] += span.duration
+        bucket[1] += 1
+    ranked = sorted(totals.items(), key=lambda item: item[1][0], reverse=True)
+    return [
+        (category, name, total, int(count), total / count if count else 0.0)
+        for (category, name), (total, count) in ranked[:n]
+    ]
+
+
+def counter_rows(registry) -> List[Tuple[str, str, float]]:
+    """Flat ``(name, labels, value)`` rows for every counter/gauge series."""
+    rows: List[Tuple[str, str, float]] = []
+    for metric in registry:
+        if metric.kind not in ("counter", "gauge"):
+            continue
+        for labels in metric.label_sets():
+            rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            rows.append((metric.name, rendered, metric.value(**labels)))
+    return rows
+
+
+def histogram_rows(registry) -> List[Tuple[str, str, str, int, float]]:
+    """``(name, labels, bucket, count, mean)`` rows for every histogram."""
+    rows: List[Tuple[str, str, str, int, float]] = []
+    for metric in registry:
+        if metric.kind != "histogram":
+            continue
+        for labels in metric.label_sets():
+            rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            counts = metric.counts(**labels)
+            bounds = [f"<= {b:g}" for b in metric.buckets] + ["+inf"]
+            mean = metric.mean(**labels)
+            for bound, count in zip(bounds, counts):
+                rows.append((metric.name, rendered, bound, count, mean))
+    return rows

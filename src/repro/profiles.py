@@ -1,0 +1,337 @@
+"""Run profiles: traceable, self-contained experiment scenarios.
+
+A *run profile* is a small, deterministic rendition of one of the paper
+experiments (see ``python -m repro experiments``) that runs with telemetry
+attached, so ``python -m repro trace <id>`` and ``python -m repro metrics
+<id>`` can show where simulated time, bytes and dollars go without the
+pytest-benchmark harness. Profiles are sized to finish in seconds — the
+full-size experiments stay in ``benchmarks/``.
+
+This module sits above the subsystems (like :mod:`repro.cli`): it imports
+scheduling, interconnect and federation freely, while the
+:mod:`repro.observability` package itself depends only on core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.rng import RandomSource
+from repro.federation import Dataset, Federation, Site, SiteKind, WanLink
+from repro.federation.bursting import BurstingPolicy
+from repro.hardware import Precision, default_catalog
+from repro.interconnect.congestion import FlowBasedCongestionControl
+from repro.interconnect.fabric import FabricSimulator, Flow
+from repro.interconnect.topology import build_dragonfly
+from repro.observability import Telemetry, attach_cluster_sampler
+from repro.scheduling import MetaScheduler, PlacementPolicy
+from repro.scheduling.cluster import ClusterSimulator
+from repro.workloads import JobTraceGenerator, TraceConfig
+from repro.workloads.base import JobClass, make_single_kernel_job
+
+
+@dataclass
+class ProfileResult:
+    """Outcome of one profiled run: telemetry plus headline numbers."""
+
+    experiment_id: str
+    title: str
+    telemetry: Telemetry
+    summary: List[Tuple[str, object]] = field(default_factory=list)
+
+
+# --- scheduling-family profiles ------------------------------------------------
+
+
+def _mixed_federation() -> Federation:
+    catalog = default_catalog()
+    cpu = catalog.get("epyc-class-cpu")
+    gpu = catalog.get("hpc-gpu")
+    tpu = catalog.get("tpu-like")
+    federation = Federation(name="profile")
+    federation.add_site(
+        Site(
+            name="core", kind=SiteKind.SUPERCOMPUTER,
+            devices={cpu: 48, gpu: 24, tpu: 24},
+        )
+    )
+    return federation
+
+
+def _profile_f1(telemetry: Telemetry) -> ProfileResult:
+    """F1: mixed simulation/analytics/ML trace on a heterogeneous site."""
+    federation = _mixed_federation()
+    trace = JobTraceGenerator(
+        TraceConfig(arrival_rate=0.01, duration=20_000.0, max_jobs=100),
+        rng=RandomSource(seed=101),
+    ).generate()
+    scheduler = MetaScheduler(federation, telemetry=telemetry)
+    for pool in scheduler.pools.values():
+        attach_cluster_sampler(telemetry, pool, period=500.0)
+    records = scheduler.run(trace)
+    return ProfileResult(
+        "F1", "mixed Big Data/HPC/AI trace on a heterogeneous site", telemetry,
+        summary=[
+            ("jobs finished", len(records)),
+            ("makespan (s)", scheduler.makespan()),
+            ("mean completion (s)", scheduler.mean_completion_time()),
+            ("kernel events fired", scheduler.simulation.processed),
+        ],
+    )
+
+
+def _profile_c8(telemetry: Telemetry) -> ProfileResult:
+    """C8: best-silicon meta-scheduling over a two-site federation."""
+    catalog = default_catalog()
+    cpu = catalog.get("epyc-class-cpu")
+    gpu = catalog.get("hpc-gpu")
+    federation = Federation(name="c8")
+    hub = Site(
+        name="hub", kind=SiteKind.SUPERCOMPUTER, devices={cpu: 32, gpu: 32}
+    )
+    campus = Site(name="campus", kind=SiteKind.ON_PREMISE, devices={cpu: 32})
+    federation.add_site(hub)
+    federation.add_site(campus)
+    federation.connect(hub, campus, WanLink(bandwidth=1.25e9, latency=0.01))
+    trace = JobTraceGenerator(
+        TraceConfig(arrival_rate=0.02, duration=10_000.0, max_jobs=120),
+        rng=RandomSource(seed=55),
+    ).generate()
+    scheduler = MetaScheduler(
+        federation, policy=PlacementPolicy.BEST_SILICON, telemetry=telemetry
+    )
+    for pool in scheduler.pools.values():
+        attach_cluster_sampler(telemetry, pool, period=250.0)
+    records = scheduler.run(trace)
+    return ProfileResult(
+        "C8", "transparent best-silicon placement over two sites", telemetry,
+        summary=[
+            ("jobs finished", len(records)),
+            ("makespan (s)", scheduler.makespan()),
+            ("placements by site", scheduler.placements_by_site()),
+            ("placements by kind", scheduler.placements_by_device_kind()),
+        ],
+    )
+
+
+def _profile_c9(telemetry: Telemetry) -> ProfileResult:
+    """C9: data gravity — datasets pinned at archives, compute at a hub."""
+    catalog = default_catalog()
+    cpu = catalog.get("epyc-class-cpu")
+    gpu = catalog.get("hpc-gpu")
+    federation = Federation(name="c9")
+    archive = Site(name="archive", kind=SiteKind.ON_PREMISE, devices={cpu: 8})
+    hub = Site(
+        name="compute-hub", kind=SiteKind.SUPERCOMPUTER,
+        devices={cpu: 64, gpu: 32},
+        interconnect_bandwidth=25e9, interconnect_latency=1e-6,
+    )
+    federation.add_site(archive)
+    federation.add_site(hub)
+    federation.connect(
+        archive, hub, WanLink(bandwidth=1.25e9, latency=0.01, cost_per_gb=0.02)
+    )
+    dataset_bytes = 100e9
+    for index in range(8):
+        federation.add_dataset(
+            Dataset(
+                name=f"ds-{index}", size_bytes=dataset_bytes,
+                replicas={"archive"},
+            )
+        )
+    jobs = []
+    for index in range(16):
+        job = make_single_kernel_job(
+            name=f"scan-{index}",
+            job_class=JobClass.ANALYTICS,
+            flops=2e13,
+            bytes_moved=5e12,
+            precision=Precision.FP32,
+            ranks=4,
+            input_dataset=f"ds-{index % 8}",
+            input_bytes=dataset_bytes,
+        )
+        job.arrival_time = index * 2.0
+        jobs.append(job)
+    scheduler = MetaScheduler(
+        federation, policy=PlacementPolicy.BEST_SILICON,
+        gravity_weight=1.0, telemetry=telemetry,
+    )
+    records = scheduler.run(jobs)
+    wan_bytes = telemetry.counter("wan.transfer_bytes").total()
+    return ProfileResult(
+        "C9", "data-gravity-aware placement with pinned datasets", telemetry,
+        summary=[
+            ("jobs finished", len(records)),
+            ("WAN bytes actually staged", wan_bytes),
+            ("WAN dollars", telemetry.counter("wan.transfer_dollars").total()),
+            (
+                "data-local placements",
+                sum(1 for d in scheduler.decisions if d.staging_time == 0),
+            ),
+        ],
+    )
+
+
+def _profile_f3(telemetry: Telemetry) -> ProfileResult:
+    """F3: stage-1 bursting — overflow from a saturated campus to a cloud."""
+    catalog = default_catalog()
+    cpu = catalog.get("epyc-class-cpu")
+    campus = Site(name="campus", kind=SiteKind.ON_PREMISE, devices={cpu: 16})
+    cloud = Site(name="cloud", kind=SiteKind.CLOUD, devices={cpu: 64})
+    from repro.core.events import Simulation
+
+    simulation = Simulation()
+    telemetry.bind_simulation(simulation)
+    local = ClusterSimulator(
+        site=campus, device=cpu, simulation=simulation, telemetry=telemetry
+    )
+    remote = ClusterSimulator(
+        site=cloud, device=cpu, simulation=simulation, telemetry=telemetry
+    )
+    attach_cluster_sampler(telemetry, local, period=250.0)
+    policy = BurstingPolicy(queue_threshold=120.0, telemetry=telemetry)
+    trace = JobTraceGenerator(
+        TraceConfig(arrival_rate=0.5, duration=4_000.0, max_jobs=120),
+        rng=RandomSource(seed=33),
+    ).generate()
+    bursted = [0]
+
+    def placer(job):
+        # Decide at arrival, when the campus backlog is actually visible.
+        def place() -> None:
+            if job.ranks > local.capacity or (
+                job.ranks <= remote.capacity
+                and policy.should_burst(job, local.estimated_queue_wait)
+            ):
+                remote.submit(job)
+                bursted[0] += 1
+            else:
+                local.submit(job)
+
+        return place
+
+    for job in sorted(trace, key=lambda j: j.arrival_time):
+        simulation.schedule_at(job.arrival_time, placer(job))
+    simulation.run()
+    records = local.records + remote.records
+    return ProfileResult(
+        "F3", "delivery models: campus queue bursting to a cloud partner",
+        telemetry,
+        summary=[
+            ("jobs finished", len(records)),
+            ("jobs bursted", bursted[0]),
+            ("burst rate", policy.burst_rate),
+            ("campus utilisation", local.utilization()),
+        ],
+    )
+
+
+# --- fabric-family profiles ----------------------------------------------------
+
+
+def _incast_flows(topology, aggressors: int) -> List[Flow]:
+    graph = topology.graph
+    hot = topology.terminals[0]
+    hot_router = graph.nodes[hot]["attached_to"]
+    same_router = [
+        t for t in topology.terminals
+        if graph.nodes[t]["attached_to"] == hot_router and t != hot
+    ]
+    far = [
+        t for t in topology.terminals
+        if graph.nodes[t]["attached_to"] != hot_router
+    ]
+    flows = [
+        Flow(source=far[i], destination=hot, size=100e6, tag="aggressor")
+        for i in range(aggressors)
+    ]
+    for index, source in enumerate(same_router):
+        flows.append(
+            Flow(
+                source=source, destination=far[-(index + 1)],
+                size=64e3, start_time=1e-3, tag="victim",
+            )
+        )
+    return flows
+
+
+def _profile_c1(telemetry: Telemetry) -> ProfileResult:
+    """C1: elephant incast vs latency-sensitive mice under flow-based CM."""
+    topology = build_dragonfly(groups=6, routers_per_group=4, terminals_per_router=4)
+    fabric = FabricSimulator(
+        topology, congestion=FlowBasedCongestionControl(), telemetry=telemetry
+    )
+    stats = fabric.run(_incast_flows(topology, aggressors=8))
+    victims = sorted(
+        s.completion_time for s in stats if s.tag == "victim"
+    )
+    return ProfileResult(
+        "C1", "incast congestion with flow-based selective backpressure",
+        telemetry,
+        summary=[
+            ("flows finished", len(stats)),
+            ("victim max FCT (s)", victims[-1] if victims else 0.0),
+            (
+                "congestion onsets",
+                telemetry.counter("fabric.congestion_events").total(),
+            ),
+            ("bytes delivered", telemetry.counter("fabric.flow_bytes").total()),
+        ],
+    )
+
+
+def _profile_c2(telemetry: Telemetry) -> ProfileResult:
+    """C2: uniform random traffic over a low-diameter dragonfly."""
+    topology = build_dragonfly(groups=6, routers_per_group=4, terminals_per_router=4)
+    rng = RandomSource(seed=17, name="c2-profile")
+    terminals = list(topology.terminals)
+    flows = []
+    for index in range(120):
+        source, destination = rng.sample(terminals, 2)
+        flows.append(
+            Flow(
+                source=source, destination=destination, size=4e6,
+                start_time=index * 2e-4,
+            )
+        )
+    fabric = FabricSimulator(topology, telemetry=telemetry)
+    stats = fabric.run(flows)
+    fct = telemetry.metrics.get("fabric.fct_seconds")
+    return ProfileResult(
+        "C2", "uniform random traffic on a dragonfly", telemetry,
+        summary=[
+            ("flows finished", len(stats)),
+            ("mean FCT (s)", fct.mean(tag="flow")),
+            ("bytes delivered", telemetry.counter("fabric.flow_bytes").total()),
+        ],
+    )
+
+
+#: Experiment ids that can be run with telemetry attached.
+PROFILES: Dict[str, Callable[[Telemetry], ProfileResult]] = {
+    "F1": _profile_f1,
+    "F3": _profile_f3,
+    "C1": _profile_c1,
+    "C2": _profile_c2,
+    "C8": _profile_c8,
+    "C9": _profile_c9,
+}
+
+
+def run_profile(experiment_id: str, telemetry: Telemetry = None) -> ProfileResult:
+    """Run one profile with telemetry attached and return its result.
+
+    ``experiment_id`` must be one of :data:`PROFILES`; unknown ids raise
+    ``KeyError`` listing what is traceable.
+    """
+    key = experiment_id.upper()
+    try:
+        profile = PROFILES[key]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(
+            f"no run profile for {experiment_id!r}; traceable ids: {known}"
+        ) from None
+    return profile(telemetry if telemetry is not None else Telemetry())

@@ -13,9 +13,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError, SchedulingError
-from repro.core.events import Simulation
+from repro.core.events import Event, Simulation
 from repro.federation.site import Site
 from repro.hardware.device import Device
+from repro.observability.probes import CATEGORY_JOB, CATEGORY_QUEUE, Telemetry
 from repro.scheduling.policies import FcfsPolicy, QueuePolicy
 from repro.scheduling.runtime import estimate_job
 from repro.workloads.base import Job
@@ -23,7 +24,12 @@ from repro.workloads.base import Job
 
 @dataclass
 class JobRecord:
-    """Lifecycle record of one job through a cluster."""
+    """Lifecycle record of one job through a cluster.
+
+    ``ready_time`` is when the job last entered the queue (arrival plus
+    staging, or the preemption instant for a requeued job);
+    ``preemptions`` counts how many times it was kicked off its devices.
+    """
 
     job: Job
     device: Device
@@ -32,6 +38,8 @@ class JobRecord:
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
     transfer_time: float = 0.0
+    ready_time: Optional[float] = None
+    preemptions: int = 0
 
     @property
     def queue_wait(self) -> float:
@@ -52,6 +60,17 @@ class JobRecord:
         return self.completion_time / max(self.predicted_runtime, 10.0)
 
 
+@dataclass
+class _RunningJob:
+    """Bookkeeping for a job currently holding devices."""
+
+    record: JobRecord
+    runtime: float
+    needed: int
+    finish_time: float
+    finish_event: Event
+
+
 class ClusterSimulator:
     """One site's queue and devices under a queue policy.
 
@@ -67,6 +86,11 @@ class ClusterSimulator:
         Queue ordering policy (default FCFS).
     simulation:
         An external simulation clock to share (a fresh one by default).
+    telemetry:
+        Optional :class:`~repro.observability.probes.Telemetry`; when set,
+        the cluster records wait/service spans, job counters and
+        preemptions. ``None`` (the default) costs one ``is not None``
+        test per lifecycle step.
     """
 
     def __init__(
@@ -75,6 +99,7 @@ class ClusterSimulator:
         device: Device,
         policy: Optional[QueuePolicy] = None,
         simulation: Optional[Simulation] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if site.count(device) < 1:
             raise ConfigurationError(f"{site.name} has no {device.name}")
@@ -82,12 +107,23 @@ class ClusterSimulator:
         self.device = device
         self.policy = policy or FcfsPolicy()
         self.simulation = simulation or Simulation()
+        self.telemetry = telemetry
         self.capacity = site.count(device)
         self._free = self.capacity
         self._queue: List[Tuple[JobRecord, float, int]] = []
-        self._running: Dict[int, Tuple[float, int]] = {}  # job_id -> (finish, devices)
+        self._running: Dict[int, _RunningJob] = {}
         self.records: List[JobRecord] = []
         self._busy_device_seconds = 0.0
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs currently waiting in the queue."""
+        return len(self._queue)
+
+    @property
+    def free_devices(self) -> int:
+        """Devices not held by a running job."""
+        return self._free
 
     # --- submission -----------------------------------------------------------
 
@@ -112,12 +148,17 @@ class ClusterSimulator:
             transfer_time=transfer_time,
         )
         self.records.append(record)
+        if self.telemetry is not None:
+            self.telemetry.counter("cluster.jobs.submitted").inc(
+                site=self.site.name, device=self.device.name
+            )
         ready_time = job.arrival_time + transfer_time
         delay = max(0.0, ready_time - self.simulation.now)
         self.simulation.schedule(delay, lambda: self._enqueue(record))
         return record
 
     def _enqueue(self, record: JobRecord) -> None:
+        record.ready_time = self.simulation.now
         self._queue.append((record, record.predicted_runtime, record.job.ranks))
         self._dispatch()
 
@@ -125,7 +166,7 @@ class ClusterSimulator:
 
     def _dispatch(self) -> None:
         while True:
-            running = list(self._running.values())
+            running = [(r.finish_time, r.needed) for r in self._running.values()]
             index = self.policy.select(
                 self._queue, self._free, running, self.simulation.now
             )
@@ -139,14 +180,79 @@ class ClusterSimulator:
         self._free -= needed
         self._busy_device_seconds += runtime * needed
         finish = self.simulation.now + runtime
-        self._running[record.job.job_id] = (finish, needed)
-        self.simulation.schedule(runtime, lambda: self._finish(record, needed))
+        finish_event = self.simulation.schedule(
+            runtime, lambda: self._finish(record, needed)
+        )
+        self._running[record.job.job_id] = _RunningJob(
+            record=record, runtime=runtime, needed=needed,
+            finish_time=finish, finish_event=finish_event,
+        )
+        if self.telemetry is not None:
+            self.telemetry.counter("cluster.jobs.started").inc(
+                site=self.site.name, device=self.device.name
+            )
+            ready = record.ready_time
+            if ready is not None and record.start_time > ready:
+                self.telemetry.tracer.complete(
+                    f"wait:{record.job.job_class.value}", CATEGORY_QUEUE,
+                    ready, record.start_time,
+                    job=record.job.name, site=self.site.name,
+                )
 
     def _finish(self, record: JobRecord, needed: int) -> None:
         record.finish_time = self.simulation.now
         self._free += needed
         del self._running[record.job.job_id]
+        if self.telemetry is not None:
+            self.telemetry.counter("cluster.jobs.finished").inc(
+                site=self.site.name, device=self.device.name
+            )
+            self.telemetry.tracer.complete(
+                f"run:{record.job.job_class.value}", CATEGORY_JOB,
+                record.start_time, record.finish_time,
+                job=record.job.name, site=self.site.name,
+                device=self.device.name, ranks=needed,
+            )
         self._dispatch()
+
+    # --- preemption --------------------------------------------------------------
+
+    def preempt(self, job_id: int) -> JobRecord:
+        """Kick a running job off its devices and put it back in the queue.
+
+        The job's finish event is cancelled (exercising the kernel's O(1)
+        cancel path) and the *remaining* runtime is requeued, so a later
+        restart only repeats the unfinished work. Raises
+        :class:`SchedulingError` if the job is not currently running.
+        """
+        running = self._running.pop(job_id, None)
+        if running is None:
+            raise SchedulingError(f"job {job_id} is not running; cannot preempt")
+        now = self.simulation.now
+        self.simulation.cancel(running.finish_event)
+        remaining = max(0.0, running.finish_time - now)
+        self._free += running.needed
+        self._busy_device_seconds -= remaining * running.needed
+        record = running.record
+        record.preemptions += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("cluster.preemptions").inc(
+                site=self.site.name, device=self.device.name
+            )
+            self.telemetry.tracer.complete(
+                f"run:{record.job.job_class.value}", CATEGORY_JOB,
+                record.start_time, now,
+                job=record.job.name, site=self.site.name,
+                device=self.device.name, preempted=True,
+            )
+            self.telemetry.tracer.instant(
+                "preempt", CATEGORY_JOB, now, job=record.job.name
+            )
+        record.start_time = None
+        record.ready_time = now
+        self._queue.append((record, remaining, running.needed))
+        self._dispatch()
+        return record
 
     # --- runs and metrics -----------------------------------------------------------
 
@@ -166,8 +272,10 @@ class ClusterSimulator:
         Used by bursting policies to decide overflow before running.
         """
         backlog = sum(runtime * needed for _, runtime, needed in self._queue)
-        for finish, needed in self._running.values():
-            backlog += max(0.0, finish - self.simulation.now) * needed
+        for running in self._running.values():
+            backlog += (
+                max(0.0, running.finish_time - self.simulation.now) * running.needed
+            )
         return backlog / self.capacity
 
     def makespan(self) -> float:

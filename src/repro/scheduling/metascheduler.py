@@ -30,6 +30,7 @@ from repro.federation.federation import Federation
 from repro.federation.gravity import transfer_cost
 from repro.federation.site import Site
 from repro.hardware.device import Device, DeviceKind
+from repro.observability.probes import CATEGORY_WAN, Telemetry
 from repro.scheduling.cluster import ClusterSimulator, JobRecord
 from repro.scheduling.policies import QueuePolicy
 from repro.scheduling.runtime import estimate_job
@@ -87,6 +88,7 @@ class MetaScheduler:
         queue_policy: Optional[QueuePolicy] = None,
         rng: Optional[RandomSource] = None,
         home_site: Optional[Site] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if gravity_weight < 0:
             raise ValueError("gravity_weight must be non-negative")
@@ -95,6 +97,12 @@ class MetaScheduler:
         self.gravity_weight = gravity_weight
         self.rng = rng or RandomSource(seed=5, name="metascheduler")
         self.simulation = Simulation()
+        self.telemetry = telemetry
+        if telemetry is not None:
+            # One telemetry object covers the kernel, the scheduler, every
+            # pool and the federation's WAN.
+            telemetry.bind_simulation(self.simulation)
+            federation.attach_telemetry(telemetry)
         self.home_site = home_site or federation.sites[0]
         self.pools: Dict[Tuple[str, str], ClusterSimulator] = {}
         for site in federation.sites:
@@ -104,6 +112,7 @@ class MetaScheduler:
                     device=device,
                     policy=queue_policy,
                     simulation=self.simulation,
+                    telemetry=telemetry,
                 )
         self.decisions: List[PlacementDecision] = []
         self.rejected: List[Job] = []
@@ -204,12 +213,46 @@ class MetaScheduler:
             decision = self._choose(job)
             if decision is None:
                 self.rejected.append(job)
+                if self.telemetry is not None:
+                    self.telemetry.counter("scheduler.rejected").inc()
                 return
             self.decisions.append(decision)
+            if self.telemetry is not None:
+                self._record_placement(decision)
             pool = self.pools[(decision.site.name, decision.device.name)]
             pool.submit(job, transfer_time=decision.staging_time)
 
         return place
+
+    def _record_placement(self, decision: PlacementDecision) -> None:
+        """Account a committed placement: counters plus actual staging."""
+        telemetry = self.telemetry
+        job = decision.job
+        telemetry.counter("scheduler.placements").inc(
+            site=decision.site.name, device=decision.device.name
+        )
+        if decision.site is not self.home_site:
+            telemetry.counter("federation.cross_site_placements").inc()
+        if decision.staging_time <= 0:
+            return
+        catalog = self.federation.catalog
+        now = self.simulation.now
+        if job.input_dataset is not None and job.input_dataset in catalog:
+            dataset = catalog.get(job.input_dataset)
+            source = catalog.closest_replica(job.input_dataset, decision.site)
+            self.federation.wan.record_transfer(
+                source, decision.site, dataset.size_bytes, at_time=now
+            )
+        else:
+            # No catalogued dataset: account the fallback staging estimate.
+            telemetry.counter("federation.staging_bytes").inc(
+                job.input_bytes, site=decision.site.name
+            )
+            telemetry.tracer.complete(
+                f"stage:{job.job_class.value}", CATEGORY_WAN,
+                now, now + decision.staging_time,
+                job=job.name, site=decision.site.name,
+            )
 
     # --- metrics -------------------------------------------------------------------
 

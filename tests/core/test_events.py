@@ -142,3 +142,115 @@ class TestPropertyBased:
             sim.schedule(delay, lambda: None)
         final = sim.run()
         assert final == pytest.approx(max(delays))
+
+
+class TestPendingCounter:
+    """`pending` is an O(1) live-event counter, not a heap scan."""
+
+    def test_schedule_and_fire_update_pending(self):
+        sim = Simulation()
+        events = [sim.schedule(float(i), lambda: None) for i in range(3)]
+        assert sim.pending == 3
+        sim.step()
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+        assert all(e.fired for e in events)
+
+    def test_cancel_decrements_once(self):
+        sim = Simulation()
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)  # double cancel is a no-op
+        assert sim.pending == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulation()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.cancel(event)
+        assert sim.pending == 0
+        assert not event.cancelled
+
+
+class TestDaemonEvents:
+    def test_daemon_events_do_not_count_as_pending(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None, daemon=True)
+        assert sim.pending == 0
+
+    def test_unbounded_run_stops_when_only_daemons_remain(self):
+        sim = Simulation()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.schedule(1.0, tick, daemon=True)
+
+        sim.schedule(1.0, tick, daemon=True)
+        sim.schedule(2.5, lambda: None)
+        sim.run()
+        assert ticks == [1.0, 2.0]
+        assert sim.now == 2.5
+
+    def test_bounded_run_fires_daemons_to_the_horizon(self):
+        sim = Simulation()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.schedule(1.0, tick, daemon=True)
+
+        sim.schedule(1.0, tick, daemon=True)
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert sim.now == 3.5
+
+
+class TestHooks:
+    def test_hooks_observe_schedule_fire_cancel(self):
+        from repro.core.events import SimulationHooks
+
+        seen = []
+
+        class Recorder(SimulationHooks):
+            def on_schedule(self, simulation, event):
+                seen.append(("schedule", event.time))
+
+            def on_fire(self, simulation, event):
+                seen.append(("fire", event.time))
+
+            def on_cancel(self, simulation, event):
+                seen.append(("cancel", event.time))
+
+        sim = Simulation()
+        sim.set_hooks(Recorder())
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        sim.cancel(drop)
+        sim.run()
+        assert seen == [
+            ("schedule", 1.0), ("schedule", 2.0), ("cancel", 2.0), ("fire", 1.0),
+        ]
+        assert sim.hooks is not None
+        sim.set_hooks(None)
+        assert sim.hooks is None
+        assert keep.fired
+
+    def test_on_cancel_not_called_for_noop_cancels(self):
+        from repro.core.events import SimulationHooks
+
+        cancels = []
+
+        class Recorder(SimulationHooks):
+            def on_cancel(self, simulation, event):
+                cancels.append(event)
+
+        sim = Simulation()
+        sim.set_hooks(Recorder())
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        sim.run()
+        sim.cancel(event)
+        assert len(cancels) == 1

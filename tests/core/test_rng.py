@@ -39,6 +39,7 @@ class TestCrossProcessDeterminism:
         """Forked streams must not depend on Python's per-process hash
         randomisation (PYTHONHASHSEED) — regression test for the hash()
         -based fork key."""
+        import os
         import subprocess
         import sys
 
@@ -51,7 +52,13 @@ class TestCrossProcessDeterminism:
             result = subprocess.run(
                 [sys.executable, "-c", script],
                 capture_output=True, text=True, check=True,
-                env={"PYTHONHASHSEED": str(run), "PATH": "/usr/bin:/bin"},
+                env={
+                    "PYTHONHASHSEED": str(run),
+                    "PATH": "/usr/bin:/bin",
+                    # The child must still find repro: the parent may rely
+                    # on PYTHONPATH=src (or a venv), and a bare env drops it.
+                    "PYTHONPATH": os.pathsep.join(sys.path),
+                },
             )
             outputs.add(result.stdout.strip())
         assert len(outputs) == 1

@@ -1,0 +1,117 @@
+"""Tests for Chrome trace / JSONL export and summary helpers."""
+
+import json
+
+import pytest
+
+from repro.observability.export import (
+    chrome_trace,
+    counter_rows,
+    histogram_rows,
+    jsonl_lines,
+    load_jsonl,
+    top_time_sinks,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import Tracer
+
+
+def _populated_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.complete("run:sim", "job", 1.0, 4.0, job="j1")
+    tracer.complete("run:sim", "job", 2.0, 3.0, job="j2")
+    tracer.complete("wait:sim", "queue", 0.0, 1.0)
+    tracer.instant("preempt", "job", 2.5, job="j2")
+    tracer.sample("queue_depth", 1.0, depth=3)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_spans_become_complete_events_in_microseconds(self):
+        payload = chrome_trace(_populated_tracer())
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 3
+        first = spans[0]
+        assert first["ts"] == 1.0e6
+        assert first["dur"] == 3.0e6
+        assert first["args"] == {"job": "j1"}
+
+    def test_each_category_gets_a_named_track(self):
+        payload = chrome_trace(_populated_tracer())
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"]: e["tid"] for e in meta}
+        assert set(names) == {"job", "queue"}
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["tid"] for e in spans} == set(names.values())
+
+    def test_instants_and_counters_export(self):
+        payload = chrome_trace(_populated_tracer())
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"M", "X", "I", "C"} <= phases
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(_populated_tracer(), tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        for event in payload["traceEvents"]:
+            assert "ph" in event and "name" in event
+            if event["ph"] == "X":
+                assert "ts" in event and "dur" in event
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_every_record(self, tmp_path):
+        tracer = _populated_tracer()
+        path = write_jsonl(tracer, tmp_path / "t.jsonl")
+        loaded = load_jsonl(path)
+        assert len(loaded) == len(tracer)
+        assert [s.name for s in loaded.spans] == [s.name for s in tracer.spans]
+        assert loaded.spans[0].args == {"job": "j1"}
+        assert loaded.instants[0].time == 2.5
+        assert loaded.counters[0].values == {"depth": 3}
+
+    def test_every_line_is_json(self):
+        for line in jsonl_lines(_populated_tracer()):
+            assert "kind" in json.loads(line)
+
+    def test_unknown_kind_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "mystery"}\n')
+        with pytest.raises(ValueError, match="mystery"):
+            load_jsonl(path)
+
+
+class TestTopTimeSinks:
+    def test_ranked_by_total_duration(self):
+        sinks = top_time_sinks(_populated_tracer())
+        assert sinks[0][:2] == ("job", "run:sim")
+        assert sinks[0][2] == 4.0  # 3.0 + 1.0 simulated seconds
+        assert sinks[0][3] == 2
+        assert sinks[0][4] == 2.0
+        assert sinks[1][:2] == ("queue", "wait:sim")
+
+    def test_n_limits_rows(self):
+        assert len(top_time_sinks(_populated_tracer(), n=1)) == 1
+
+
+class TestMetricRows:
+    def test_counter_rows_cover_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(3.0, site="east")
+        registry.gauge("depth").set(7.0)
+        rows = dict(
+            ((name, labels), value) for name, labels, value in counter_rows(registry)
+        )
+        assert rows[("jobs", "site=east")] == 3.0
+        assert rows[("depth", "")] == 7.0
+
+    def test_histogram_rows_include_overflow(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=[1.0, 10.0])
+        hist.observe(0.5)
+        hist.observe(99.0)
+        rows = histogram_rows(registry)
+        buckets = [(bucket, count) for _, _, bucket, count, _ in rows]
+        assert buckets == [("<= 1", 1), ("<= 10", 0), ("+inf", 1)]

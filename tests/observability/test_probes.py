@@ -1,0 +1,116 @@
+"""Tests for the Telemetry facade, kernel probe and attach helpers."""
+
+from repro.core.events import Simulation
+from repro.core.rng import RandomSource
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.probes import (
+    KernelProbe,
+    Telemetry,
+    attach_kernel_sampler,
+)
+from repro.observability.tracer import Tracer
+
+
+class TestTelemetry:
+    def test_binds_tracer_clock_to_simulation(self):
+        sim = Simulation()
+        telemetry = Telemetry(simulation=sim)
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        assert telemetry.tracer.clock() == 3.0
+
+    def test_constructor_attaches_kernel_probe(self):
+        sim = Simulation()
+        Telemetry(simulation=sim)
+        assert isinstance(sim.hooks, KernelProbe)
+
+    def test_bind_simulation_is_first_wins(self):
+        first = Simulation()
+        second = Simulation()
+        telemetry = Telemetry()
+        telemetry.bind_simulation(first)
+        telemetry.bind_simulation(second)
+        assert telemetry.simulation is first
+        assert second.hooks is None
+
+    def test_shares_prebuilt_components(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        telemetry = Telemetry(tracer=tracer, metrics=metrics)
+        assert telemetry.tracer is tracer
+        assert telemetry.metrics is metrics
+
+
+class TestKernelProbe:
+    def test_counts_schedule_fire_cancel(self):
+        sim = Simulation()
+        telemetry = Telemetry(simulation=sim)
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        sim.cancel(drop)
+        sim.run()
+        metrics = telemetry.metrics
+        assert metrics.get("sim.events.scheduled").total() == 2
+        assert metrics.get("sim.events.fired").total() == 1
+        assert metrics.get("sim.events.cancelled").total() == 1
+        assert keep.fired
+
+    def test_kernel_sampler_tracks_pending(self):
+        sim = Simulation()
+        telemetry = Telemetry(simulation=sim)
+        for t in (5.0, 15.0, 25.0):
+            sim.schedule(t, lambda: None)
+        attach_kernel_sampler(telemetry, sim, period=10.0)
+        sim.run()
+        samples = [c for c in telemetry.tracer.counters if c.name == "sim.pending"]
+        assert [s.values["pending"] for s in samples] == [2, 1]
+
+
+class TestZeroOverheadContract:
+    """With no hooks, the kernel must behave bit-identically to the seed."""
+
+    def _workload(self, sim: Simulation, order: list) -> None:
+        # A self-extending cascade: deterministic but non-trivial ordering.
+        rng = RandomSource(seed=42, name="overhead")
+
+        def make(tag):
+            def fire():
+                order.append((tag, sim.now))
+                if len(order) < 2_000:
+                    sim.schedule(rng.uniform(0.0, 3.0), make(len(order)))
+                    if len(order) % 3 == 0:
+                        victim = sim.schedule(50_000.0, lambda: None)
+                        sim.cancel(victim)
+
+            return fire
+
+        for index in range(100):
+            sim.schedule_at(float(index % 7), make(-index))
+
+    def test_hooked_run_matches_unhooked_run_exactly(self):
+        plain_order, hooked_order = [], []
+
+        plain = Simulation()
+        self._workload(plain, plain_order)
+        plain.run()
+
+        hooked = Simulation()
+        telemetry = Telemetry(simulation=hooked)
+        self._workload(hooked, hooked_order)
+        hooked.run()
+
+        assert hooked_order == plain_order
+        assert hooked.now == plain.now
+        assert hooked.processed == plain.processed
+        fired = telemetry.metrics.get("sim.events.fired").total()
+        assert fired == hooked.processed
+
+    def test_disabled_tracer_adds_no_events(self):
+        sim = Simulation()
+        telemetry = Telemetry(simulation=sim)
+        telemetry.tracer.enabled = False
+        before = sim.pending
+        with telemetry.tracer.span("nothing", "kernel"):
+            telemetry.tracer.instant("nope", "kernel", 0.0)
+        assert len(telemetry.tracer) == 0
+        assert sim.pending == before

@@ -1,0 +1,101 @@
+"""Tests for the span/event tracer."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.observability.tracer import NULL_TRACER, Tracer
+
+
+class TestCompleteSpans:
+    def test_complete_records_span(self):
+        tracer = Tracer()
+        tracer.complete("work", "job", 1.0, 3.0, job="j1")
+        (span,) = tracer.spans
+        assert span.name == "work"
+        assert span.category == "job"
+        assert span.duration == 2.0
+        assert span.args == {"job": "j1"}
+
+    def test_end_before_start_raises(self):
+        with pytest.raises(ConfigurationError):
+            Tracer().complete("work", "job", 3.0, 1.0)
+
+    def test_len_counts_all_records(self):
+        tracer = Tracer()
+        tracer.complete("a", "x", 0.0, 1.0)
+        tracer.instant("i", "x", 0.5)
+        tracer.sample("c", 0.5, depth=3)
+        assert len(tracer) == 3
+
+
+class TestBeginEnd:
+    def test_nested_spans_close_in_lifo_order(self):
+        clock = [0.0]
+        tracer = Tracer(clock=lambda: clock[0])
+        outer = tracer.begin("outer", "job")
+        clock[0] = 1.0
+        inner = tracer.begin("inner", "job")
+        clock[0] = 2.0
+        tracer.end(inner)
+        clock[0] = 5.0
+        tracer.end(outer)
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["inner"].start == 1.0
+        assert by_name["inner"].end == 2.0
+        assert by_name["outer"].start == 0.0
+        assert by_name["outer"].end == 5.0
+        # Inner span closed first, so it is recorded first.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_span_context_manager(self):
+        clock = [10.0]
+        tracer = Tracer(clock=lambda: clock[0])
+        with tracer.span("step", "kernel", phase="a"):
+            clock[0] = 12.0
+        (span,) = tracer.spans
+        assert (span.start, span.end) == (10.0, 12.0)
+        assert span.args == {"phase": "a"}
+
+    def test_begin_without_clock_raises(self):
+        with pytest.raises(ConfigurationError):
+            Tracer().begin("work", "job")
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(clock=lambda: 0.0, enabled=False)
+        tracer.complete("a", "x", 0.0, 1.0)
+        tracer.instant("i", "x", 0.5)
+        tracer.sample("c", 0.5, depth=3)
+        handle = tracer.begin("b", "x")
+        tracer.end(handle)
+        with tracer.span("s", "x"):
+            pass
+        assert len(tracer) == 0
+
+    def test_null_tracer_is_disabled(self):
+        assert not NULL_TRACER.enabled
+        NULL_TRACER.complete("a", "x", 0.0, 1.0)
+        assert len(NULL_TRACER) == 0
+
+
+class TestQueries:
+    def test_categories_first_seen_order(self):
+        tracer = Tracer()
+        tracer.complete("a", "queue", 0.0, 1.0)
+        tracer.complete("b", "job", 0.0, 1.0)
+        tracer.complete("c", "queue", 1.0, 2.0)
+        assert tracer.categories == ["queue", "job"]
+
+    def test_spans_in_filters_by_category(self):
+        tracer = Tracer()
+        tracer.complete("a", "queue", 0.0, 1.0)
+        tracer.complete("b", "job", 0.0, 1.0)
+        assert [s.name for s in tracer.spans_in("job")] == ["b"]
+
+    def test_clear_resets(self):
+        tracer = Tracer()
+        tracer.complete("a", "queue", 0.0, 1.0)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.categories == []
