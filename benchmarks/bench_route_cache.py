@@ -1,0 +1,124 @@
+"""Route-cache micro-benchmark: repeated fabric runs, cached vs uncached.
+
+Reproduces the congestion-study usage pattern — one topology, the same
+mice-heavy trace run under every congestion policy, repeated — and times
+it with the shared :class:`~repro.interconnect.routecache.RouteCache`
+enabled versus disabled.  Writes the measurement as ``BENCH_fabric.json``
+so CI can track the speedup over time.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_route_cache.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+
+from repro.core.rng import RandomSource
+from repro.interconnect.congestion import congestion_policy
+from repro.interconnect.fabric import FabricSimulator, Flow
+from repro.interconnect.routecache import route_cache_for
+from repro.interconnect.topology import build_topology
+
+POLICIES = ("none", "ecn", "flow")
+
+
+def make_trace(topology, count: int, size: float, seed: int = 7):
+    """The benchmark trace: uniform random mice, near-sequential starts."""
+    rng = RandomSource(seed=seed, name="bench/route-cache")
+    terminals = list(topology.terminals)
+    trace = []
+    for index in range(count):
+        source, destination = rng.sample(terminals, 2)
+        trace.append(
+            Flow(
+                source=source, destination=destination,
+                size=size, start_time=index * 2e-5,
+            )
+        )
+    return trace
+
+
+def timed_runs(topology, repeats: int, flows: int, size: float,
+               cache_routes: bool) -> float:
+    """Wall seconds to run the same trace under every policy, ``repeats`` times.
+
+    Traces are pre-generated outside the timed region; every run gets
+    fresh :class:`Flow` objects (unique flow ids) over identical endpoint
+    pairs — exactly what a policy-comparison study replays.
+    """
+    runs = [
+        (policy, make_trace(topology, flows, size))
+        for policy in POLICIES
+        for _ in range(repeats)
+    ]
+    started = time.perf_counter()
+    for policy, trace in runs:
+        simulator = FabricSimulator(
+            topology,
+            congestion=congestion_policy(policy),
+            cache_routes=cache_routes,
+        )
+        simulator.run(trace)
+    return time.perf_counter() - started
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=4,
+                        help="runs per congestion policy")
+    parser.add_argument("--flows", type=int, default=400)
+    parser.add_argument("--flow-size", type=float, default=64e3)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI sizing: 2 repeats x 150 flows")
+    parser.add_argument("--output", default="BENCH_fabric.json")
+    args = parser.parse_args()
+    if args.quick:
+        args.repeats, args.flows = 2, 150
+
+    topology = build_topology(
+        "dragonfly", groups=9, routers_per_group=4, terminals=4
+    )
+    # Uncached first: it never touches the shared cache, so ordering
+    # cannot warm anything for the cached pass.
+    uncached = timed_runs(
+        topology, args.repeats, args.flows, args.flow_size, cache_routes=False
+    )
+    cached = timed_runs(
+        topology, args.repeats, args.flows, args.flow_size, cache_routes=True
+    )
+    stats = route_cache_for(topology).stats()
+    speedup = uncached / cached if cached else float("inf")
+
+    document = {
+        "schema": "repro.bench/v1",
+        "benchmark": "route_cache",
+        "topology": "dragonfly(9x4x4)",
+        "workload": {
+            "policies": list(POLICIES),
+            "repeats": args.repeats,
+            "flows_per_run": args.flows,
+            "flow_size_bytes": args.flow_size,
+        },
+        "uncached_seconds": uncached,
+        "cached_seconds": cached,
+        "speedup": speedup,
+        "cache_stats": stats,
+        "cpu_count": os.cpu_count(),
+    }
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"uncached {uncached:.3f}s  cached {cached:.3f}s  "
+          f"speedup {speedup:.2f}x  (hits {stats['hits']}, "
+          f"misses {stats['misses']})")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Sweep-engine scaling benchmark: the 64-point congestion sweep.
+
+Runs the named ``congestion`` sweep serially and with a worker pool,
+checks the two runs are bit-identical (fingerprints match), and writes
+``BENCH_sweep.json``.  The parallel speedup scales with available cores —
+on a single-core machine pool overhead makes it ~1x, so the artefact
+records ``cpu_count`` alongside the timings.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py [--workers 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+
+from repro.sweep import named_sweep, run_sweep
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sweep", default="congestion",
+                        choices=("congestion", "smoke"))
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for the parallel pass "
+                             "(default: min(8, cpu_count))")
+    parser.add_argument("--output", default="BENCH_sweep.json")
+    args = parser.parse_args()
+    workers = args.workers or min(8, os.cpu_count() or 1)
+
+    spec = named_sweep(args.sweep)
+    serial = run_sweep(spec, workers=1)
+    parallel = run_sweep(spec, workers=workers)
+    identical = serial.fingerprint() == parallel.fingerprint()
+    speedup = (
+        serial.wall_seconds / parallel.wall_seconds
+        if parallel.wall_seconds else float("inf")
+    )
+
+    document = {
+        "schema": "repro.bench/v1",
+        "benchmark": "sweep_scaling",
+        "sweep": spec.name,
+        "points": len(serial.points),
+        "serial_seconds": serial.wall_seconds,
+        "parallel_seconds": parallel.wall_seconds,
+        "workers": workers,
+        "speedup": speedup,
+        "bit_identical": identical,
+        "fingerprint": serial.fingerprint(),
+        "cpu_count": os.cpu_count(),
+    }
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"{len(serial.points)} points: serial {serial.wall_seconds:.2f}s, "
+          f"{workers} workers {parallel.wall_seconds:.2f}s "
+          f"(speedup {speedup:.2f}x, bit-identical: {identical})")
+    print(f"wrote {path}")
+    if not identical:
+        print("ERROR: parallel run diverged from serial run")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,9 +37,14 @@ Subpackages
 ``repro.economics``
     Platform standardisation cost model.
 ``repro.analysis``
-    Metrics and table rendering for benchmarks.
+    Metrics, table rendering and sweep aggregation for benchmarks.
 ``repro.observability``
     Simulation telemetry: tracer, metrics registry, probes, trace export.
+``repro.sweep``
+    Parallel scenario sweeps: parameter grids fanned over worker
+    processes with bit-identical results at any worker count.
+``repro.profiles``
+    Runnable experiment profiles: ``repro.profiles.run("C1", ...)``.
 """
 
 from repro.core import RandomSource, Simulation
@@ -63,14 +68,19 @@ from repro.interconnect import (
     FabricSimulator,
     Flow,
     Topology,
+    TopologySpec,
     build_dragonfly,
     build_fat_tree,
     build_hyperx,
+    build_topology,
     build_torus,
+    build_two_tier,
+    congestion_policy,
 )
 from repro.market import ComputeExchange, MarketSimulation, ResourceClass
 from repro.observability import MetricsRegistry, Telemetry, Tracer
 from repro.scheduling import MetaScheduler, PlacementPolicy
+from repro.sweep import ParameterGrid, SweepResult, SweepSpec, run_sweep
 from repro.workloads import (
     AIModel,
     Job,
@@ -99,6 +109,7 @@ __all__ = [
     "MarketSimulation",
     "MetaScheduler",
     "MetricsRegistry",
+    "ParameterGrid",
     "PlacementPolicy",
     "Precision",
     "RandomSource",
@@ -106,15 +117,22 @@ __all__ = [
     "Simulation",
     "Site",
     "SiteKind",
+    "SweepResult",
+    "SweepSpec",
     "Telemetry",
     "Topology",
+    "TopologySpec",
     "TraceConfig",
     "Tracer",
     "WanLink",
     "build_dragonfly",
     "build_fat_tree",
     "build_hyperx",
+    "build_topology",
     "build_torus",
+    "build_two_tier",
+    "congestion_policy",
     "default_catalog",
+    "run_sweep",
     "__version__",
 ]

@@ -1,5 +1,6 @@
-"""Metric collection and table rendering for the benchmark harness."""
+"""Metric collection, table rendering and sweep aggregation."""
 
+from repro.analysis.aggregate import group_mean, pivot, speedup, summary_table
 from repro.analysis.metrics import Percentiles, SeriesStats, summarize
 from repro.analysis.tables import Table, format_series
 
@@ -8,5 +9,9 @@ __all__ = [
     "SeriesStats",
     "Table",
     "format_series",
+    "group_mean",
+    "pivot",
+    "speedup",
     "summarize",
+    "summary_table",
 ]

@@ -7,7 +7,8 @@ Run as ``python -m repro <command>``:
 * ``roadmap``    — the technology-scaling table (C13's data),
 * ``experiments``— the experiment index with bench targets,
 * ``trace``      — run a profiled experiment, write a Chrome trace,
-* ``metrics``    — run a profiled experiment, print its counter tables.
+* ``metrics``    — run a profiled experiment, print its counter tables,
+* ``sweep``      — fan a scenario sweep over worker processes.
 """
 
 from __future__ import annotations
@@ -25,12 +26,7 @@ from repro.hardware.technology import (
     default_roadmap,
     dennard_break_year,
 )
-from repro.interconnect.topology import (
-    build_dragonfly,
-    build_fat_tree,
-    build_hyperx,
-    build_torus,
-)
+from repro.interconnect.topology import TOPOLOGY_KINDS, build_topology
 
 #: Experiment registry: id -> (claim anchor, bench target).
 EXPERIMENTS = {
@@ -59,18 +55,23 @@ EXPERIMENTS = {
     "C20": ("SIV: horizontal federation smoothing", "benchmarks/test_horizontal_federation.py"),
 }
 
-_TOPOLOGY_BUILDERS = {
-    "dragonfly": lambda args: build_dragonfly(
-        groups=args.groups, routers_per_group=args.routers,
-        terminals_per_router=args.terminals,
-    ),
-    "hyperx": lambda args: build_hyperx(
-        dims=tuple(args.dims), terminals_per_switch=args.terminals,
-    ),
-    "fat-tree": lambda args: build_fat_tree(k=args.k),
-    "torus": lambda args: build_torus(
-        dims=tuple(args.dims), terminals_per_switch=args.terminals,
-    ),
+#: CLI argument names per topology kind, mapped onto build_topology specs.
+_TOPOLOGY_ARGS = {
+    "dragonfly": lambda args: {
+        "groups": args.groups, "routers_per_group": args.routers,
+        "terminals": args.terminals,
+    },
+    "hyperx": lambda args: {
+        "dims": tuple(args.dims), "terminals": args.terminals,
+    },
+    "fat-tree": lambda args: {"k": args.k},
+    "two-tier": lambda args: {
+        "leaves": args.leaves, "spines": args.spines,
+        "terminals": args.terminals,
+    },
+    "torus": lambda args: {
+        "dims": tuple(args.dims), "terminals": args.terminals,
+    },
 }
 
 
@@ -101,8 +102,8 @@ def _command_catalog(args: argparse.Namespace) -> int:
 
 
 def _command_topology(args: argparse.Namespace) -> int:
-    builder = _TOPOLOGY_BUILDERS[args.family]
-    topology = builder(args)
+    spec = _TOPOLOGY_ARGS[args.family](args)
+    topology = build_topology(args.family, **spec)
     table = Table(f"Topology metrics: {topology.name}", ["metric", "value"])
     table.add_row("switches", topology.switch_count)
     table.add_row("terminals", topology.terminal_count)
@@ -253,6 +254,83 @@ def _command_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis_value(text: str):
+    """``'0.5'`` -> float, ``'8'`` -> int, anything else stays a string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    """Run a scenario sweep; print its table and optionally store JSON."""
+    from repro.analysis.aggregate import pivot, summary_table
+    from repro.sweep import NAMED_SWEEPS, SweepSpec, named_sweep, run_sweep
+    from repro.sweep.store import save_sweep
+
+    if args.target:
+        if not args.axis:
+            print("--target needs at least one --axis name=v1,v2,...",
+                  file=sys.stderr)
+            return 2
+        grid = {}
+        for axis in args.axis:
+            if "=" not in axis:
+                print(f"bad --axis {axis!r}; expected name=v1,v2,...",
+                      file=sys.stderr)
+                return 2
+            name, _, values = axis.partition("=")
+            grid[name] = [_parse_axis_value(v) for v in values.split(",")]
+        spec = SweepSpec(
+            name=args.name, target=args.target, grid=grid,
+            seed=args.seed if args.seed is not None else 0,
+        )
+    else:
+        if args.name not in NAMED_SWEEPS:
+            known = ", ".join(NAMED_SWEEPS)
+            print(f"unknown sweep {args.name!r}; named sweeps: {known} "
+                  "(or pass --target with --axis)", file=sys.stderr)
+            return 2
+        spec = named_sweep(args.name, seed=args.seed)
+    try:
+        from repro.sweep import resolve_target
+
+        resolve_target(spec.target)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+
+    total = len(spec.grid)
+
+    def report(point) -> None:
+        print(f"  point {point.index + 1}/{total} done "
+              f"({point.wall_seconds * 1e3:.1f} ms)")
+
+    result = run_sweep(
+        spec, workers=args.workers, trace_dir=args.trace_dir,
+        progress=report if args.verbose else None,
+    )
+    if args.pivot:
+        rows_axis, columns_axis, value = args.pivot
+        pivot(result, rows_axis, columns_axis, value,
+              title=f"Sweep {result.name}: {value}").print()
+    else:
+        summary_table(
+            result, title=f"Sweep {result.name} ({result.target}, "
+                          f"{len(result.points)} points, "
+                          f"{result.workers} workers)"
+        ).print()
+    print(f"swept {len(result.points)} points in "
+          f"{result.wall_seconds:.2f}s with {result.workers} worker(s); "
+          f"fingerprint {result.fingerprint()[:12]}")
+    if args.output:
+        path = save_sweep(result, args.output)
+        print(f"wrote sweep results to {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -272,12 +350,14 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default="REPORT.md")
 
     topology = subparsers.add_parser("topology", help="build and measure a topology")
-    topology.add_argument("family", choices=sorted(_TOPOLOGY_BUILDERS))
+    topology.add_argument("family", choices=sorted(_TOPOLOGY_ARGS))
     topology.add_argument("--groups", type=int, default=9)
     topology.add_argument("--routers", type=int, default=4)
     topology.add_argument("--terminals", type=int, default=4)
     topology.add_argument("--dims", type=int, nargs="+", default=[4, 4])
     topology.add_argument("--k", type=int, default=8)
+    topology.add_argument("--leaves", type=int, default=8)
+    topology.add_argument("--spines", type=int, default=4)
 
     trace = subparsers.add_parser(
         "trace", help="run an experiment profile and export a Chrome trace"
@@ -298,6 +378,37 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="run an experiment profile and print metric tables"
     )
     metrics.add_argument("experiment", help="experiment id (e.g. F1, C1)")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a scenario sweep over a worker pool"
+    )
+    sweep.add_argument(
+        "name",
+        help="named sweep (congestion, smoke) or a label for --target sweeps",
+    )
+    sweep.add_argument(
+        "--target", default=None,
+        help="sweep a registered target (e.g. fabric-congestion, profile:C1) "
+             "over custom --axis values instead of a named sweep",
+    )
+    sweep.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=V1,V2",
+        help="a grid axis for --target sweeps (repeatable)",
+    )
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument("--seed", type=int, default=None)
+    sweep.add_argument(
+        "--output", default=None, help="write repro.sweep/v1 JSON here"
+    )
+    sweep.add_argument(
+        "--trace-dir", default=None,
+        help="write one telemetry JSONL per point under this directory",
+    )
+    sweep.add_argument(
+        "--pivot", nargs=3, metavar=("ROWS", "COLS", "VALUE"), default=None,
+        help="print a rows x cols table of mean VALUE instead of all points",
+    )
+    sweep.add_argument("--verbose", action="store_true")
     return parser
 
 
@@ -309,6 +420,7 @@ _HANDLERS = {
     "report": _command_report,
     "trace": _command_trace,
     "metrics": _command_metrics,
+    "sweep": _command_sweep,
 }
 
 

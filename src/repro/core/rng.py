@@ -52,6 +52,17 @@ class RandomSource:
         return RandomSource(seed=int(child_seed) if child_seed is not None else None,
                             name=f"{self.name}/{name}")
 
+    def spawn(self, index: int) -> "RandomSource":
+        """Child stream for scenario/worker ``index`` of a fan-out.
+
+        The stream depends only on the parent seed and the index — not on
+        which process draws from it or how many siblings exist — so a
+        parameter sweep gets bit-identical results at any worker count.
+        """
+        if index < 0:
+            raise ValueError(f"spawn index must be non-negative, got {index}")
+        return self.fork(f"spawn/{index}")
+
     # --- draws ---------------------------------------------------------
 
     def uniform(self, low: float = 0.0, high: float = 1.0) -> float:

@@ -23,10 +23,12 @@ from repro.interconnect.collectives import (
     training_step_communication,
 )
 from repro.interconnect.congestion import (
+    CONGESTION_POLICIES,
     CongestionManager,
     EcnCongestionControl,
     FlowBasedCongestionControl,
     NoCongestionControl,
+    congestion_policy,
 )
 from repro.interconnect.fabric import FabricSimulator, Flow, FlowStats
 from repro.interconnect.failures import (
@@ -47,6 +49,11 @@ from repro.interconnect.photonics import (
     PhotonicsCostModel,
     electrical_reach,
 )
+from repro.interconnect.routecache import (
+    RouteCache,
+    invalidate_route_cache,
+    route_cache_for,
+)
 from repro.interconnect.routing import (
     adaptive_route,
     minimal_route,
@@ -59,18 +66,24 @@ from repro.interconnect.tenancy import (
     encryption_overhead,
 )
 from repro.interconnect.topology import (
+    TOPOLOGY_KINDS,
     Topology,
+    TopologySpec,
     build_dragonfly,
     build_fat_tree,
     build_hyperx,
+    build_topology,
     build_torus,
     build_two_tier,
+    normalize_topology_kind,
 )
 
 __all__ = [
     "AccessKind",
+    "CONGESTION_POLICIES",
     "CollectiveModel",
     "CongestionManager",
+    "congestion_policy",
     "DegradedFabric",
     "disconnection_threshold",
     "fail_links",
@@ -87,20 +100,27 @@ __all__ = [
     "MemoryTier",
     "NoCongestionControl",
     "PhotonicsCostModel",
+    "RouteCache",
     "SlicedFabric",
     "SwitchGeneration",
     "SwitchSpec",
+    "TOPOLOGY_KINDS",
     "Topology",
+    "TopologySpec",
     "VirtualNetwork",
     "adaptive_route",
     "build_dragonfly",
     "build_fat_tree",
     "build_hyperx",
+    "build_topology",
     "build_torus",
     "build_two_tier",
     "electrical_reach",
     "encryption_overhead",
+    "invalidate_route_cache",
     "minimal_route",
+    "normalize_topology_kind",
+    "route_cache_for",
     "training_step_communication",
     "valiant_route",
 ]

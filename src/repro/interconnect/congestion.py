@@ -142,3 +142,33 @@ class FlowBasedCongestionControl(CongestionManager):
 
     def victim_extra_latency(self, hot_switches_on_path: int) -> float:
         return 0.0
+
+
+#: Policy names accepted by :func:`congestion_policy` (sweep/profile axes).
+CONGESTION_POLICIES = ("none", "ecn", "flow")
+
+_POLICY_ALIASES = {
+    "flow-based": "flow",
+    "flowbased": "flow",
+    "slingshot": "flow",
+    "off": "none",
+}
+
+
+def congestion_policy(name: str) -> CongestionManager:
+    """A fresh congestion manager from its short name.
+
+    Accepts ``'none'``, ``'ecn'`` and ``'flow'`` (plus the aliases
+    ``'flow-based'``/``'slingshot'``/``'off'``); scenario sweeps and run
+    profiles use this so a policy can live in a declarative config.
+    """
+    key = _POLICY_ALIASES.get(str(name).strip().lower(),
+                              str(name).strip().lower())
+    if key == "none":
+        return NoCongestionControl()
+    if key == "ecn":
+        return EcnCongestionControl()
+    if key == "flow":
+        return FlowBasedCongestionControl()
+    known = ", ".join(CONGESTION_POLICIES)
+    raise ValueError(f"unknown congestion policy {name!r}; known: {known}")

@@ -21,12 +21,14 @@ benchmark harnesses compute mean/p99 FCT, goodput and slowdown.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.rng import RandomSource
 from repro.interconnect.congestion import CongestionManager, NoCongestionControl
+from repro.interconnect.routecache import RouteCache, route_cache_for
 from repro.interconnect.routing import Path, minimal_route, valiant_route
 from repro.interconnect.topology import Topology
 from repro.observability.metrics import exponential_buckets
@@ -100,8 +102,20 @@ class FlowStats:
         return self.completion_time / ideal
 
 
+#: Sentinel distinguishing "not passed" from any real argument value in the
+#: positional-compatibility shim.
+_UNSET = object()
+
+#: Legacy positional parameter order of ``FabricSimulator.__init__`` (before
+#: configuration became keyword-only).
+_POSITIONAL_CONFIG = ("congestion", "routing", "reroute_adaptively", "rng", "telemetry")
+
+
 class FabricSimulator:
     """Progressive-filling flow simulator over a :class:`Topology`.
+
+    All configuration is keyword-only; passing it positionally still works
+    but emits a :class:`DeprecationWarning`.
 
     Parameters
     ----------
@@ -121,26 +135,76 @@ class FabricSimulator:
         the simulator records per-flow spans and an FCT histogram,
         per-link byte counters, and congestion-onset events. The fabric
         keeps its own clock, so all trace timestamps are explicit.
+    cache_routes:
+        Use the topology's shared :class:`~repro.interconnect.routecache.RouteCache`
+        for minimal routes, link decompositions, propagation delays and the
+        link-capacity map. Caching is behaviour-preserving (results are
+        bit-identical); disable it only to measure its effect.
     """
 
     def __init__(
         self,
         topology: Topology,
-        congestion: Optional[CongestionManager] = None,
-        routing: str = "minimal",
-        reroute_adaptively: bool = False,
-        rng: Optional[RandomSource] = None,
-        telemetry: Optional[Telemetry] = None,
+        *args: object,
+        congestion: object = _UNSET,
+        routing: object = _UNSET,
+        reroute_adaptively: object = _UNSET,
+        rng: object = _UNSET,
+        telemetry: object = _UNSET,
+        cache_routes: bool = True,
     ) -> None:
-        if routing not in ("minimal", "valiant"):
-            raise ConfigurationError(f"unknown routing: {routing!r}")
+        config = {
+            "congestion": congestion,
+            "routing": routing,
+            "reroute_adaptively": reroute_adaptively,
+            "rng": rng,
+            "telemetry": telemetry,
+        }
+        if args:
+            warnings.warn(
+                "positional FabricSimulator configuration is deprecated; "
+                "pass congestion=..., routing=..., etc. as keywords",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > len(_POSITIONAL_CONFIG):
+                raise TypeError(
+                    f"FabricSimulator takes at most {1 + len(_POSITIONAL_CONFIG)} "
+                    f"positional arguments ({1 + len(args)} given)"
+                )
+            for name, value in zip(_POSITIONAL_CONFIG, args):
+                if config[name] is not _UNSET:
+                    raise TypeError(
+                        f"FabricSimulator got multiple values for argument {name!r}"
+                    )
+                config[name] = value
+        defaults = {
+            "congestion": None,
+            "routing": "minimal",
+            "reroute_adaptively": False,
+            "rng": None,
+            "telemetry": None,
+        }
+        for name, default in defaults.items():
+            if config[name] is _UNSET:
+                config[name] = default
+
+        if config["routing"] not in ("minimal", "valiant"):
+            raise ConfigurationError(f"unknown routing: {config['routing']!r}")
         self.topology = topology
-        self.congestion = congestion or NoCongestionControl()
-        self.routing = routing
-        self.reroute_adaptively = reroute_adaptively
-        self.rng = rng or RandomSource(seed=11, name="fabric")
-        self.telemetry = telemetry
-        self._capacities = self._link_capacities()
+        self.congestion = config["congestion"] or NoCongestionControl()
+        self.routing = config["routing"]
+        self.reroute_adaptively = config["reroute_adaptively"]
+        self.rng = config["rng"] or RandomSource(seed=11, name="fabric")
+        self.telemetry = config["telemetry"]
+        self.cache_routes = cache_routes
+        self._route_cache: Optional[RouteCache] = (
+            route_cache_for(topology) if cache_routes else None
+        )
+        if self._route_cache is not None:
+            self._capacities = self._route_cache.link_capacities()
+        else:
+            self._capacities = self._link_capacities()
 
     # --- static helpers -------------------------------------------------------
 
@@ -156,6 +220,8 @@ class FabricSimulator:
 
     def _route(self, flow: Flow) -> Path:
         if self.routing == "minimal":
+            if self._route_cache is not None:
+                return self._route_cache.minimal_route(flow.source, flow.destination)
             return minimal_route(self.topology, flow.source, flow.destination)
         return valiant_route(self.topology, flow.source, flow.destination, rng=self.rng)
 
@@ -164,7 +230,14 @@ class FabricSimulator:
         """Directed links as traversed (full-duplex capacity model)."""
         return list(zip(path, path[1:]))
 
+    def _decompose(self, path: Path) -> List[Tuple[str, str]]:
+        if self._route_cache is not None:
+            return self._route_cache.links_of(path)
+        return self._links_of(path)
+
     def _propagation_delay(self, path: Path) -> float:
+        if self._route_cache is not None:
+            return self._route_cache.propagation_delay(path)
         delay = 0.0
         for u, v in zip(path, path[1:]):
             delay += float(self.topology.graph.edges[u, v]["latency"])
@@ -174,10 +247,13 @@ class FabricSimulator:
 
     def _max_min_rates(
         self,
-        paths: Dict[int, Path],
+        flow_links: Dict[int, List[Tuple[str, str]]],
         remaining_bytes: Optional[Dict[int, float]] = None,
     ) -> Tuple[Dict[int, float], Set[Tuple[str, str]]]:
         """Water-filling max-min fair allocation.
+
+        ``flow_links`` maps each flow to its directed-link decomposition
+        (computed once per flow at admission, not per rate round).
 
         Returns per-flow rates and the set of *congested* bottleneck links:
         links with at least :data:`MIN_CONTENDERS_FOR_CONGESTION` contending
@@ -186,9 +262,7 @@ class FabricSimulator:
         rate. Without ``remaining_bytes`` the backlog test is skipped.
         """
         remaining_capacity = dict(self._capacities)
-        unfixed: Dict[int, List[Tuple[str, str]]] = {
-            flow_id: self._links_of(path) for flow_id, path in paths.items()
-        }
+        unfixed: Dict[int, List[Tuple[str, str]]] = dict(flow_links)
         rates: Dict[int, float] = {}
         saturated: Set[Tuple[str, str]] = set()
 
@@ -248,6 +322,7 @@ class FabricSimulator:
     def _adjusted_rates(
         self,
         paths: Dict[int, Path],
+        flow_links: Dict[int, List[Tuple[str, str]]],
         remaining_bytes: Optional[Dict[int, float]] = None,
     ) -> Tuple[Dict[int, float], Dict[int, int], Set[Tuple[str, str]]]:
         """Max-min rates with congestion-policy adjustments.
@@ -256,12 +331,13 @@ class FabricSimulator:
         (used for extra queueing accounting), and the congested link set
         (used by telemetry to mark congestion onsets).
         """
-        rates, saturated = self._max_min_rates(paths, remaining_bytes)
+        rates, saturated = self._max_min_rates(flow_links, remaining_bytes)
         hot_switches = self._hot_switches(saturated)
         hot_exposure: Dict[int, int] = {}
         for flow_id, path in paths.items():
-            links = set(self._links_of(path))
-            crosses_saturated = bool(links & saturated)
+            crosses_saturated = saturated and any(
+                link in saturated for link in flow_links[flow_id]
+            )
             if crosses_saturated:
                 rates[flow_id] *= self.congestion.aggressor_rate_factor()
             else:
@@ -283,6 +359,7 @@ class FabricSimulator:
         active: Dict[int, Flow] = {}
         remaining: Dict[int, float] = {}
         paths: Dict[int, Path] = {}
+        flow_links: Dict[int, List[Tuple[str, str]]] = {}
         queueing: Dict[int, float] = {}
         results: List[FlowStats] = []
         arrival_index = 0
@@ -297,7 +374,9 @@ class FabricSimulator:
                 flow = arrivals[arrival_index]
                 active[flow.flow_id] = flow
                 remaining[flow.flow_id] = flow.size
-                paths[flow.flow_id] = self._route(flow)
+                path = self._route(flow)
+                paths[flow.flow_id] = path
+                flow_links[flow.flow_id] = self._decompose(path)
                 queueing.setdefault(flow.flow_id, 0.0)
                 arrival_index += 1
 
@@ -307,12 +386,14 @@ class FabricSimulator:
                 now = arrivals[arrival_index].start_time
                 continue
 
-            rates, hot_exposure, saturated = self._adjusted_rates(paths, remaining)
+            rates, hot_exposure, saturated = self._adjusted_rates(
+                paths, flow_links, remaining
+            )
             if self.reroute_adaptively:
-                rerouted = self._reroute_hot_flows(paths, remaining)
+                rerouted = self._reroute_hot_flows(paths, flow_links, remaining)
                 if rerouted:
                     rates, hot_exposure, saturated = self._adjusted_rates(
-                        paths, remaining
+                        paths, flow_links, remaining
                     )
             if self.telemetry is not None:
                 congested_now = self._record_congestion(
@@ -356,6 +437,7 @@ class FabricSimulator:
             for flow_id in finished:
                 flow = active.pop(flow_id)
                 path = paths.pop(flow_id)
+                del flow_links[flow_id]
                 propagation = self._propagation_delay(path)
                 extra = queueing.pop(flow_id, 0.0)
                 stats = FlowStats(
@@ -425,16 +507,20 @@ class FabricSimulator:
         return set(saturated)
 
     def _reroute_hot_flows(
-        self, paths: Dict[int, Path], remaining_bytes: Optional[Dict[int, float]]
+        self,
+        paths: Dict[int, Path],
+        flow_links: Dict[int, List[Tuple[str, str]]],
+        remaining_bytes: Optional[Dict[int, float]],
     ) -> bool:
         """Detour the slowest congested flows via Valiant paths (in place)."""
-        _, saturated = self._max_min_rates(paths, remaining_bytes)
+        _, saturated = self._max_min_rates(flow_links, remaining_bytes)
         rerouted = False
         for flow_id, path in list(paths.items()):
-            if set(self._links_of(path)) & saturated:
+            if any(link in saturated for link in flow_links[flow_id]):
                 source, destination = path[0], path[-1]
                 detour = valiant_route(self.topology, source, destination, rng=self.rng)
                 if detour != path:
                     paths[flow_id] = detour
+                    flow_links[flow_id] = self._links_of(detour)
                     rerouted = True
         return rerouted

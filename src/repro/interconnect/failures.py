@@ -23,6 +23,7 @@ import networkx as nx
 
 from repro.core.errors import ConfigurationError
 from repro.core.rng import RandomSource
+from repro.interconnect.routecache import invalidate_route_cache
 from repro.interconnect.topology import Topology
 
 
@@ -63,6 +64,9 @@ def fail_links(
     failed = rng.sample(switch_links, count) if count else []
     graph.remove_edges_from(failed)
     degraded = Topology(f"{topology.name}[-{count}links]", graph)
+    # The degraded topology is a fresh object with an empty route cache, but
+    # invalidate explicitly so stale routes can never survive derivation.
+    invalidate_route_cache(degraded)
     return DegradedFabric(
         topology=degraded,
         failed_links=tuple(failed),
@@ -93,6 +97,7 @@ def fail_switches(
         graph.remove_nodes_from(terminals)
         graph.remove_node(switch)
     degraded = Topology(f"{topology.name}[-{count}switches]", graph)
+    invalidate_route_cache(degraded)
     return DegradedFabric(
         topology=degraded,
         failed_links=(),

@@ -1,0 +1,178 @@
+"""Shared, topology-keyed route caching for the fabric hot path.
+
+Profiling the scenario-sweep workloads shows :class:`FabricSimulator`
+spends most of its time in three places: shortest-path routing at flow
+admission, decomposing paths into directed links for every water-filling
+round, and re-reading per-edge attributes (latency, bandwidth) from the
+:mod:`networkx` graph. All three are pure functions of the topology, so
+this module memoises them **per topology object**:
+
+* :func:`route_cache_for` returns the (lazily created) :class:`RouteCache`
+  of a topology; every simulator built on the same :class:`Topology`
+  instance shares it, so repeated ``run()`` calls — the sweep engine's
+  bread and butter — pay the routing cost once.
+* Caches are keyed by object identity in a :class:`weakref.WeakKeyDictionary`,
+  so a derived topology (a :class:`~repro.interconnect.failures.DegradedFabric`
+  after ``fail_links``/``fail_switches``, or a tenant slice from
+  :class:`~repro.interconnect.tenancy.SlicedFabric`) starts from an empty
+  cache and can never see its parent's routes. Derivation sites call
+  :func:`invalidate_route_cache` anyway, as defence in depth.
+* Code that mutates a ``topology.graph`` **in place** must call
+  :func:`invalidate_route_cache` afterwards — the cache cannot observe
+  in-place edits.
+
+Only deterministic routes are cached (minimal/shortest paths); Valiant
+and adaptive routes draw from an RNG and are always computed fresh.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.interconnect.topology import Topology
+
+#: A directed link as traversed by a flow.
+Link = Tuple[str, str]
+
+_CACHES: "weakref.WeakKeyDictionary[Topology, RouteCache]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+class RouteCache:
+    """Memoised routing state for one :class:`Topology`.
+
+    The cached path/link lists are shared between callers and must be
+    treated as immutable; :class:`FabricSimulator` replaces (never edits)
+    a flow's path when it reroutes.
+
+    Holds the topology's *graph*, not the :class:`Topology` itself — the
+    registry keys on the topology in a ``WeakKeyDictionary``, and a
+    value that referenced its own key would keep the entry alive forever.
+    """
+
+    __slots__ = ("_graph", "_name", "_paths", "_links", "_delays",
+                 "_capacities", "hits", "misses")
+
+    def __init__(self, topology: Topology) -> None:
+        self._graph = topology.graph
+        self._name = topology.name
+        self._paths: Dict[Tuple[str, str], List[str]] = {}
+        self._links: Dict[Tuple[str, str], List[Link]] = {}
+        self._delays: Dict[Tuple[str, str], float] = {}
+        self._capacities: Dict[Link, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # --- routes --------------------------------------------------------------
+
+    def minimal_route(self, source: str, destination: str) -> List[str]:
+        """Shortest path, memoised by endpoint pair."""
+        key = (source, destination)
+        path = self._paths.get(key)
+        if path is None:
+            self.misses += 1
+            path = nx.shortest_path(self._graph, source, destination)
+            self._paths[key] = path
+        else:
+            self.hits += 1
+        return path
+
+    def links_of(self, path: List[str]) -> List[Link]:
+        """Directed link decomposition, memoised by endpoint pair.
+
+        Only minimal paths are memoised (one canonical path per endpoint
+        pair); detour paths fall through to a fresh decomposition.
+        """
+        key = (path[0], path[-1]) if path else ("", "")
+        cached = self._links.get(key)
+        if cached is not None and self._paths.get(key) is path:
+            return cached
+        links = list(zip(path, path[1:]))
+        if self._paths.get(key) is path:
+            self._links[key] = links
+        return links
+
+    def propagation_delay(self, path: List[str]) -> float:
+        """Sum of per-hop latencies, memoised for canonical minimal paths."""
+        key = (path[0], path[-1]) if path else ("", "")
+        if self._paths.get(key) is path:
+            delay = self._delays.get(key)
+            if delay is None:
+                delay = self._sum_latency(path)
+                self._delays[key] = delay
+            return delay
+        return self._sum_latency(path)
+
+    def _sum_latency(self, path: List[str]) -> float:
+        edges = self._graph.edges
+        return sum(float(edges[u, v]["latency"]) for u, v in zip(path, path[1:]))
+
+    # --- capacities ----------------------------------------------------------
+
+    def link_capacities(self) -> Dict[Link, float]:
+        """Per-direction link capacities (full duplex), computed once.
+
+        Returns the shared map; callers that mutate capacities during
+        water-filling must copy it first.
+        """
+        if not self._capacities:
+            capacities: Dict[Link, float] = {}
+            for u, v, data in self._graph.edges(data=True):
+                bandwidth = float(data["bandwidth"])
+                capacities[(u, v)] = bandwidth
+                capacities[(v, u)] = bandwidth
+            self._capacities = capacities
+        return self._capacities
+
+    # --- lifecycle -----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every memoised route/link/capacity (stats are kept)."""
+        self._paths.clear()
+        self._links.clear()
+        self._delays.clear()
+        self._capacities.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus current cache population."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "routes": len(self._paths),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RouteCache({self._name!r}, routes={len(self._paths)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def route_cache_for(topology: Topology) -> RouteCache:
+    """The shared :class:`RouteCache` of a topology (created on first use)."""
+    cache = _CACHES.get(topology)
+    if cache is None:
+        cache = RouteCache(topology)
+        _CACHES[topology] = cache
+    return cache
+
+
+def invalidate_route_cache(topology: Topology) -> None:
+    """Drop a topology's cached routes (no-op if it has none).
+
+    Call after mutating ``topology.graph`` in place; derivation helpers
+    (``fail_links``, ``fail_switches``, tenant slicing) call it on the
+    topologies they produce.
+    """
+    cache = _CACHES.pop(topology, None)
+    if cache is not None:
+        cache.clear()
+
+
+def cached_topology_count() -> int:
+    """How many live topologies currently hold a route cache."""
+    return len(_CACHES)

@@ -11,13 +11,22 @@ cost estimate split into electrical and optical links.
 Nodes are strings: switches are ``'s<index>'`` (with topology-specific
 attributes) and terminals (compute endpoints) are ``'t<index>'``. Edges
 carry a ``bandwidth`` (bytes/s), ``latency`` (s) and ``optical`` flag.
+
+All families build through one entry point, :func:`build_topology`, which
+takes a :class:`TopologySpec` (or its fields as keywords) with **one**
+terminal-count parameter — ``terminals``, the endpoints per attachment
+switch — instead of the historical ``terminals_per_router`` /
+``terminals_per_switch`` / ``terminals_per_leaf`` trio. The per-family
+``build_*`` functions remain as thin delegating wrappers.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import math
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
 
 import networkx as nx
 
@@ -177,22 +186,15 @@ def _link(
     graph.add_edge(u, v, bandwidth=bandwidth, latency=latency, optical=optical)
 
 
-def build_dragonfly(
-    groups: int = 9,
-    routers_per_group: int = 4,
-    terminals_per_router: int = 4,
-    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
-    link_latency: float = DEFAULT_LINK_LATENCY,
-    global_links_per_router: Optional[int] = None,
+def _dragonfly(
+    groups: int,
+    routers_per_group: int,
+    terminals: int,
+    link_bandwidth: float,
+    link_latency: float,
+    global_links_per_router: Optional[int],
 ) -> Topology:
-    """A dragonfly network (Kim et al., ISCA 2008 — the paper's ref [11]).
-
-    Routers within a group are fully connected (electrical, short reach);
-    groups are connected by optical global links distributed round-robin
-    across routers. A balanced dragonfly has ``groups <= a*h + 1`` where
-    ``a`` is routers/group and ``h`` global links per router.
-    """
-    if groups < 2 or routers_per_group < 1 or terminals_per_router < 1:
+    if groups < 2 or routers_per_group < 1 or terminals < 1:
         raise ConfigurationError("dragonfly needs >=2 groups and >=1 router/terminal")
     h = global_links_per_router
     if h is None:
@@ -231,24 +233,18 @@ def build_dragonfly(
     for group_routers in routers.values():
         for router in group_routers:
             terminal_index = _attach_terminals(
-                graph, router, terminals_per_router, terminal_index,
+                graph, router, terminals, terminal_index,
                 link_bandwidth, link_latency,
             )
     return Topology(f"dragonfly(g={groups},a={routers_per_group})", graph)
 
 
-def build_hyperx(
-    dims: Tuple[int, ...] = (4, 4),
-    terminals_per_switch: int = 4,
-    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
-    link_latency: float = DEFAULT_LINK_LATENCY,
+def _hyperx(
+    dims: Tuple[int, ...],
+    terminals: int,
+    link_bandwidth: float,
+    link_latency: float,
 ) -> Topology:
-    """A HyperX network (Ahn et al., SC 2009 — the paper's ref [12]).
-
-    Switches sit on an integer lattice; along every dimension, all switches
-    sharing the other coordinates are fully connected. Diameter equals the
-    number of dimensions.
-    """
     if not dims or any(d < 2 for d in dims):
         raise ConfigurationError("hyperx dims must each be >= 2")
     graph = nx.Graph()
@@ -276,22 +272,17 @@ def build_hyperx(
     terminal_index = 0
     for coordinate in coords:
         terminal_index = _attach_terminals(
-            graph, switch_of[coordinate], terminals_per_switch, terminal_index,
+            graph, switch_of[coordinate], terminals, terminal_index,
             link_bandwidth, link_latency,
         )
     return Topology(f"hyperx{dims}", graph)
 
 
-def build_fat_tree(
-    k: int = 4,
-    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
-    link_latency: float = DEFAULT_LINK_LATENCY,
+def _fat_tree(
+    k: int,
+    link_bandwidth: float,
+    link_latency: float,
 ) -> Topology:
-    """A k-ary fat-tree (classic 3-tier Clos), the datacenter baseline.
-
-    ``k`` must be even: k pods, each with k/2 edge and k/2 aggregation
-    switches; ``(k/2)^2`` core switches; ``k^3/4`` terminals.
-    """
     if k < 2 or k % 2:
         raise ConfigurationError("fat-tree k must be even and >= 2")
     half = k // 2
@@ -327,14 +318,13 @@ def build_fat_tree(
     return Topology(f"fat-tree(k={k})", graph)
 
 
-def build_two_tier(
-    leaves: int = 8,
-    spines: int = 4,
-    terminals_per_leaf: int = 8,
-    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
-    link_latency: float = DEFAULT_LINK_LATENCY,
+def _two_tier(
+    leaves: int,
+    spines: int,
+    terminals: int,
+    link_bandwidth: float,
+    link_latency: float,
 ) -> Topology:
-    """A leaf-spine Clos, the rack/row-scale building block of Figure 2."""
     if leaves < 1 or spines < 1:
         raise ConfigurationError("need at least one leaf and one spine")
     graph = nx.Graph()
@@ -353,23 +343,18 @@ def build_two_tier(
     terminal_index = 0
     for leaf in leaf_nodes:
         terminal_index = _attach_terminals(
-            graph, leaf, terminals_per_leaf, terminal_index,
+            graph, leaf, terminals, terminal_index,
             link_bandwidth, link_latency,
         )
     return Topology(f"leaf-spine({leaves}x{spines})", graph)
 
 
-def build_torus(
-    dims: Tuple[int, ...] = (4, 4, 4),
-    terminals_per_switch: int = 1,
-    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
-    link_latency: float = DEFAULT_LINK_LATENCY,
+def _torus(
+    dims: Tuple[int, ...],
+    terminals: int,
+    link_bandwidth: float,
+    link_latency: float,
 ) -> Topology:
-    """A k-ary n-cube torus, the classic pre-dragonfly HPC topology.
-
-    High diameter but cheap, short, fully electrical links — the foil for
-    the low-diameter argument.
-    """
     if not dims or any(d < 2 for d in dims):
         raise ConfigurationError("torus dims must each be >= 2")
     graph = nx.Graph()
@@ -389,7 +374,257 @@ def build_torus(
     terminal_index = 0
     for coordinate in coords:
         terminal_index = _attach_terminals(
-            graph, switch_of[coordinate], terminals_per_switch, terminal_index,
+            graph, switch_of[coordinate], terminals, terminal_index,
             link_bandwidth, link_latency,
         )
     return Topology(f"torus{dims}", graph)
+
+
+# --- unified entry point --------------------------------------------------------
+
+#: Canonical topology kinds accepted by :func:`build_topology`.
+TOPOLOGY_KINDS = ("dragonfly", "hyperx", "fat-tree", "two-tier", "torus")
+
+_KIND_ALIASES = {
+    "fat_tree": "fat-tree",
+    "fattree": "fat-tree",
+    "clos": "fat-tree",
+    "two_tier": "two-tier",
+    "leaf-spine": "two-tier",
+    "leaf_spine": "two-tier",
+    "leafspine": "two-tier",
+}
+
+#: Historical terminal-count parameter names, all meaning ``terminals``.
+_TERMINAL_ALIASES = (
+    "terminals_per_router",
+    "terminals_per_switch",
+    "terminals_per_leaf",
+)
+
+#: Spec fields meaningful per kind (beyond the link parameters, which apply
+#: everywhere). Setting any other field for that kind is an error.
+_KIND_FIELDS = {
+    "dragonfly": ("terminals", "groups", "routers_per_group",
+                  "global_links_per_router"),
+    "hyperx": ("terminals", "dims"),
+    "fat-tree": ("k",),
+    "two-tier": ("terminals", "leaves", "spines"),
+    "torus": ("terminals", "dims"),
+}
+
+#: Per-kind defaults, chosen so ``build_topology(kind)`` builds exactly what
+#: the corresponding legacy ``build_*()`` call built.
+_KIND_DEFAULTS = {
+    "dragonfly": {"terminals": 4, "groups": 9, "routers_per_group": 4,
+                  "global_links_per_router": None},
+    "hyperx": {"terminals": 4, "dims": (4, 4)},
+    "fat-tree": {"k": 4},
+    "two-tier": {"terminals": 8, "leaves": 8, "spines": 4},
+    "torus": {"terminals": 1, "dims": (4, 4, 4)},
+}
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A declarative description of one topology scenario point.
+
+    Only ``kind`` is required; every other field is optional and defaults
+    to the family's legacy builder default. ``terminals`` is the unified
+    endpoints-per-attachment-switch count (router for dragonfly, lattice
+    switch for HyperX/torus, leaf for two-tier); fat-tree derives it from
+    ``k`` and rejects an explicit value. Fields irrelevant to the chosen
+    kind must stay unset.
+    """
+
+    kind: str
+    terminals: Optional[int] = None
+    groups: Optional[int] = None
+    routers_per_group: Optional[int] = None
+    global_links_per_router: Optional[int] = None
+    dims: Optional[Tuple[int, ...]] = None
+    k: Optional[int] = None
+    leaves: Optional[int] = None
+    spines: Optional[int] = None
+    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH
+    link_latency: float = DEFAULT_LINK_LATENCY
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kind", normalize_topology_kind(self.kind))
+        if self.dims is not None:
+            object.__setattr__(self, "dims", tuple(int(d) for d in self.dims))
+
+    def build(self) -> Topology:
+        """Shorthand for ``build_topology(self)``."""
+        return build_topology(self)
+
+
+def normalize_topology_kind(kind: str) -> str:
+    """Canonical kind name (aliases resolved); unknown kinds raise."""
+    name = _KIND_ALIASES.get(str(kind).strip().lower(),
+                             str(kind).strip().lower())
+    if name not in TOPOLOGY_KINDS:
+        known = ", ".join(TOPOLOGY_KINDS)
+        raise ConfigurationError(
+            f"unknown topology kind {kind!r}; known kinds: {known}"
+        )
+    return name
+
+
+def _resolve_spec(kind: Union[str, TopologySpec], params: Dict[str, object]) -> TopologySpec:
+    for alias in _TERMINAL_ALIASES:
+        if alias in params:
+            value = params.pop(alias)
+            if params.get("terminals", value) != value:
+                raise ConfigurationError(
+                    f"conflicting terminal counts: {alias}={value} "
+                    f"vs terminals={params['terminals']}"
+                )
+            params["terminals"] = value
+    if isinstance(kind, TopologySpec):
+        return dataclasses.replace(kind, **params) if params else kind
+    try:
+        return TopologySpec(kind=kind, **params)
+    except TypeError as error:
+        raise ConfigurationError(f"bad topology parameters: {error}") from None
+
+
+def build_topology(kind: Union[str, TopologySpec], **spec: object) -> Topology:
+    """Build any topology family from one declarative description.
+
+    ``kind`` is a family name (``'dragonfly'``, ``'hyperx'``,
+    ``'fat-tree'``, ``'two-tier'``, ``'torus'``, or an alias such as
+    ``'leaf-spine'``) or a ready :class:`TopologySpec`; keyword arguments
+    override spec fields. The historical ``terminals_per_router`` /
+    ``terminals_per_switch`` / ``terminals_per_leaf`` spellings are
+    accepted as aliases for ``terminals``, e.g.
+    ``build_topology("dragonfly", groups=6, terminals=4)``.
+    """
+    resolved = _resolve_spec(kind, dict(spec))
+    name = resolved.kind
+    allowed = _KIND_FIELDS[name]
+    for field_name in ("terminals", "groups", "routers_per_group",
+                       "global_links_per_router", "dims", "k", "leaves",
+                       "spines"):
+        if field_name not in allowed and getattr(resolved, field_name) is not None:
+            raise ConfigurationError(
+                f"{name} topology does not take {field_name!r}"
+            )
+    values = dict(_KIND_DEFAULTS[name])
+    for field_name in allowed:
+        given = getattr(resolved, field_name)
+        if given is not None:
+            values[field_name] = given
+    values["link_bandwidth"] = resolved.link_bandwidth
+    values["link_latency"] = resolved.link_latency
+    builder = {
+        "dragonfly": _dragonfly,
+        "hyperx": _hyperx,
+        "fat-tree": _fat_tree,
+        "two-tier": _two_tier,
+        "torus": _torus,
+    }[name]
+    return builder(**values)
+
+
+# --- legacy per-family wrappers -------------------------------------------------
+
+
+def build_dragonfly(
+    groups: int = 9,
+    routers_per_group: int = 4,
+    terminals_per_router: int = 4,
+    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+    global_links_per_router: Optional[int] = None,
+) -> Topology:
+    """A dragonfly network (Kim et al., ISCA 2008 — the paper's ref [11]).
+
+    Routers within a group are fully connected (electrical, short reach);
+    groups are connected by optical global links distributed round-robin
+    across routers. A balanced dragonfly has ``groups <= a*h + 1`` where
+    ``a`` is routers/group and ``h`` global links per router.
+
+    Thin wrapper over :func:`build_topology`.
+    """
+    return build_topology(
+        "dragonfly", groups=groups, routers_per_group=routers_per_group,
+        terminals=terminals_per_router, link_bandwidth=link_bandwidth,
+        link_latency=link_latency,
+        global_links_per_router=global_links_per_router,
+    )
+
+
+def build_hyperx(
+    dims: Tuple[int, ...] = (4, 4),
+    terminals_per_switch: int = 4,
+    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+) -> Topology:
+    """A HyperX network (Ahn et al., SC 2009 — the paper's ref [12]).
+
+    Switches sit on an integer lattice; along every dimension, all switches
+    sharing the other coordinates are fully connected. Diameter equals the
+    number of dimensions.
+
+    Thin wrapper over :func:`build_topology`.
+    """
+    return build_topology(
+        "hyperx", dims=tuple(dims), terminals=terminals_per_switch,
+        link_bandwidth=link_bandwidth, link_latency=link_latency,
+    )
+
+
+def build_fat_tree(
+    k: int = 4,
+    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+) -> Topology:
+    """A k-ary fat-tree (classic 3-tier Clos), the datacenter baseline.
+
+    ``k`` must be even: k pods, each with k/2 edge and k/2 aggregation
+    switches; ``(k/2)^2`` core switches; ``k^3/4`` terminals.
+
+    Thin wrapper over :func:`build_topology`.
+    """
+    return build_topology(
+        "fat-tree", k=k,
+        link_bandwidth=link_bandwidth, link_latency=link_latency,
+    )
+
+
+def build_two_tier(
+    leaves: int = 8,
+    spines: int = 4,
+    terminals_per_leaf: int = 8,
+    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+) -> Topology:
+    """A leaf-spine Clos, the rack/row-scale building block of Figure 2.
+
+    Thin wrapper over :func:`build_topology`.
+    """
+    return build_topology(
+        "two-tier", leaves=leaves, spines=spines,
+        terminals=terminals_per_leaf,
+        link_bandwidth=link_bandwidth, link_latency=link_latency,
+    )
+
+
+def build_torus(
+    dims: Tuple[int, ...] = (4, 4, 4),
+    terminals_per_switch: int = 1,
+    link_bandwidth: float = DEFAULT_LINK_BANDWIDTH,
+    link_latency: float = DEFAULT_LINK_LATENCY,
+) -> Topology:
+    """A k-ary n-cube torus, the classic pre-dragonfly HPC topology.
+
+    High diameter but cheap, short, fully electrical links — the foil for
+    the low-diameter argument.
+
+    Thin wrapper over :func:`build_topology`.
+    """
+    return build_topology(
+        "torus", dims=tuple(dims), terminals=terminals_per_switch,
+        link_bandwidth=link_bandwidth, link_latency=link_latency,
+    )

@@ -7,6 +7,12 @@ attached, so ``python -m repro trace <id>`` and ``python -m repro metrics
 pytest-benchmark harness. Profiles are sized to finish in seconds — the
 full-size experiments stay in ``benchmarks/``.
 
+Profiles are part of the public API: :func:`run` executes one by id with
+optional keyword overrides (``run("C1", aggressors=12)``) and returns a
+structured :class:`ProfileResult` that both the CLI and the
+:mod:`repro.sweep` engine consume — a profile id is a valid sweep target
+(``target="profile:C1"``).
+
 This module sits above the subsystems (like :mod:`repro.cli`): it imports
 scheduling, interconnect and federation freely, while the
 :mod:`repro.observability` package itself depends only on core.
@@ -21,9 +27,9 @@ from repro.core.rng import RandomSource
 from repro.federation import Dataset, Federation, Site, SiteKind, WanLink
 from repro.federation.bursting import BurstingPolicy
 from repro.hardware import Precision, default_catalog
-from repro.interconnect.congestion import FlowBasedCongestionControl
+from repro.interconnect.congestion import congestion_policy
 from repro.interconnect.fabric import FabricSimulator, Flow
-from repro.interconnect.topology import build_dragonfly
+from repro.interconnect.topology import build_topology
 from repro.observability import Telemetry, attach_cluster_sampler
 from repro.scheduling import MetaScheduler, PlacementPolicy
 from repro.scheduling.cluster import ClusterSimulator
@@ -39,6 +45,21 @@ class ProfileResult:
     title: str
     telemetry: Telemetry
     summary: List[Tuple[str, object]] = field(default_factory=list)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        """The numeric summary entries, as a flat name -> value dict.
+
+        Non-numeric summary rows (e.g. per-site placement dicts) are
+        dropped; this is the record a sweep point stores per scenario.
+        """
+        numbers: Dict[str, float] = {}
+        for name, value in self.summary:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            numbers[name] = float(value)
+        return numbers
 
 
 # --- scheduling-family profiles ------------------------------------------------
@@ -59,12 +80,19 @@ def _mixed_federation() -> Federation:
     return federation
 
 
-def _profile_f1(telemetry: Telemetry) -> ProfileResult:
+def _profile_f1(
+    telemetry: Telemetry,
+    *,
+    arrival_rate: float = 0.01,
+    duration: float = 20_000.0,
+    max_jobs: int = 100,
+    seed: int = 101,
+) -> ProfileResult:
     """F1: mixed simulation/analytics/ML trace on a heterogeneous site."""
     federation = _mixed_federation()
     trace = JobTraceGenerator(
-        TraceConfig(arrival_rate=0.01, duration=20_000.0, max_jobs=100),
-        rng=RandomSource(seed=101),
+        TraceConfig(arrival_rate=arrival_rate, duration=duration, max_jobs=max_jobs),
+        rng=RandomSource(seed=seed),
     ).generate()
     scheduler = MetaScheduler(federation, telemetry=telemetry)
     for pool in scheduler.pools.values():
@@ -81,7 +109,14 @@ def _profile_f1(telemetry: Telemetry) -> ProfileResult:
     )
 
 
-def _profile_c8(telemetry: Telemetry) -> ProfileResult:
+def _profile_c8(
+    telemetry: Telemetry,
+    *,
+    arrival_rate: float = 0.02,
+    duration: float = 10_000.0,
+    max_jobs: int = 120,
+    seed: int = 55,
+) -> ProfileResult:
     """C8: best-silicon meta-scheduling over a two-site federation."""
     catalog = default_catalog()
     cpu = catalog.get("epyc-class-cpu")
@@ -95,8 +130,8 @@ def _profile_c8(telemetry: Telemetry) -> ProfileResult:
     federation.add_site(campus)
     federation.connect(hub, campus, WanLink(bandwidth=1.25e9, latency=0.01))
     trace = JobTraceGenerator(
-        TraceConfig(arrival_rate=0.02, duration=10_000.0, max_jobs=120),
-        rng=RandomSource(seed=55),
+        TraceConfig(arrival_rate=arrival_rate, duration=duration, max_jobs=max_jobs),
+        rng=RandomSource(seed=seed),
     ).generate()
     scheduler = MetaScheduler(
         federation, policy=PlacementPolicy.BEST_SILICON, telemetry=telemetry
@@ -115,7 +150,14 @@ def _profile_c8(telemetry: Telemetry) -> ProfileResult:
     )
 
 
-def _profile_c9(telemetry: Telemetry) -> ProfileResult:
+def _profile_c9(
+    telemetry: Telemetry,
+    *,
+    datasets: int = 8,
+    jobs: int = 16,
+    dataset_bytes: float = 100e9,
+    gravity_weight: float = 1.0,
+) -> ProfileResult:
     """C9: data gravity — datasets pinned at archives, compute at a hub."""
     catalog = default_catalog()
     cpu = catalog.get("epyc-class-cpu")
@@ -132,16 +174,15 @@ def _profile_c9(telemetry: Telemetry) -> ProfileResult:
     federation.connect(
         archive, hub, WanLink(bandwidth=1.25e9, latency=0.01, cost_per_gb=0.02)
     )
-    dataset_bytes = 100e9
-    for index in range(8):
+    for index in range(datasets):
         federation.add_dataset(
             Dataset(
                 name=f"ds-{index}", size_bytes=dataset_bytes,
                 replicas={"archive"},
             )
         )
-    jobs = []
-    for index in range(16):
+    trace = []
+    for index in range(jobs):
         job = make_single_kernel_job(
             name=f"scan-{index}",
             job_class=JobClass.ANALYTICS,
@@ -149,16 +190,16 @@ def _profile_c9(telemetry: Telemetry) -> ProfileResult:
             bytes_moved=5e12,
             precision=Precision.FP32,
             ranks=4,
-            input_dataset=f"ds-{index % 8}",
+            input_dataset=f"ds-{index % datasets}",
             input_bytes=dataset_bytes,
         )
         job.arrival_time = index * 2.0
-        jobs.append(job)
+        trace.append(job)
     scheduler = MetaScheduler(
         federation, policy=PlacementPolicy.BEST_SILICON,
-        gravity_weight=1.0, telemetry=telemetry,
+        gravity_weight=gravity_weight, telemetry=telemetry,
     )
-    records = scheduler.run(jobs)
+    records = scheduler.run(trace)
     wan_bytes = telemetry.counter("wan.transfer_bytes").total()
     return ProfileResult(
         "C9", "data-gravity-aware placement with pinned datasets", telemetry,
@@ -174,7 +215,15 @@ def _profile_c9(telemetry: Telemetry) -> ProfileResult:
     )
 
 
-def _profile_f3(telemetry: Telemetry) -> ProfileResult:
+def _profile_f3(
+    telemetry: Telemetry,
+    *,
+    arrival_rate: float = 0.5,
+    duration: float = 4_000.0,
+    max_jobs: int = 120,
+    queue_threshold: float = 120.0,
+    seed: int = 33,
+) -> ProfileResult:
     """F3: stage-1 bursting — overflow from a saturated campus to a cloud."""
     catalog = default_catalog()
     cpu = catalog.get("epyc-class-cpu")
@@ -191,10 +240,10 @@ def _profile_f3(telemetry: Telemetry) -> ProfileResult:
         site=cloud, device=cpu, simulation=simulation, telemetry=telemetry
     )
     attach_cluster_sampler(telemetry, local, period=250.0)
-    policy = BurstingPolicy(queue_threshold=120.0, telemetry=telemetry)
+    policy = BurstingPolicy(queue_threshold=queue_threshold, telemetry=telemetry)
     trace = JobTraceGenerator(
-        TraceConfig(arrival_rate=0.5, duration=4_000.0, max_jobs=120),
-        rng=RandomSource(seed=33),
+        TraceConfig(arrival_rate=arrival_rate, duration=duration, max_jobs=max_jobs),
+        rng=RandomSource(seed=seed),
     ).generate()
     bursted = [0]
 
@@ -257,13 +306,24 @@ def _incast_flows(topology, aggressors: int) -> List[Flow]:
     return flows
 
 
-def _profile_c1(telemetry: Telemetry) -> ProfileResult:
+def _profile_c1(
+    telemetry: Telemetry,
+    *,
+    aggressors: int = 8,
+    groups: int = 6,
+    routers_per_group: int = 4,
+    terminals: int = 4,
+    congestion: str = "flow",
+) -> ProfileResult:
     """C1: elephant incast vs latency-sensitive mice under flow-based CM."""
-    topology = build_dragonfly(groups=6, routers_per_group=4, terminals_per_router=4)
-    fabric = FabricSimulator(
-        topology, congestion=FlowBasedCongestionControl(), telemetry=telemetry
+    topology = build_topology(
+        "dragonfly", groups=groups, routers_per_group=routers_per_group,
+        terminals=terminals,
     )
-    stats = fabric.run(_incast_flows(topology, aggressors=8))
+    fabric = FabricSimulator(
+        topology, congestion=congestion_policy(congestion), telemetry=telemetry
+    )
+    stats = fabric.run(_incast_flows(topology, aggressors=aggressors))
     victims = sorted(
         s.completion_time for s in stats if s.tag == "victim"
     )
@@ -282,22 +342,30 @@ def _profile_c1(telemetry: Telemetry) -> ProfileResult:
     )
 
 
-def _profile_c2(telemetry: Telemetry) -> ProfileResult:
+def _profile_c2(
+    telemetry: Telemetry,
+    *,
+    flows: int = 120,
+    flow_size: float = 4e6,
+    seed: int = 17,
+) -> ProfileResult:
     """C2: uniform random traffic over a low-diameter dragonfly."""
-    topology = build_dragonfly(groups=6, routers_per_group=4, terminals_per_router=4)
-    rng = RandomSource(seed=17, name="c2-profile")
-    terminals = list(topology.terminals)
-    flows = []
-    for index in range(120):
-        source, destination = rng.sample(terminals, 2)
-        flows.append(
+    topology = build_topology(
+        "dragonfly", groups=6, routers_per_group=4, terminals=4
+    )
+    rng = RandomSource(seed=seed, name="c2-profile")
+    endpoints = list(topology.terminals)
+    trace = []
+    for index in range(flows):
+        source, destination = rng.sample(endpoints, 2)
+        trace.append(
             Flow(
-                source=source, destination=destination, size=4e6,
+                source=source, destination=destination, size=flow_size,
                 start_time=index * 2e-4,
             )
         )
     fabric = FabricSimulator(topology, telemetry=telemetry)
-    stats = fabric.run(flows)
+    stats = fabric.run(trace)
     fct = telemetry.metrics.get("fabric.fct_seconds")
     return ProfileResult(
         "C2", "uniform random traffic on a dragonfly", telemetry,
@@ -310,7 +378,7 @@ def _profile_c2(telemetry: Telemetry) -> ProfileResult:
 
 
 #: Experiment ids that can be run with telemetry attached.
-PROFILES: Dict[str, Callable[[Telemetry], ProfileResult]] = {
+PROFILES: Dict[str, Callable[..., ProfileResult]] = {
     "F1": _profile_f1,
     "F3": _profile_f3,
     "C1": _profile_c1,
@@ -320,18 +388,33 @@ PROFILES: Dict[str, Callable[[Telemetry], ProfileResult]] = {
 }
 
 
-def run_profile(experiment_id: str, telemetry: Telemetry = None) -> ProfileResult:
-    """Run one profile with telemetry attached and return its result.
+def run(
+    name: str, telemetry: Telemetry = None, **overrides: object
+) -> ProfileResult:
+    """Run one profile and return its structured :class:`ProfileResult`.
 
-    ``experiment_id`` must be one of :data:`PROFILES`; unknown ids raise
-    ``KeyError`` listing what is traceable.
+    ``name`` must be one of :data:`PROFILES` (case-insensitive); unknown
+    names raise ``KeyError`` listing what is runnable.  Keyword
+    ``overrides`` are forwarded to the profile function — each profile
+    documents its accepted knobs (e.g. ``run("C1", congestion="ecn")``) and
+    rejects unknown ones with ``TypeError``.  The overrides used are
+    recorded on ``result.params`` so downstream sweeps can tabulate them.
     """
-    key = experiment_id.upper()
+    key = name.upper()
     try:
         profile = PROFILES[key]
     except KeyError:
         known = ", ".join(sorted(PROFILES))
         raise KeyError(
-            f"no run profile for {experiment_id!r}; traceable ids: {known}"
+            f"no run profile for {name!r}; traceable ids: {known}"
         ) from None
-    return profile(telemetry if telemetry is not None else Telemetry())
+    result = profile(
+        telemetry if telemetry is not None else Telemetry(), **overrides
+    )
+    result.params = dict(overrides)
+    return result
+
+
+def run_profile(experiment_id: str, telemetry: Telemetry = None) -> ProfileResult:
+    """Backwards-compatible alias for :func:`run` (no overrides)."""
+    return run(experiment_id, telemetry)

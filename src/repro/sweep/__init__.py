@@ -1,0 +1,64 @@
+"""Parallel scenario sweeps: declarative grids fanned over worker processes.
+
+The sweep engine turns "run the congestion study at every (topology,
+policy, load)" into three declarative pieces:
+
+* :class:`~repro.sweep.grid.ParameterGrid` — the cross product of named
+  axes, enumerated in a stable order (:mod:`repro.sweep.grid`),
+* a registered **target** — the function one grid point runs, looked up
+  by name so specs stay picklable (:mod:`repro.sweep.targets`),
+* :func:`~repro.sweep.engine.run_sweep` — the ``multiprocessing`` fan-out
+  with per-point telemetry capture (:mod:`repro.sweep.engine`).
+
+Determinism is the headline contract: every point draws randomness from
+``spawn(point.index)`` off the sweep seed, so the aggregated result is
+bit-identical at any worker count (``SweepResult.fingerprint()`` proves
+it).  Results persist as ``repro.sweep/v1`` JSON documents
+(:mod:`repro.sweep.store`) and aggregate into tables via
+:mod:`repro.analysis.aggregate`.
+
+Quickstart
+----------
+>>> from repro.sweep import SweepSpec, run_sweep
+>>> spec = SweepSpec(
+...     name="demo", target="fabric-congestion", seed=7,
+...     grid={"topology": ["dragonfly"], "load": [0.5, 0.9], "flows": [16]},
+... )
+>>> result = run_sweep(spec, workers=2)   # doctest: +SKIP
+"""
+
+from repro.sweep.engine import (
+    PointResult,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
+from repro.sweep.grid import ParameterGrid, ScenarioPoint
+from repro.sweep.store import SCHEMA, load_sweep, save_sweep, sweep_document
+from repro.sweep.targets import (
+    FABRIC_CONGESTION_VARIANTS,
+    NAMED_SWEEPS,
+    TARGETS,
+    named_sweep,
+    register_target,
+    resolve_target,
+)
+
+__all__ = [
+    "FABRIC_CONGESTION_VARIANTS",
+    "NAMED_SWEEPS",
+    "ParameterGrid",
+    "PointResult",
+    "SCHEMA",
+    "ScenarioPoint",
+    "SweepResult",
+    "SweepSpec",
+    "TARGETS",
+    "load_sweep",
+    "named_sweep",
+    "register_target",
+    "resolve_target",
+    "run_sweep",
+    "save_sweep",
+    "sweep_document",
+]

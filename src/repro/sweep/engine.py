@@ -1,0 +1,219 @@
+"""The parallel scenario-sweep engine.
+
+:func:`run_sweep` fans the points of a :class:`SweepSpec` over a
+``multiprocessing`` pool and collects one :class:`PointResult` per point.
+
+Determinism contract
+--------------------
+The aggregated result is **bit-identical at any worker count**.  Two rules
+make that hold:
+
+* Each point's randomness comes from
+  ``RandomSource(seed, name=f"sweep/{spec.name}").spawn(point.index)`` —
+  a function of the sweep seed and the point's stable grid index only,
+  never of which worker ran it or in what order.
+* Results are reassembled in grid order (``pool.map`` preserves input
+  order), and wall-clock fields are excluded from
+  :meth:`SweepResult.fingerprint`.
+
+Workers resolve the target by *name* inside the child process, so a spec
+is a small picklable value even under the ``spawn`` start method.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RandomSource
+from repro.observability import Telemetry, write_jsonl
+from repro.sweep.grid import ParameterGrid, ScenarioPoint
+from repro.sweep.targets import resolve_target
+
+
+@dataclass
+class SweepSpec:
+    """A declarative sweep: a named target over a parameter grid.
+
+    ``grid`` accepts either a built :class:`ParameterGrid` or the plain
+    axis mapping it would be built from.  ``seed`` is the root of every
+    point's RNG; two runs of the same spec are bit-identical.
+    """
+
+    name: str
+    target: str
+    grid: Union[ParameterGrid, Mapping[str, Sequence[object]]]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("sweep needs a non-empty name")
+        if not isinstance(self.grid, ParameterGrid):
+            self.grid = ParameterGrid(self.grid)
+
+    def points(self) -> List[ScenarioPoint]:
+        return self.grid.points()
+
+    def rng_for(self, point_index: int) -> RandomSource:
+        """The point's RNG: a pure function of (seed, sweep name, index)."""
+        return RandomSource(self.seed, name=f"sweep/{self.name}").spawn(point_index)
+
+
+@dataclass
+class PointResult:
+    """Outcome of one scenario point."""
+
+    index: int
+    params: Dict[str, object]
+    metrics: Dict[str, float]
+    counters: Dict[str, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def record(self) -> Dict[str, object]:
+        """Flat ``params + metrics`` dict — one table row per point."""
+        row: Dict[str, object] = dict(self.params)
+        row.update(self.metrics)
+        return row
+
+
+@dataclass
+class SweepResult:
+    """All point results of one sweep run, in grid order."""
+
+    name: str
+    target: str
+    seed: int
+    workers: int
+    points: List[PointResult]
+    wall_seconds: float = 0.0
+
+    def records(self) -> List[Dict[str, object]]:
+        """One flat row per point (params + metrics), in grid order."""
+        return [point.record() for point in self.points]
+
+    def fingerprint(self) -> str:
+        """A stable digest of every deterministic field.
+
+        Covers params, metrics and counters of every point — but no
+        wall-clock — so equal fingerprints mean bit-identical scenario
+        outcomes regardless of worker count.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(
+            [
+                {
+                    "index": p.index,
+                    "params": {k: repr(v) for k, v in p.params.items()},
+                    "metrics": p.metrics,
+                    "counters": p.counters,
+                }
+                for p in self.points
+            ],
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _run_point(args) -> PointResult:
+    """Worker body: run one scenario point (module-level for pickling)."""
+    target_name, sweep_name, seed, index, params, trace_dir = args
+    target = resolve_target(target_name)
+    rng = RandomSource(seed, name=f"sweep/{sweep_name}").spawn(index)
+    telemetry = Telemetry()
+    started = time.perf_counter()
+    metrics = target(dict(params), telemetry, rng)
+    wall = time.perf_counter() - started
+    if not isinstance(metrics, dict):
+        raise TypeError(
+            f"sweep target {target_name!r} returned {type(metrics).__name__}, "
+            "expected a metrics dict"
+        )
+    counters = {
+        metric.name: float(metric.total())
+        for metric in telemetry.metrics
+        if metric.kind == "counter"
+    }
+    if trace_dir is not None:
+        import pathlib
+
+        directory = pathlib.Path(trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        write_jsonl(telemetry.tracer, directory / f"point-{index:04d}.jsonl")
+    return PointResult(
+        index=index,
+        params=dict(params),
+        metrics={k: float(v) for k, v in metrics.items()},
+        counters=counters,
+        wall_seconds=wall,
+    )
+
+
+def _pool_context():
+    """Prefer ``fork`` (fast, shares the imported tree); fall back to spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    trace_dir: Optional[str] = None,
+    progress=None,
+) -> SweepResult:
+    """Run every point of ``spec`` and return the assembled result.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``1`` runs inline (no pool, easiest to debug); the
+        aggregated result is bit-identical at any value.
+    trace_dir:
+        When given, each point writes its telemetry trace as
+        ``point-NNNN.jsonl`` under this directory.
+    progress:
+        Optional callable ``progress(point_result)`` invoked as results
+        arrive (in grid order).
+
+    The target is resolved once up front so an unknown name fails fast,
+    then again by name inside each worker.
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    resolve_target(spec.target)
+    jobs = [
+        (spec.target, spec.name, spec.seed, point.index, point.params, trace_dir)
+        for point in spec.points()
+    ]
+    started = time.perf_counter()
+    if workers == 1:
+        results = []
+        for job in jobs:
+            result = _run_point(job)
+            if progress is not None:
+                progress(result)
+            results.append(result)
+    else:
+        context = _pool_context()
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with context.Pool(processes=workers) as pool:
+            results = []
+            for result in pool.imap(_run_point, jobs, chunksize=chunksize):
+                if progress is not None:
+                    progress(result)
+                results.append(result)
+    wall = time.perf_counter() - started
+    return SweepResult(
+        name=spec.name,
+        target=spec.target,
+        seed=spec.seed,
+        workers=workers,
+        points=results,
+        wall_seconds=wall,
+    )

@@ -1,0 +1,102 @@
+"""Declarative parameter grids for scenario sweeps.
+
+A sweep explores the cross product of named axes — "every topology at
+every congestion policy at every load".  :class:`ParameterGrid` holds the
+axes; iterating yields :class:`ScenarioPoint` objects in a deterministic
+lexicographic order (axes in insertion order, values in the order given),
+so point ``index`` is a stable identity: the same grid always enumerates
+the same points with the same indices regardless of worker count.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One cell of a parameter grid: a stable index plus its parameters."""
+
+    index: int
+    params: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """A compact ``axis=value`` rendering, for progress lines and tables."""
+        inner = ",".join(f"{k}={v}" for k, v in self.params.items())
+        return f"[{self.index}] {inner}"
+
+
+class ParameterGrid:
+    """The cross product of named parameter axes.
+
+    Parameters
+    ----------
+    axes:
+        Mapping of axis name to the sequence of values it takes.  Axis
+        order is significant — it fixes the enumeration order (last axis
+        varies fastest, like an odometer).  Every axis needs at least one
+        value; single-value axes are how fixed parameters ride along.
+
+    Examples
+    --------
+    ``ParameterGrid({"topology": ["dragonfly", "hyperx"], "load": [0.3, 0.9]})``
+    enumerates 4 points: (dragonfly, 0.3), (dragonfly, 0.9), (hyperx, 0.3),
+    (hyperx, 0.9).
+    """
+
+    def __init__(self, axes: Mapping[str, Sequence[object]]) -> None:
+        if not axes:
+            raise ConfigurationError("parameter grid needs at least one axis")
+        self._axes: Dict[str, List[object]] = {}
+        for name, values in axes.items():
+            values = list(values)
+            if not values:
+                raise ConfigurationError(f"axis {name!r} has no values")
+            self._axes[str(name)] = values
+
+    @property
+    def axes(self) -> Dict[str, List[object]]:
+        """The axis mapping (a copy; mutating it does not affect the grid)."""
+        return {name: list(values) for name, values in self._axes.items()}
+
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        return tuple(self._axes)
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self._axes.values():
+            size *= len(values)
+        return size
+
+    def __iter__(self) -> Iterator[ScenarioPoint]:
+        names = list(self._axes)
+        for index, combo in enumerate(itertools.product(*self._axes.values())):
+            yield ScenarioPoint(index=index, params=dict(zip(names, combo)))
+
+    def points(self) -> List[ScenarioPoint]:
+        """The full enumeration as a list."""
+        return list(self)
+
+    def point(self, index: int) -> ScenarioPoint:
+        """The point at a given stable index (IndexError when out of range)."""
+        size = len(self)
+        if not 0 <= index < size:
+            raise IndexError(f"grid has {size} points; no index {index}")
+        params: Dict[str, object] = {}
+        remaining = index
+        for name in reversed(list(self._axes)):
+            values = self._axes[name]
+            remaining, offset = divmod(remaining, len(values))
+            params[name] = values[offset]
+        ordered = {name: params[name] for name in self._axes}
+        return ScenarioPoint(index=index, params=ordered)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}×{len(v)}" for k, v in self._axes.items())
+        return f"ParameterGrid({inner}; {len(self)} points)"

@@ -1,0 +1,84 @@
+"""JSON persistence for sweep results.
+
+One sweep run serialises to a single self-describing JSON document
+(schema id ``repro.sweep/v1``) — the same shape the ``BENCH_*.json``
+artefacts use, so a stored sweep seeds benchmark baselines directly.
+Round-tripping through :func:`save_sweep`/:func:`load_sweep` preserves
+every deterministic field (:meth:`~repro.sweep.engine.SweepResult.fingerprint`
+is stable across the round trip).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from repro.sweep.engine import PointResult, SweepResult
+
+#: Schema identifier written into (and required from) every document.
+SCHEMA = "repro.sweep/v1"
+
+
+def sweep_document(result: SweepResult) -> dict:
+    """The JSON-ready dict for one sweep result."""
+    return {
+        "schema": SCHEMA,
+        "name": result.name,
+        "target": result.target,
+        "seed": result.seed,
+        "workers": result.workers,
+        "wall_seconds": result.wall_seconds,
+        "fingerprint": result.fingerprint(),
+        "points": [
+            {
+                "index": point.index,
+                "params": point.params,
+                "metrics": point.metrics,
+                "counters": point.counters,
+                "wall_seconds": point.wall_seconds,
+            }
+            for point in result.points
+        ],
+    }
+
+
+def save_sweep(
+    result: SweepResult, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Write the result as JSON; returns the path written."""
+    output = pathlib.Path(path)
+    output.write_text(json.dumps(sweep_document(result), indent=2) + "\n")
+    return output
+
+
+def load_sweep(path: Union[str, pathlib.Path]) -> SweepResult:
+    """Rebuild a :class:`SweepResult` from a saved document.
+
+    Raises ``ValueError`` on a missing or unknown ``schema`` field so a
+    stale artefact fails loudly rather than mis-parsing.
+    """
+    document = json.loads(pathlib.Path(path).read_text())
+    schema = document.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {SCHEMA!r}, found {schema!r}"
+        )
+    points = [
+        PointResult(
+            index=int(entry["index"]),
+            params=dict(entry["params"]),
+            metrics={k: float(v) for k, v in entry["metrics"].items()},
+            counters={k: float(v) for k, v in entry.get("counters", {}).items()},
+            wall_seconds=float(entry.get("wall_seconds", 0.0)),
+        )
+        for entry in document["points"]
+    ]
+    return SweepResult(
+        name=document["name"],
+        target=document["target"],
+        seed=int(document["seed"]),
+        workers=int(document.get("workers", 1)),
+        points=points,
+        wall_seconds=float(document.get("wall_seconds", 0.0)),
+    )

@@ -1,0 +1,221 @@
+"""Sweep targets: the functions a scenario sweep fans out over.
+
+A *target* maps one grid point to a flat metrics dict::
+
+    def target(params, telemetry, rng) -> Dict[str, float]
+
+where ``params`` is the point's parameter dict, ``telemetry`` is a fresh
+:class:`~repro.observability.probes.Telemetry` for the point, and ``rng``
+is a :class:`~repro.core.rng.RandomSource` derived only from the sweep
+seed and the point index — never from the worker that happens to run it.
+
+Targets are registered by name so a :class:`~repro.sweep.engine.SweepSpec`
+stays declarative (and picklable).  Two families exist out of the box:
+
+* ``"fabric-congestion"`` — uniform random traffic on a canned topology
+  with a chosen congestion policy and offered load (the congestion-study
+  scenario from the paper's §II.B discussion, sweepable).
+* ``"profile:<id>"`` — any run profile from :mod:`repro.profiles`; grid
+  parameters become keyword overrides (``run("C1", **params)``).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, Optional
+
+from repro.core.rng import RandomSource
+from repro.interconnect.congestion import congestion_policy
+from repro.interconnect.fabric import FabricSimulator, Flow
+from repro.interconnect.topology import build_topology, normalize_topology_kind
+from repro.observability import Telemetry
+
+SweepTarget = Callable[[Dict[str, object], Telemetry, RandomSource], Dict[str, float]]
+
+#: Registered targets by name (see :func:`register_target`).
+TARGETS: Dict[str, SweepTarget] = {}
+
+
+def register_target(name: str) -> Callable[[SweepTarget], SweepTarget]:
+    """Decorator: register a sweep target under ``name``."""
+
+    def wrap(fn: SweepTarget) -> SweepTarget:
+        TARGETS[name] = fn
+        return fn
+
+    return wrap
+
+
+def resolve_target(name: str) -> SweepTarget:
+    """Look up a target by name.
+
+    ``profile:<id>`` resolves dynamically to the matching run profile;
+    anything else must be in :data:`TARGETS`.  Unknown names raise
+    ``KeyError`` listing what is sweepable.
+    """
+    if name in TARGETS:
+        return TARGETS[name]
+    if name.startswith("profile:"):
+        profile_id = name.split(":", 1)[1]
+        from repro import profiles
+
+        if profile_id.upper() not in profiles.PROFILES:
+            known = ", ".join(sorted(profiles.PROFILES))
+            raise KeyError(
+                f"no run profile for sweep target {name!r}; profiles: {known}"
+            )
+        return _profile_target(profile_id)
+    known = ", ".join(sorted(TARGETS)) + ", profile:<id>"
+    raise KeyError(f"unknown sweep target {name!r}; sweepable: {known}")
+
+
+def _profile_target(profile_id: str) -> SweepTarget:
+    def run_point(
+        params: Dict[str, object],
+        telemetry: Telemetry,
+        rng: RandomSource,
+    ) -> Dict[str, float]:
+        from repro import profiles
+
+        overrides = dict(params)
+        # Profiles that take a seed get one derived from (sweep seed,
+        # point index) unless the grid pins it; seedless profiles are
+        # deterministic already.
+        profile = profiles.PROFILES[profile_id.upper()]
+        if "seed" not in overrides and "seed" in inspect.signature(profile).parameters:
+            overrides["seed"] = rng.integer(0, 2**31 - 1)
+        result = profiles.run(profile_id, telemetry, **overrides)
+        return result.metrics
+
+    return run_point
+
+
+# --- the fabric congestion target ---------------------------------------------
+
+#: Canned topology sizes for the fabric target — small enough that one
+#: point runs in well under a second, large enough that congestion policies
+#: separate.  All have >= 64 terminals.
+_FABRIC_TOPOLOGIES: Dict[str, Dict[str, object]] = {
+    "dragonfly": {"groups": 6, "routers_per_group": 4, "terminals": 4},
+    "hyperx": {"dims": (4, 4), "terminals": 4},
+    "fat-tree": {"k": 6},
+    "two-tier": {"leaves": 8, "spines": 4, "terminals": 8},
+    "torus": {"dims": (4, 4, 4), "terminals": 1},
+}
+
+#: Congestion axis values understood by the fabric target.  The
+#: ``flow-adaptive`` variant is the flow-based policy with adaptive
+#: rerouting of hot flows enabled on top.
+FABRIC_CONGESTION_VARIANTS = ("none", "ecn", "flow", "flow-adaptive")
+
+
+@register_target("fabric-congestion")
+def fabric_congestion(
+    params: Dict[str, object],
+    telemetry: Telemetry,
+    rng: RandomSource,
+) -> Dict[str, float]:
+    """Uniform random traffic on a canned topology under a congestion policy.
+
+    Grid parameters (all optional except ``topology``):
+
+    ``topology``
+        Any :data:`~repro.interconnect.topology.TOPOLOGY_KINDS` name.
+    ``congestion``
+        One of :data:`FABRIC_CONGESTION_VARIANTS` (default ``"none"``).
+    ``load``
+        Offered load as a fraction of a 25 GB/s terminal line rate in
+        (0, 1]; sets the mean flow inter-arrival gap (default ``0.5``).
+    ``flows`` / ``flow_size``
+        Trace length and per-flow bytes (defaults 96 and 2 MB).
+    """
+    kind = normalize_topology_kind(str(params["topology"]))
+    spec = dict(_FABRIC_TOPOLOGIES[kind])
+    variant = str(params.get("congestion", "none"))
+    adaptive = variant == "flow-adaptive"
+    policy = congestion_policy("flow" if adaptive else variant)
+    load = float(params.get("load", 0.5))
+    if not 0.0 < load <= 1.0:
+        raise ValueError(f"load must be in (0, 1], got {load}")
+    flow_count = int(params.get("flows", 96))
+    flow_size = float(params.get("flow_size", 2e6))
+
+    topology = build_topology(kind, **spec)
+    simulator = FabricSimulator(
+        topology,
+        congestion=policy,
+        reroute_adaptively=adaptive,
+        telemetry=telemetry,
+    )
+    terminals = list(topology.terminals)
+    mean_gap = flow_size / (load * 25e9)
+    clock = 0.0
+    trace = []
+    for _ in range(flow_count):
+        source, destination = rng.sample(terminals, 2)
+        trace.append(
+            Flow(
+                source=source, destination=destination,
+                size=flow_size, start_time=clock,
+            )
+        )
+        clock += rng.exponential(mean_gap)
+    stats = simulator.run(trace)
+    completions = sorted(s.completion_time for s in stats)
+    mean_fct = sum(completions) / len(completions) if completions else 0.0
+    p99 = completions[int(0.99 * (len(completions) - 1))] if completions else 0.0
+    return {
+        "flows_finished": float(len(stats)),
+        "mean_fct_s": mean_fct,
+        "p99_fct_s": p99,
+        "max_fct_s": completions[-1] if completions else 0.0,
+        "bytes": float(sum(s.size for s in stats)),
+        "congestion_events": telemetry.counter(
+            "fabric.congestion_events"
+        ).total(),
+    }
+
+
+# --- named sweeps -------------------------------------------------------------
+
+
+def named_sweep(name: str, seed: Optional[int] = None):
+    """A ready-made :class:`~repro.sweep.engine.SweepSpec` by name.
+
+    ``"congestion"`` is the 64-point congestion study (4 topologies × 4
+    congestion variants × 4 loads); ``"smoke"`` is its 8-point miniature
+    for CI.  Unknown names raise ``KeyError``.
+    """
+    from repro.sweep.engine import SweepSpec
+
+    if name == "congestion":
+        return SweepSpec(
+            name="congestion",
+            target="fabric-congestion",
+            grid={
+                "topology": ["dragonfly", "hyperx", "fat-tree", "two-tier"],
+                "congestion": list(FABRIC_CONGESTION_VARIANTS),
+                "load": [0.25, 0.5, 0.75, 0.95],
+                # Single-value rider: enough traffic per point that process
+                # fan-out wins (point cost >> pool overhead) on multi-core.
+                "flows": [256],
+            },
+            seed=seed if seed is not None else 424242,
+        )
+    if name == "smoke":
+        return SweepSpec(
+            name="smoke",
+            target="fabric-congestion",
+            grid={
+                "topology": ["dragonfly", "two-tier"],
+                "congestion": ["none", "flow"],
+                "load": [0.5, 0.95],
+                "flows": [24],
+            },
+            seed=seed if seed is not None else 7,
+        )
+    raise KeyError(f"unknown named sweep {name!r}; known: congestion, smoke")
+
+
+#: Named sweeps available to the CLI (``python -m repro sweep <name>``).
+NAMED_SWEEPS = ("congestion", "smoke")

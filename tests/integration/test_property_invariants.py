@@ -54,7 +54,10 @@ class TestFabricInvariants:
         simulator = FabricSimulator(topology)
         # Feasibility check at the solver level for the initial flow set.
         paths = {flow.flow_id: simulator._route(flow) for flow in flows}
-        rates, _ = simulator._max_min_rates(paths)
+        links = {
+            flow_id: simulator._links_of(path) for flow_id, path in paths.items()
+        }
+        rates, _ = simulator._max_min_rates(links)
         link_totals = {}
         for flow_id, path in paths.items():
             for link in simulator._links_of(path):

@@ -1,0 +1,200 @@
+"""Tests for the topology-keyed route cache and its fabric integration."""
+
+import gc
+
+import pytest
+
+from repro.core.rng import RandomSource
+from repro.interconnect.fabric import FabricSimulator, Flow
+from repro.interconnect.failures import fail_links, fail_switches
+from repro.interconnect.routecache import (
+    RouteCache,
+    cached_topology_count,
+    invalidate_route_cache,
+    route_cache_for,
+)
+from repro.interconnect.topology import (
+    build_dragonfly,
+    build_fat_tree,
+    build_hyperx,
+    build_two_tier,
+)
+
+
+def _uniform_flows(topology, count, seed=11, size=1e6):
+    rng = RandomSource(seed=seed, name="routecache-test")
+    terminals = list(topology.terminals)
+    flows = []
+    for index in range(count):
+        source, destination = rng.sample(terminals, 2)
+        flows.append(
+            Flow(
+                source=source, destination=destination, size=size,
+                start_time=index * 1e-4,
+            )
+        )
+    return flows
+
+
+def _stats_key(stats):
+    return [
+        (s.tag, s.size, s.start_time, s.finish_time, s.path_hops,
+         s.propagation_delay, s.extra_queueing)
+        for s in stats
+    ]
+
+
+class TestRouteCache:
+    def test_minimal_route_memoised(self):
+        topology = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        cache = RouteCache(topology)
+        terminals = topology.terminals
+        first = cache.minimal_route(terminals[0], terminals[-1])
+        second = cache.minimal_route(terminals[0], terminals[-1])
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_links_of_memoised_for_canonical_paths(self):
+        topology = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        cache = RouteCache(topology)
+        terminals = topology.terminals
+        path = cache.minimal_route(terminals[0], terminals[-1])
+        assert cache.links_of(path) is cache.links_of(path)
+        # A non-canonical path (fresh list) decomposes correctly too.
+        detour = list(path)
+        assert cache.links_of(detour) == cache.links_of(path)
+
+    def test_link_capacities_shared_map(self):
+        topology = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        cache = RouteCache(topology)
+        assert cache.link_capacities() is cache.link_capacities()
+
+    def test_route_cache_for_is_per_topology(self):
+        a = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        b = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        assert route_cache_for(a) is route_cache_for(a)
+        assert route_cache_for(a) is not route_cache_for(b)
+
+    def test_cache_entry_dies_with_topology(self):
+        topology = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        route_cache_for(topology)
+        before = cached_topology_count()
+        del topology
+        gc.collect()
+        assert cached_topology_count() < before
+
+    def test_stats_rendering(self):
+        topology = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        cache = route_cache_for(topology)
+        stats = cache.stats()
+        assert set(stats) >= {"routes", "hits", "misses"}
+
+
+@pytest.mark.parametrize(
+    "topology_factory",
+    [
+        lambda: build_dragonfly(groups=4, routers_per_group=3, terminals_per_router=2),
+        lambda: build_fat_tree(k=4),
+        lambda: build_hyperx(dims=(3, 3), terminals_per_switch=2),
+    ],
+    ids=["dragonfly", "fat-tree", "hyperx"],
+)
+class TestCachedRunsMatchUncached:
+    def test_identical_flow_stats(self, topology_factory):
+        topology = topology_factory()
+        flows_cached = _uniform_flows(topology, 40)
+        flows_raw = [
+            Flow(
+                source=f.source, destination=f.destination,
+                size=f.size, start_time=f.start_time,
+            )
+            for f in flows_cached
+        ]
+        cached = FabricSimulator(topology, cache_routes=True).run(flows_cached)
+        uncached = FabricSimulator(topology, cache_routes=False).run(flows_raw)
+        assert _stats_key(cached) == _stats_key(uncached)
+
+    def test_repeated_runs_identical(self, topology_factory):
+        topology = topology_factory()
+        simulator = FabricSimulator(topology)
+        first = simulator.run(_uniform_flows(topology, 30))
+        second = simulator.run(_uniform_flows(topology, 30))
+        assert _stats_key(first) == _stats_key(second)
+        assert simulator._route_cache.hits > 0
+
+
+class TestInvalidation:
+    def test_degraded_topology_reroutes(self):
+        topology = build_dragonfly(
+            groups=4, routers_per_group=3, terminals_per_router=2
+        )
+        # Warm the healthy topology's cache.
+        FabricSimulator(topology).run(_uniform_flows(topology, 20))
+        degraded = fail_links(topology, fraction=0.2, rng=RandomSource(seed=5))
+        healthy_cache = route_cache_for(topology)
+        degraded_cache = route_cache_for(degraded.topology)
+        assert degraded_cache is not healthy_cache
+        assert degraded_cache.stats()["routes"] == 0
+        # Routes on the degraded fabric only use surviving links.
+        alive = set(degraded.topology.graph.edges())
+        simulator = FabricSimulator(degraded.topology)
+        stats = simulator.run(_uniform_flows(degraded.topology, 20))
+        assert stats
+        cache = simulator._route_cache
+        for (src, dst), path in cache._paths.items():
+            for a, b in zip(path, path[1:]):
+                assert (a, b) in alive or (b, a) in alive
+
+    def test_failed_switches_invalidate(self):
+        topology = build_fat_tree(k=4)
+        FabricSimulator(topology).run(_uniform_flows(topology, 10))
+        degraded = fail_switches(topology, count=1, rng=RandomSource(seed=9))
+        assert route_cache_for(degraded.topology).stats()["routes"] == 0
+        stats = FabricSimulator(degraded.topology).run(
+            _uniform_flows(degraded.topology, 10)
+        )
+        assert stats
+
+    def test_explicit_invalidate_clears(self):
+        topology = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        cache = route_cache_for(topology)
+        terminals = topology.terminals
+        cache.minimal_route(terminals[0], terminals[-1])
+        assert cache.stats()["routes"] == 1
+        invalidate_route_cache(topology)
+        assert cache.stats()["routes"] == 0
+        # The registry handed out a fresh entry on next access.
+        assert route_cache_for(topology).stats()["routes"] == 0
+
+
+class TestFabricKeywordApi:
+    def test_positional_config_warns_but_works(self):
+        topology = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        from repro.interconnect.congestion import FlowBasedCongestionControl
+
+        with pytest.warns(DeprecationWarning):
+            simulator = FabricSimulator(topology, FlowBasedCongestionControl())
+        assert simulator.congestion.name == "flow-based"
+
+    def test_positional_and_keyword_conflict_raises(self):
+        topology = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        from repro.interconnect.congestion import FlowBasedCongestionControl
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                FabricSimulator(
+                    topology,
+                    FlowBasedCongestionControl(),
+                    congestion=FlowBasedCongestionControl(),
+                )
+
+    def test_too_many_positionals_raise(self):
+        topology = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                FabricSimulator(topology, None, "minimal", False, None, None, "extra")
+
+    def test_keyword_construction_is_silent(self, recwarn):
+        topology = build_two_tier(leaves=4, spines=2, terminals_per_leaf=4)
+        FabricSimulator(topology, routing="minimal", cache_routes=False)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]

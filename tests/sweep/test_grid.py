@@ -1,0 +1,57 @@
+"""Tests for the sweep parameter grid."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sweep.grid import ParameterGrid, ScenarioPoint
+
+
+class TestParameterGrid:
+    def test_size_is_cross_product(self):
+        grid = ParameterGrid({"a": [1, 2, 3], "b": ["x", "y"]})
+        assert len(grid) == 6
+        assert len(grid.points()) == 6
+
+    def test_enumeration_order_is_odometer(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y"]})
+        params = [p.params for p in grid]
+        assert params == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_indices_are_stable_identities(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y"], "c": [0.1, 0.2]})
+        for point in grid:
+            assert grid.point(point.index).params == point.params
+
+    def test_point_out_of_range(self):
+        grid = ParameterGrid({"a": [1, 2]})
+        with pytest.raises(IndexError):
+            grid.point(2)
+        with pytest.raises(IndexError):
+            grid.point(-1)
+
+    def test_single_value_axes_ride_along(self):
+        grid = ParameterGrid({"a": [1, 2], "fixed": ["only"]})
+        assert len(grid) == 2
+        assert all(p.params["fixed"] == "only" for p in grid)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParameterGrid({})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParameterGrid({"a": []})
+
+    def test_axes_property_is_a_copy(self):
+        grid = ParameterGrid({"a": [1, 2]})
+        grid.axes["a"].append(3)
+        assert len(grid) == 2
+
+    def test_label_renders_params(self):
+        point = ScenarioPoint(index=3, params={"a": 1, "b": "x"})
+        assert point.label == "[3] a=1,b=x"

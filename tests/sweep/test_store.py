@@ -1,0 +1,53 @@
+"""Round-trip tests for the repro.sweep/v1 JSON store."""
+
+import json
+
+import pytest
+
+from repro.sweep import SweepSpec, load_sweep, run_sweep, save_sweep
+from repro.sweep.store import SCHEMA, sweep_document
+
+
+@pytest.fixture(scope="module")
+def result():
+    spec = SweepSpec(
+        name="store-test",
+        target="fabric-congestion",
+        grid={"topology": ["dragonfly"], "load": [0.5, 0.9], "flows": [10]},
+        seed=13,
+    )
+    return run_sweep(spec, workers=1)
+
+
+class TestStore:
+    def test_round_trip_preserves_fingerprint(self, result, tmp_path):
+        path = save_sweep(result, tmp_path / "sweep.json")
+        loaded = load_sweep(path)
+        assert loaded.fingerprint() == result.fingerprint()
+        assert loaded.name == result.name
+        assert loaded.target == result.target
+        assert loaded.seed == result.seed
+        assert loaded.workers == result.workers
+
+    def test_document_is_self_describing(self, result):
+        document = sweep_document(result)
+        assert document["schema"] == SCHEMA
+        assert document["fingerprint"] == result.fingerprint()
+        assert len(document["points"]) == len(result.points)
+
+    def test_document_is_json_serialisable(self, result):
+        json.dumps(sweep_document(result))
+
+    def test_unknown_schema_rejected(self, result, tmp_path):
+        path = tmp_path / "bad.json"
+        document = sweep_document(result)
+        document["schema"] = "repro.sweep/v999"
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError):
+            load_sweep(path)
+
+    def test_missing_schema_rejected(self, tmp_path):
+        path = tmp_path / "none.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_sweep(path)

@@ -1,0 +1,101 @@
+"""Tests for sweep target registration and the built-in targets."""
+
+import pytest
+
+from repro.core.rng import RandomSource
+from repro.observability import Telemetry
+from repro.sweep.targets import (
+    FABRIC_CONGESTION_VARIANTS,
+    TARGETS,
+    fabric_congestion,
+    register_target,
+    resolve_target,
+)
+
+
+def _rng():
+    return RandomSource(seed=3, name="target-test")
+
+
+class TestRegistry:
+    def test_builtin_target_registered(self):
+        assert "fabric-congestion" in TARGETS
+        assert resolve_target("fabric-congestion") is fabric_congestion
+
+    def test_register_target_decorator(self):
+        @register_target("_tmp-target")
+        def tmp(params, telemetry, rng):
+            return {"x": 1.0}
+
+        try:
+            assert resolve_target("_tmp-target") is tmp
+        finally:
+            del TARGETS["_tmp-target"]
+
+    def test_unknown_target_lists_known(self):
+        with pytest.raises(KeyError, match="fabric-congestion"):
+            resolve_target("nope")
+
+    def test_unknown_profile_target(self):
+        with pytest.raises(KeyError, match="profiles"):
+            resolve_target("profile:ZZ")
+
+
+class TestProfileTargets:
+    def test_profile_target_returns_metrics(self):
+        target = resolve_target("profile:C1")
+        metrics = target({"aggressors": 4}, Telemetry(), _rng())
+        assert metrics["flows finished"] == 7.0
+
+    def test_seedful_profile_gets_point_seed(self):
+        target = resolve_target("profile:F1")
+        a = target({"max_jobs": 10}, Telemetry(), _rng())
+        b = target({"max_jobs": 10}, Telemetry(), _rng())
+        assert a == b  # same rng stream -> same derived seed
+
+    def test_pinned_seed_wins(self):
+        target = resolve_target("profile:F1")
+        a = target({"max_jobs": 10, "seed": 5}, Telemetry(), _rng())
+        b = target({"max_jobs": 10, "seed": 5}, Telemetry(), RandomSource(seed=99))
+        assert a == b
+
+
+class TestFabricCongestionTarget:
+    def test_every_variant_on_every_topology(self):
+        for topology in ("dragonfly", "hyperx", "fat-tree", "two-tier", "torus"):
+            for variant in FABRIC_CONGESTION_VARIANTS:
+                metrics = fabric_congestion(
+                    {
+                        "topology": topology, "congestion": variant,
+                        "load": 0.9, "flows": 6,
+                    },
+                    Telemetry(), _rng(),
+                )
+                assert metrics["flows_finished"] == 6.0
+                assert metrics["mean_fct_s"] > 0.0
+
+    def test_policy_separates_under_load(self):
+        none = fabric_congestion(
+            {"topology": "dragonfly", "congestion": "none", "load": 0.95,
+             "flows": 64},
+            Telemetry(), _rng(),
+        )
+        flow = fabric_congestion(
+            {"topology": "dragonfly", "congestion": "flow", "load": 0.95,
+             "flows": 64},
+            Telemetry(), _rng(),
+        )
+        assert flow["p99_fct_s"] <= none["p99_fct_s"]
+
+    def test_bad_load_rejected(self):
+        with pytest.raises(ValueError):
+            fabric_congestion(
+                {"topology": "dragonfly", "load": 0.0}, Telemetry(), _rng()
+            )
+
+    def test_alias_topology_names_accepted(self):
+        metrics = fabric_congestion(
+            {"topology": "fat_tree", "load": 0.5, "flows": 4},
+            Telemetry(), _rng(),
+        )
+        assert metrics["flows_finished"] == 4.0
