@@ -30,6 +30,9 @@ Subpackages
     Sites, WAN, datasets, data gravity, bursting, SLAs.
 ``repro.scheduling``
     Runtime prediction, noise, cluster queues, the meta-scheduler.
+``repro.resilience``
+    Dynamic fault injection and recovery: campaigns, retry policies,
+    checkpoint-restart, goodput accounting.
 ``repro.market``
     The Open Compute Exchange: order book, agents, equilibrium.
 ``repro.datafoundation``
@@ -79,6 +82,13 @@ from repro.interconnect import (
 )
 from repro.market import ComputeExchange, MarketSimulation, ResourceClass
 from repro.observability import MetricsRegistry, Telemetry, Tracer
+from repro.resilience import (
+    CheckpointPlan,
+    FaultCampaign,
+    FaultInjector,
+    RetryPolicy,
+    cluster_report,
+)
 from repro.scheduling import MetaScheduler, PlacementPolicy
 from repro.sweep import ParameterGrid, SweepResult, SweepSpec, run_sweep
 from repro.workloads import (
@@ -93,6 +103,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AIModel",
+    "CheckpointPlan",
     "ComputeExchange",
     "Dataset",
     "Device",
@@ -100,6 +111,8 @@ __all__ = [
     "DeviceKind",
     "DeviceSpec",
     "FabricSimulator",
+    "FaultCampaign",
+    "FaultInjector",
     "Federation",
     "Flow",
     "Job",
@@ -114,6 +127,7 @@ __all__ = [
     "Precision",
     "RandomSource",
     "ResourceClass",
+    "RetryPolicy",
     "Simulation",
     "Site",
     "SiteKind",
@@ -131,6 +145,7 @@ __all__ = [
     "build_topology",
     "build_torus",
     "build_two_tier",
+    "cluster_report",
     "congestion_policy",
     "default_catalog",
     "run_sweep",

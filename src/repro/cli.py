@@ -8,7 +8,9 @@ Run as ``python -m repro <command>``:
 * ``experiments``— the experiment index with bench targets,
 * ``trace``      — run a profiled experiment, write a Chrome trace,
 * ``metrics``    — run a profiled experiment, print its counter tables,
-* ``sweep``      — fan a scenario sweep over worker processes.
+* ``sweep``      — fan a scenario sweep over worker processes,
+* ``faults``     — run the fault-injection profile (C16) and report
+  goodput, retries and conservation.
 """
 
 from __future__ import annotations
@@ -331,6 +333,34 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_faults(args: argparse.Namespace) -> int:
+    """Run the resilience profile and print the fault/recovery summary."""
+    from repro.observability.export import counter_rows
+    from repro.profiles import run
+
+    overrides = {}
+    if args.nodes is not None:
+        overrides["nodes"] = args.nodes
+    if args.node_mtbf is not None:
+        overrides["node_mtbf"] = args.node_mtbf
+    if args.repair_time is not None:
+        overrides["repair_time"] = args.repair_time
+    if args.max_jobs is not None:
+        overrides["max_jobs"] = args.max_jobs
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    result = run("C16", **overrides)
+    _print_summary(result)
+    counters = Table(
+        "Fault and recovery counters", ["metric", "labels", "value"]
+    )
+    for name, labels, value in sorted(counter_rows(result.telemetry.metrics)):
+        if name.startswith(("resilience.", "cluster.jobs", "cluster.nodes")):
+            counters.add_row(name, labels or "-", value)
+    counters.print()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -384,7 +414,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "name",
-        help="named sweep (congestion, smoke) or a label for --target sweeps",
+        help="named sweep (congestion, smoke, resilience) or a label for "
+             "--target sweeps",
     )
     sweep.add_argument(
         "--target", default=None,
@@ -409,6 +440,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a rows x cols table of mean VALUE instead of all points",
     )
     sweep.add_argument("--verbose", action="store_true")
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="run the fault-injection profile and report goodput/recovery",
+    )
+    faults.add_argument("--nodes", type=int, default=None)
+    faults.add_argument(
+        "--node-mtbf", type=float, default=None,
+        help="per-node MTBF in seconds (site rate is node_mtbf / nodes)",
+    )
+    faults.add_argument("--repair-time", type=float, default=None)
+    faults.add_argument("--max-jobs", type=int, default=None)
+    faults.add_argument("--seed", type=int, default=None)
     return parser
 
 
@@ -421,6 +465,7 @@ _HANDLERS = {
     "trace": _command_trace,
     "metrics": _command_metrics,
     "sweep": _command_sweep,
+    "faults": _command_faults,
 }
 
 

@@ -30,9 +30,12 @@ from repro.interconnect.congestion import (
     NoCongestionControl,
     congestion_policy,
 )
-from repro.interconnect.fabric import FabricSimulator, Flow, FlowStats
+from repro.interconnect.fabric import FabricSimulator, Flow, FlowStats, LinkEvent
 from repro.interconnect.failures import (
+    ConnectivityCurve,
     DegradedFabric,
+    connectivity_curve,
+    default_failure_rng,
     disconnection_threshold,
     fail_links,
     fail_switches,
@@ -84,6 +87,9 @@ __all__ = [
     "CollectiveModel",
     "CongestionManager",
     "congestion_policy",
+    "ConnectivityCurve",
+    "connectivity_curve",
+    "default_failure_rng",
     "DegradedFabric",
     "disconnection_threshold",
     "fail_links",
@@ -95,6 +101,7 @@ __all__ = [
     "Flow",
     "FlowBasedCongestionControl",
     "FlowStats",
+    "LinkEvent",
     "MemoryFabric",
     "MemoryPool",
     "MemoryTier",

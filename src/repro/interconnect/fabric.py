@@ -25,15 +25,22 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import networkx as nx
+
 from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.rng import RandomSource
 from repro.interconnect.congestion import CongestionManager, NoCongestionControl
-from repro.interconnect.routecache import RouteCache, route_cache_for
+from repro.interconnect.routecache import (
+    RouteCache,
+    invalidate_route_cache,
+    route_cache_for,
+)
 from repro.interconnect.routing import Path, minimal_route, valiant_route
 from repro.interconnect.topology import Topology
 from repro.observability.metrics import exponential_buckets
 from repro.observability.probes import (
     CATEGORY_CONGESTION,
+    CATEGORY_FAULT,
     CATEGORY_FLOW,
     Telemetry,
 )
@@ -80,7 +87,13 @@ class Flow:
 
 @dataclass(frozen=True)
 class FlowStats:
-    """Result of one simulated flow."""
+    """Result of one simulated flow.
+
+    ``dropped`` marks flows killed by a link failure that left no path to
+    the destination; for those, ``delivered`` holds the bytes that made it
+    before the cut (``-1`` is the not-dropped sentinel meaning all of
+    ``size`` arrived — see :attr:`delivered_bytes`).
+    """
 
     flow_id: int
     tag: str
@@ -90,6 +103,13 @@ class FlowStats:
     path_hops: int
     propagation_delay: float
     extra_queueing: float
+    dropped: bool = False
+    delivered: float = -1.0
+
+    @property
+    def delivered_bytes(self) -> float:
+        """Bytes that reached the destination (== ``size`` unless dropped)."""
+        return self.size if self.delivered < 0 else self.delivered
 
     @property
     def completion_time(self) -> float:
@@ -100,6 +120,21 @@ class FlowStats:
         """FCT normalised to the ideal time on an empty network."""
         ideal = self.size / baseline_bandwidth + self.propagation_delay
         return self.completion_time / ideal
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """A scheduled link state change for :meth:`FabricSimulator.run`.
+
+    The undirected ``link`` (an ``(u, v)`` edge of the topology) goes down
+    (``up=False``) or comes back (``up=True``) at ``time``. Build these by
+    hand or from a fault campaign via
+    :func:`repro.resilience.recovery.link_events_from_timeline`.
+    """
+
+    time: float
+    link: Tuple[str, str]
+    up: bool = False
 
 
 #: Sentinel distinguishing "not passed" from any real argument value in the
@@ -349,8 +384,21 @@ class FabricSimulator:
 
     # --- simulation loop ----------------------------------------------------------
 
-    def run(self, flows: Sequence[Flow], max_iterations: int = 1_000_000) -> List[FlowStats]:
-        """Simulate all flows to completion and return their statistics."""
+    def run(
+        self,
+        flows: Sequence[Flow],
+        max_iterations: int = 1_000_000,
+        link_events: Optional[Sequence[LinkEvent]] = None,
+    ) -> List[FlowStats]:
+        """Simulate all flows to completion and return their statistics.
+
+        ``link_events`` replays mid-run link failures and repairs: when a
+        link goes down its capacity disappears, the shared route cache is
+        invalidated (see :func:`~repro.interconnect.routecache.invalidate_route_cache`),
+        and every in-flight flow crossing it is re-routed over the
+        surviving fabric — or dropped (``FlowStats.dropped``) when no path
+        remains, keeping the bytes delivered so far on the record.
+        """
         if not flows:
             return []
         pending = sorted(flows, key=lambda f: f.start_time)
@@ -364,26 +412,119 @@ class FabricSimulator:
         results: List[FlowStats] = []
         arrival_index = 0
         congested_now: Set[Tuple[str, str]] = set()
+        events = sorted(link_events, key=lambda e: e.time) if link_events else []
+        event_index = 0
+        down_links: Dict[Tuple[str, str], Dict[str, object]] = {}
+
+        def drop_flow(flow_id: int) -> None:
+            flow = active.pop(flow_id)
+            path = paths.pop(flow_id)
+            del flow_links[flow_id]
+            left = remaining.pop(flow_id)
+            stats = FlowStats(
+                flow_id=flow.flow_id,
+                tag=flow.tag,
+                size=flow.size,
+                start_time=flow.start_time,
+                finish_time=max(now, flow.start_time),
+                path_hops=len(path) - 1,
+                propagation_delay=0.0,
+                extra_queueing=queueing.pop(flow_id, 0.0),
+                dropped=True,
+                delivered=max(0.0, flow.size - left),
+            )
+            results.append(stats)
+            if self.telemetry is not None:
+                self._record_drop(stats)
+
+        def apply_link_event(event: LinkEvent) -> None:
+            u, v = event.link
+            key = (u, v) if u <= v else (v, u)
+            graph = self.topology.graph
+            if event.up:
+                attrs = down_links.pop(key, None)
+                if attrs is None:
+                    return  # link was never down
+                graph.add_edge(u, v, **attrs)
+            else:
+                if key in down_links or not graph.has_edge(u, v):
+                    return  # already down or never existed
+                down_links[key] = dict(graph.edges[u, v])
+                graph.remove_edge(u, v)
+            self._refresh_link_state()
+            if self.telemetry is not None:
+                self.telemetry.tracer.instant(
+                    "link_up" if event.up else "link_down", CATEGORY_FAULT,
+                    now, link=f"{u}-{v}",
+                )
+            if event.up:
+                return
+            # Re-route (or drop) every in-flight flow crossing the cut.
+            for flow_id in sorted(active):
+                links = flow_links[flow_id]
+                if (u, v) not in links and (v, u) not in links:
+                    continue
+                flow = active[flow_id]
+                try:
+                    new_path = self._route(flow)
+                except (nx.NetworkXNoPath, nx.NodeNotFound):
+                    drop_flow(flow_id)
+                    continue
+                paths[flow_id] = new_path
+                flow_links[flow_id] = self._decompose(new_path)
+                if self.telemetry is not None:
+                    self.telemetry.counter(
+                        "fabric.flows.rerouted",
+                        "in-flight flows re-routed around a dead link",
+                    ).inc(tag=flow.tag or "flow")
 
         for _ in range(max_iterations):
+            # Apply link state changes due now (before admissions, so a
+            # flow arriving at the flap instant sees the degraded fabric).
+            while (
+                event_index < len(events)
+                and events[event_index].time <= now + 1e-15
+            ):
+                apply_link_event(events[event_index])
+                event_index += 1
+
             # Admit arrivals due now.
             while (
                 arrival_index < len(arrivals)
                 and arrivals[arrival_index].start_time <= now + 1e-15
             ):
                 flow = arrivals[arrival_index]
+                arrival_index += 1
+                try:
+                    path = self._route(flow)
+                except (nx.NetworkXNoPath, nx.NodeNotFound):
+                    # No path at admission: dead on arrival.
+                    stats = FlowStats(
+                        flow_id=flow.flow_id, tag=flow.tag, size=flow.size,
+                        start_time=flow.start_time,
+                        finish_time=max(now, flow.start_time),
+                        path_hops=0, propagation_delay=0.0,
+                        extra_queueing=0.0, dropped=True, delivered=0.0,
+                    )
+                    results.append(stats)
+                    if self.telemetry is not None:
+                        self._record_drop(stats)
+                    continue
                 active[flow.flow_id] = flow
                 remaining[flow.flow_id] = flow.size
-                path = self._route(flow)
                 paths[flow.flow_id] = path
                 flow_links[flow.flow_id] = self._decompose(path)
                 queueing.setdefault(flow.flow_id, 0.0)
-                arrival_index += 1
 
             if not active and arrival_index >= len(arrivals):
                 break
             if not active:
-                now = arrivals[arrival_index].start_time
+                # Idle: jump to whichever comes first, the next arrival or
+                # the next link event (future arrivals must see it).
+                next_time = arrivals[arrival_index].start_time
+                if event_index < len(events):
+                    next_time = min(next_time, events[event_index].time)
+                now = next_time
                 continue
 
             rates, hot_exposure, saturated = self._adjusted_rates(
@@ -407,7 +548,7 @@ class FabricSimulator:
                     self.congestion.victim_extra_latency(exposure),
                 )
 
-            # Next event: earliest completion or next arrival.
+            # Next event: earliest completion, next arrival or link event.
             next_completion = float("inf")
             for flow_id, rate in rates.items():
                 if rate <= 0:
@@ -418,7 +559,12 @@ class FabricSimulator:
                 if arrival_index < len(arrivals)
                 else float("inf")
             )
-            step = min(next_completion, next_arrival)
+            next_link_event = (
+                events[event_index].time - now
+                if event_index < len(events)
+                else float("inf")
+            )
+            step = min(next_completion, next_arrival, next_link_event)
             if step == float("inf"):
                 raise SimulationError("fabric deadlock: no progress possible")
             step = max(step, 0.0)
@@ -457,9 +603,40 @@ class FabricSimulator:
         else:
             raise SimulationError("fabric simulation exceeded max_iterations")
 
+        if down_links:
+            # The workload drained before every link came back; undo the
+            # in-place mutations so the shared topology is left intact.
+            for (u, v), attrs in down_links.items():
+                self.topology.graph.add_edge(u, v, **attrs)
+            down_links.clear()
+            self._refresh_link_state()
         return results
 
+    def _refresh_link_state(self) -> None:
+        """Rebuild routes and capacities after an in-place graph mutation."""
+        invalidate_route_cache(self.topology)
+        if self.cache_routes:
+            self._route_cache = route_cache_for(self.topology)
+            self._capacities = self._route_cache.link_capacities()
+        else:
+            self._capacities = self._link_capacities()
+
     # --- telemetry --------------------------------------------------------------
+
+    def _record_drop(self, stats: FlowStats) -> None:
+        """Account one dropped flow (no FCT sample — it never completed)."""
+        tag = stats.tag or "flow"
+        self.telemetry.counter(
+            "fabric.flows.dropped", "flows killed by link failures"
+        ).inc(tag=tag)
+        if stats.delivered_bytes > 0:
+            self.telemetry.counter("fabric.flow_bytes").inc(
+                stats.delivered_bytes, tag=tag
+            )
+        self.telemetry.tracer.complete(
+            f"flow:{tag}", CATEGORY_FLOW, stats.start_time, stats.finish_time,
+            flow_id=stats.flow_id, bytes=stats.delivered_bytes, dropped=True,
+        )
 
     def _record_flow(self, stats: FlowStats) -> None:
         """Account one finished flow: FCT histogram + a trace span."""

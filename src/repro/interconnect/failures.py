@@ -26,6 +26,18 @@ from repro.core.rng import RandomSource
 from repro.interconnect.routecache import invalidate_route_cache
 from repro.interconnect.topology import Topology
 
+#: Seed behind every default rng in this module. All public functions accept
+#: an explicit ``rng`` — pass a fork of the run seed for reproducible
+#: experiments. When omitted, draws come from :func:`default_failure_rng`,
+#: a per-purpose named fork of this one seed, so repeated calls are stable
+#: and the purposes stay statistically independent.
+DEFAULT_SEED = 1729
+
+
+def default_failure_rng(purpose: str) -> RandomSource:
+    """Named fork of the module default seed (see :data:`DEFAULT_SEED`)."""
+    return RandomSource(seed=DEFAULT_SEED, name="failures").fork(purpose)
+
 
 @dataclass(frozen=True)
 class DegradedFabric:
@@ -52,7 +64,7 @@ def fail_links(
     """
     if not 0.0 <= fraction <= 1.0:
         raise ConfigurationError("fraction must be in [0, 1]")
-    rng = rng or RandomSource(seed=17, name="failures")
+    rng = rng or default_failure_rng("links")
     graph = topology.graph.copy()
     switch_links = [
         (u, v)
@@ -82,7 +94,7 @@ def fail_switches(
     """Remove ``count`` random switches (and everything attached to them)."""
     if count < 0:
         raise ConfigurationError("count must be non-negative")
-    rng = rng or RandomSource(seed=19, name="failures")
+    rng = rng or default_failure_rng("switches")
     switches = topology.switches
     if count >= len(switches):
         raise ConfigurationError("cannot fail every switch")
@@ -107,11 +119,19 @@ def fail_switches(
 
 def terminal_connectivity(fabric: DegradedFabric, sample: int = 200,
                           rng: Optional[RandomSource] = None) -> float:
-    """Fraction of sampled surviving terminal pairs still connected."""
-    rng = rng or RandomSource(seed=23, name="connectivity")
+    """Fraction of sampled surviving terminal pairs still connected.
+
+    Convention for degenerate fabrics: exactly one surviving terminal is
+    trivially connected (1.0 — there is nothing left to partition), while
+    zero surviving terminals means the fabric is gone (0.0). This keeps a
+    trivially-small fabric distinct from a fully-failed one.
+    """
+    rng = rng or default_failure_rng("connectivity")
     terminals = fabric.topology.terminals
-    if len(terminals) < 2:
+    if len(terminals) == 0:
         return 0.0
+    if len(terminals) == 1:
+        return 1.0
     graph = fabric.graph
     components = list(nx.connected_components(graph))
     component_of = {}
@@ -139,7 +159,7 @@ def path_stretch(
     detour tax. Pairs disconnected by the failures are excluded (they are
     counted by :func:`terminal_connectivity` instead).
     """
-    rng = rng or RandomSource(seed=29, name="stretch")
+    rng = rng or default_failure_rng("stretch")
     terminals = [
         t for t in original.terminals if t in fabric.graph
     ]
@@ -160,6 +180,95 @@ def path_stretch(
     return sum(stretches) / len(stretches)
 
 
+@dataclass(frozen=True)
+class ConnectivityCurve:
+    """Sampled terminal connectivity as link failures accumulate.
+
+    Produced by :func:`connectivity_curve`: one random failure *order* is
+    drawn, links are removed cumulatively, and the same sampled terminal
+    pairs are re-tested at every step — so ``connectivity`` is monotone
+    non-increasing by construction (removing a link can only disconnect
+    more of a fixed pair set, never reconnect it).
+    """
+
+    fractions: Tuple[float, ...]
+    connectivity: Tuple[float, ...]
+
+    def threshold(self, target_connectivity: float) -> float:
+        """Smallest sampled fraction with connectivity below target.
+
+        Returns 1.0 if connectivity stays at or above target through the
+        whole curve.
+        """
+        if not 0.0 < target_connectivity <= 1.0:
+            raise ConfigurationError("target_connectivity must be in (0, 1]")
+        for fraction, value in zip(self.fractions, self.connectivity):
+            if value < target_connectivity:
+                return fraction
+        return 1.0
+
+
+def connectivity_curve(
+    topology: Topology,
+    step: float = 0.05,
+    sample: int = 200,
+    rng: Optional[RandomSource] = None,
+) -> ConnectivityCurve:
+    """Sample terminal connectivity along one cumulative failure order.
+
+    Shuffles the switch-to-switch links once, then removes them in that
+    order, pausing at each multiple of ``step`` (starting at the intact
+    fabric, fraction 0.0) to measure connectivity of a fixed terminal-pair
+    sample. One draw of the failure process serves the whole curve, so
+    successive points share their failures instead of being independent
+    re-rolls — the curve cannot wiggle upward.
+    """
+    if not 0.0 < step <= 0.5:
+        raise ConfigurationError("step must be in (0, 0.5]")
+    rng = rng or default_failure_rng("threshold")
+    graph = topology.graph.copy()
+    switch_links = [
+        (u, v)
+        for u, v in graph.edges()
+        if graph.nodes[u].get("role") == "switch"
+        and graph.nodes[v].get("role") == "switch"
+    ]
+    order = list(switch_links)
+    rng.fork("order").shuffle(order)
+    terminals = topology.terminals
+    pairs = list(itertools.combinations(terminals, 2))
+    if len(pairs) > sample:
+        pairs = rng.fork("pairs").sample(pairs, sample)
+    fractions: List[float] = []
+    connectivity: List[float] = []
+    removed = 0
+    steps = int(round(1.0 / step))
+    for index in range(0, steps + 1):
+        fraction = min(index * step, 1.0)
+        target_removed = int(round(fraction * len(order)))
+        while removed < target_removed:
+            graph.remove_edge(*order[removed])
+            removed += 1
+        component_of = {}
+        for comp_index, component in enumerate(nx.connected_components(graph)):
+            for node in component:
+                component_of[node] = comp_index
+        if pairs:
+            connected = sum(
+                1 for a, b in pairs
+                if component_of.get(a) == component_of.get(b)
+            )
+            connectivity.append(connected / len(pairs))
+        else:
+            # Degenerate fabrics follow the terminal_connectivity convention:
+            # one terminal is trivially connected, zero means nothing is left.
+            connectivity.append(1.0 if len(terminals) == 1 else 0.0)
+        fractions.append(fraction)
+    return ConnectivityCurve(
+        fractions=tuple(fractions), connectivity=tuple(connectivity)
+    )
+
+
 def disconnection_threshold(
     topology: Topology,
     target_connectivity: float = 0.99,
@@ -168,18 +277,15 @@ def disconnection_threshold(
 ) -> float:
     """Smallest failed-link fraction where connectivity drops below target.
 
-    Returns 1.0 if the topology survives every step up to full failure
-    (practically impossible for real targets).
+    A thin wrapper over :func:`connectivity_curve` — failures accumulate
+    across steps along one sampled order, so the underlying curve is
+    monotone and the threshold is well defined (no fresh fabric re-roll per
+    step that could let connectivity bounce back above target). Returns 1.0
+    if the topology survives every step up to full failure (practically
+    impossible for real targets). Call :func:`connectivity_curve` directly
+    to inspect the curve the threshold came from.
     """
     if not 0.0 < target_connectivity <= 1.0:
         raise ConfigurationError("target_connectivity must be in (0, 1]")
-    if not 0.0 < step <= 0.5:
-        raise ConfigurationError("step must be in (0, 0.5]")
-    rng = rng or RandomSource(seed=31, name="threshold")
-    fraction = step
-    while fraction <= 1.0:
-        fabric = fail_links(topology, fraction, rng=rng.fork(f"f{fraction:.2f}"))
-        if terminal_connectivity(fabric, rng=rng.fork(f"c{fraction:.2f}")) < target_connectivity:
-            return fraction
-        fraction += step
-    return 1.0
+    curve = connectivity_curve(topology, step=step, rng=rng)
+    return curve.threshold(target_connectivity)

@@ -29,6 +29,7 @@ CATEGORY_JOB = "job"
 CATEGORY_FLOW = "flow"
 CATEGORY_WAN = "wan"
 CATEGORY_CONGESTION = "congestion"
+CATEGORY_FAULT = "fault"
 
 
 class Telemetry:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Tuple
 
+from repro.core.events import Simulation
 from repro.core.rng import RandomSource
 from repro.federation import Dataset, Federation, Site, SiteKind, WanLink
 from repro.federation.bursting import BurstingPolicy
@@ -31,7 +32,18 @@ from repro.interconnect.congestion import congestion_policy
 from repro.interconnect.fabric import FabricSimulator, Flow
 from repro.interconnect.topology import build_topology
 from repro.observability import Telemetry, attach_cluster_sampler
+from repro.resilience import (
+    CheckpointPlan,
+    FailureProcess,
+    FaultCampaign,
+    FaultInjector,
+    NodeFaultSpec,
+    RetryPolicy,
+    bind_cluster,
+    cluster_report,
+)
 from repro.scheduling import MetaScheduler, PlacementPolicy
+from repro.scheduling.checkpointing import FailureModel, fabric_pm_target
 from repro.scheduling.cluster import ClusterSimulator
 from repro.workloads import JobTraceGenerator, TraceConfig
 from repro.workloads.base import JobClass, make_single_kernel_job
@@ -229,8 +241,6 @@ def _profile_f3(
     cpu = catalog.get("epyc-class-cpu")
     campus = Site(name="campus", kind=SiteKind.ON_PREMISE, devices={cpu: 16})
     cloud = Site(name="cloud", kind=SiteKind.CLOUD, devices={cpu: 64})
-    from repro.core.events import Simulation
-
     simulation = Simulation()
     telemetry.bind_simulation(simulation)
     local = ClusterSimulator(
@@ -273,6 +283,92 @@ def _profile_f3(
             ("jobs bursted", bursted[0]),
             ("burst rate", policy.burst_rate),
             ("campus utilisation", local.utilization()),
+        ],
+    )
+
+
+# --- resilience-family profiles -------------------------------------------------
+
+
+def _profile_c16(
+    telemetry: Telemetry,
+    *,
+    nodes: int = 8,
+    node_mtbf: float = 8_000.0,
+    repair_time: float = 600.0,
+    checkpoint_bytes: float = 2e11,
+    arrival_rate: float = 0.2,
+    duration: float = 20_000.0,
+    horizon: float = 60_000.0,
+    max_jobs: int = 120,
+    seed: int = 97,
+) -> ProfileResult:
+    """C16: cluster churn under node faults with fabric-PM checkpoint-restart.
+
+    A single site runs a mixed trace while an exponential node-failure
+    process (aggregate MTBF ``node_mtbf / nodes``) kills devices; jobs
+    checkpoint to fabric-attached persistent memory at the Young/Daly
+    interval and requeue under a bounded-backoff retry policy. The summary
+    separates goodput from raw utilisation — the gap is the fault tax.
+    """
+    catalog = default_catalog()
+    cpu = catalog.get("epyc-class-cpu")
+    site = Site(name="churn", kind=SiteKind.SUPERCOMPUTER, devices={cpu: nodes})
+    simulation = Simulation()
+    telemetry.bind_simulation(simulation)
+    rng = RandomSource(seed=seed, name="c16-profile")
+    failures = FailureModel(node_mtbf=node_mtbf, nodes=nodes)
+    plan = CheckpointPlan.from_target(
+        fabric_pm_target(), checkpoint_bytes, failures
+    )
+    cluster = ClusterSimulator(
+        site=site, device=cpu, simulation=simulation, telemetry=telemetry,
+        retry_policy=RetryPolicy(max_retries=8, base_delay=5.0, jitter=0.0),
+        checkpoint=plan, rng=rng.fork("cluster"),
+    )
+    attach_cluster_sampler(telemetry, cluster, period=500.0)
+    trace = JobTraceGenerator(
+        TraceConfig(arrival_rate=arrival_rate, duration=duration, max_jobs=max_jobs),
+        rng=rng.fork("trace"),
+    ).generate()
+    for job in trace:
+        if job.ranks <= cluster.nominal_capacity:
+            cluster.submit(job)
+    # The fault window outlives the arrival window: the drain phase is
+    # where a busy cluster takes most of its kills.
+    campaign = FaultCampaign(
+        horizon=horizon,
+        node_faults=(
+            NodeFaultSpec(
+                site=site.name,
+                process=FailureProcess(mtbf=failures.system_mtbf),
+                repair_time=repair_time,
+            ),
+        ),
+    )
+    injector = FaultInjector(
+        simulation, campaign, rng.fork("faults"), telemetry=telemetry
+    )
+    bind_cluster(injector, cluster)
+    injector.install()
+    cluster.run()
+    report = cluster_report(cluster)
+    return ProfileResult(
+        "C16", "fabric-PM checkpoint-restart under node churn", telemetry,
+        summary=[
+            ("jobs submitted", report.submitted),
+            ("jobs finished", report.completed),
+            ("jobs dead", report.dead),
+            ("job kills", report.kills),
+            ("retries", report.retries),
+            ("faults injected", injector.injected),
+            ("goodput", report.goodput),
+            ("utilization", report.utilization),
+            ("wasted device-seconds", report.wasted_device_seconds),
+            # Fault-free runs have infinite MTTI; keep the row readable and
+            # out of the numeric metrics dict (JSON cannot carry inf).
+            ("MTTI (s)", report.mtti if report.kills else "inf"),
+            ("makespan (s)", report.makespan),
         ],
     )
 
@@ -385,6 +481,7 @@ PROFILES: Dict[str, Callable[..., ProfileResult]] = {
     "C2": _profile_c2,
     "C8": _profile_c8,
     "C9": _profile_c9,
+    "C16": _profile_c16,
 }
 
 

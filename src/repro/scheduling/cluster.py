@@ -5,18 +5,34 @@ kernel: jobs arrive, a :class:`~repro.scheduling.policies.QueuePolicy`
 orders the queue, and devices are held for each job's predicted runtime.
 Per-job :class:`JobRecord` outcomes feed utilisation/wait/makespan metrics
 for the scheduling and federation experiments.
+
+Resilience (see :mod:`repro.resilience`): the cluster reacts to injected
+faults. :meth:`ClusterSimulator.fail_node` takes a device out (killing a
+victim job if none are idle), :meth:`ClusterSimulator.fail_job` kills one
+job and requeues it under the optional retry policy — resuming from the
+last checkpoint when a checkpoint plan is configured — and
+:meth:`ClusterSimulator.evacuate` / :meth:`ClusterSimulator.restore`
+implement whole-site outages for metascheduler failover. Job conservation
+(submitted = completed + dead + in-flight + evacuated) holds at every
+instant; :func:`repro.resilience.metrics.check_conservation` asserts it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError, SchedulingError
 from repro.core.events import Event, Simulation
+from repro.core.rng import RandomSource
 from repro.federation.site import Site
 from repro.hardware.device import Device
-from repro.observability.probes import CATEGORY_JOB, CATEGORY_QUEUE, Telemetry
+from repro.observability.probes import (
+    CATEGORY_FAULT,
+    CATEGORY_JOB,
+    CATEGORY_QUEUE,
+    Telemetry,
+)
 from repro.scheduling.policies import FcfsPolicy, QueuePolicy
 from repro.scheduling.runtime import estimate_job
 from repro.workloads.base import Job
@@ -29,6 +45,12 @@ class JobRecord:
     ``ready_time`` is when the job last entered the queue (arrival plus
     staging, or the preemption instant for a requeued job);
     ``preemptions`` counts how many times it was kicked off its devices.
+
+    Resilience fields: ``failures`` counts fault-induced kills,
+    ``retries`` counts requeues after a kill, ``wasted_time`` accumulates
+    per-kill lost seconds (elapsed minus checkpoint-saved progress), and
+    ``dead`` marks jobs that exhausted their retry budget (they appear on
+    the cluster's ``dead_jobs`` ledger and never finish).
     """
 
     job: Job
@@ -40,6 +62,11 @@ class JobRecord:
     transfer_time: float = 0.0
     ready_time: Optional[float] = None
     preemptions: int = 0
+    failures: int = 0
+    retries: int = 0
+    wasted_time: float = 0.0
+    dead: bool = False
+    killed_at: Optional[float] = None
 
     @property
     def queue_wait(self) -> float:
@@ -62,13 +89,21 @@ class JobRecord:
 
 @dataclass
 class _RunningJob:
-    """Bookkeeping for a job currently holding devices."""
+    """Bookkeeping for a job currently holding devices.
+
+    ``work`` is the intrinsic compute this attempt covers and
+    ``restart_overhead`` the recovery prefix charged before it — the two
+    components checkpoint arithmetic needs on a kill (``runtime`` also
+    includes checkpoint-write time).
+    """
 
     record: JobRecord
     runtime: float
     needed: int
     finish_time: float
     finish_event: Event
+    work: float = 0.0
+    restart_overhead: float = 0.0
 
 
 class ClusterSimulator:
@@ -91,6 +126,21 @@ class ClusterSimulator:
         the cluster records wait/service spans, job counters and
         preemptions. ``None`` (the default) costs one ``is not None``
         test per lifecycle step.
+    retry_policy:
+        Optional :class:`~repro.resilience.retry.RetryPolicy` (duck-typed:
+        ``max_retries`` and ``backoff(attempt, rng)``) governing how
+        killed jobs requeue. ``None`` retries immediately and without
+        bound — every kill requeues with zero backoff.
+    checkpoint:
+        Optional :class:`~repro.resilience.recovery.CheckpointPlan`
+        (duck-typed: ``attempt_runtime``/``saved_work``/``restart_time``).
+        When set, attempts pay checkpoint-write overhead and kills resume
+        from the last completed checkpoint instead of from scratch.
+    rng:
+        Optional :class:`~repro.core.rng.RandomSource` for backoff jitter
+        and victim selection on node failures; fork it from the run seed
+        so campaigns compose with the sweep engine's determinism contract.
+        ``None`` keeps both deterministic (no jitter; lowest-id victim).
     """
 
     def __init__(
@@ -100,6 +150,10 @@ class ClusterSimulator:
         policy: Optional[QueuePolicy] = None,
         simulation: Optional[Simulation] = None,
         telemetry: Optional[Telemetry] = None,
+        *,
+        retry_policy: Optional["RetryPolicy"] = None,
+        checkpoint: Optional["CheckpointPlan"] = None,
+        rng: Optional[RandomSource] = None,
     ) -> None:
         if site.count(device) < 1:
             raise ConfigurationError(f"{site.name} has no {device.name}")
@@ -108,12 +162,34 @@ class ClusterSimulator:
         self.policy = policy or FcfsPolicy()
         self.simulation = simulation or Simulation()
         self.telemetry = telemetry
+        self.retry_policy = retry_policy
+        self.checkpoint = checkpoint
+        self.rng = rng
         self.capacity = site.count(device)
+        #: Healthy-cluster size; ``capacity`` shrinks while nodes are down.
+        self.nominal_capacity = self.capacity
         self._free = self.capacity
         self._queue: List[Tuple[JobRecord, float, int]] = []
         self._running: Dict[int, _RunningJob] = {}
         self.records: List[JobRecord] = []
         self._busy_device_seconds = 0.0
+        # --- resilience state ---
+        self.failed_nodes = 0
+        self.down = False
+        self.dead_jobs: List[JobRecord] = []
+        self.kill_times: List[float] = []
+        self.evacuated_records: List[JobRecord] = []
+        self._useful_device_seconds = 0.0
+        self._wasted_device_seconds = 0.0
+        #: job_id -> (scheduled enqueue event, record): submissions still
+        #: staging in plus kills waiting out their backoff.
+        self._pending_enqueues: Dict[int, Tuple[Event, JobRecord]] = {}
+        #: job_id -> intrinsic work not yet durably completed.
+        self._remaining_work: Dict[int, float] = {}
+        #: job_id -> restart overhead the next attempt must pay.
+        self._restart_prefix: Dict[int, float] = {}
+        #: job_id -> (work, restart_overhead) for the queued attempt.
+        self._attempt_meta: Dict[int, Tuple[float, float]] = {}
 
     @property
     def queue_depth(self) -> int:
@@ -125,6 +201,21 @@ class ClusterSimulator:
         """Devices not held by a running job."""
         return self._free
 
+    @property
+    def pending_requeues(self) -> int:
+        """Jobs scheduled to (re)enter the queue: staging in or backing off."""
+        return len(self._pending_enqueues)
+
+    @property
+    def useful_device_seconds(self) -> float:
+        """Intrinsic work of completed jobs, in device-seconds."""
+        return self._useful_device_seconds
+
+    @property
+    def wasted_device_seconds(self) -> float:
+        """Device-seconds burned on killed attempts beyond saved progress."""
+        return self._wasted_device_seconds
+
     # --- submission -----------------------------------------------------------
 
     def submit(self, job: Job, transfer_time: float = 0.0) -> JobRecord:
@@ -135,10 +226,10 @@ class ClusterSimulator:
                 f"{job.name} infeasible on {self.device.name}: "
                 f"{estimate.infeasible_reason}"
             )
-        if job.ranks > self.capacity:
+        if job.ranks > self.nominal_capacity:
             raise SchedulingError(
                 f"{job.name} needs {job.ranks} x {self.device.name}, "
-                f"cluster has {self.capacity}"
+                f"cluster has {self.nominal_capacity}"
             )
         record = JobRecord(
             job=job,
@@ -148,24 +239,41 @@ class ClusterSimulator:
             transfer_time=transfer_time,
         )
         self.records.append(record)
+        self._remaining_work[job.job_id] = estimate.time
+        self._restart_prefix[job.job_id] = 0.0
         if self.telemetry is not None:
             self.telemetry.counter("cluster.jobs.submitted").inc(
                 site=self.site.name, device=self.device.name
             )
         ready_time = job.arrival_time + transfer_time
         delay = max(0.0, ready_time - self.simulation.now)
-        self.simulation.schedule(delay, lambda: self._enqueue(record))
+        self._schedule_enqueue(record, delay)
         return record
 
+    def _schedule_enqueue(self, record: JobRecord, delay: float) -> None:
+        event = self.simulation.schedule(delay, lambda: self._enqueue(record))
+        self._pending_enqueues[record.job.job_id] = (event, record)
+
     def _enqueue(self, record: JobRecord) -> None:
+        job_id = record.job.job_id
+        self._pending_enqueues.pop(job_id, None)
         record.ready_time = self.simulation.now
-        self._queue.append((record, record.predicted_runtime, record.job.ranks))
+        work = self._remaining_work.get(job_id, record.predicted_runtime)
+        prefix = self._restart_prefix.get(job_id, 0.0)
+        runtime = prefix + (
+            self.checkpoint.attempt_runtime(work)
+            if self.checkpoint is not None else work
+        )
+        self._attempt_meta[job_id] = (work, prefix)
+        self._queue.append((record, runtime, record.job.ranks))
         self._dispatch()
 
     # --- dispatch loop -----------------------------------------------------------
 
     def _dispatch(self) -> None:
         while True:
+            if self.down:
+                return
             running = [(r.finish_time, r.needed) for r in self._running.values()]
             index = self.policy.select(
                 self._queue, self._free, running, self.simulation.now
@@ -183,9 +291,13 @@ class ClusterSimulator:
         finish_event = self.simulation.schedule(
             runtime, lambda: self._finish(record, needed)
         )
+        work, prefix = self._attempt_meta.pop(
+            record.job.job_id, (runtime, 0.0)
+        )
         self._running[record.job.job_id] = _RunningJob(
             record=record, runtime=runtime, needed=needed,
             finish_time=finish, finish_event=finish_event,
+            work=work, restart_overhead=prefix,
         )
         if self.telemetry is not None:
             self.telemetry.counter("cluster.jobs.started").inc(
@@ -198,11 +310,24 @@ class ClusterSimulator:
                     ready, record.start_time,
                     job=record.job.name, site=self.site.name,
                 )
+            if record.killed_at is not None:
+                # Recovery latency: kill instant to restart instant.
+                self.telemetry.tracer.complete(
+                    f"recover:{record.job.job_class.value}", CATEGORY_FAULT,
+                    record.killed_at, record.start_time,
+                    job=record.job.name, site=self.site.name,
+                    attempt=record.failures,
+                )
+        record.killed_at = None
 
     def _finish(self, record: JobRecord, needed: int) -> None:
         record.finish_time = self.simulation.now
         self._free += needed
         del self._running[record.job.job_id]
+        job_id = record.job.job_id
+        self._useful_device_seconds += record.predicted_runtime * needed
+        self._remaining_work.pop(job_id, None)
+        self._restart_prefix.pop(job_id, None)
         if self.telemetry is not None:
             self.telemetry.counter("cluster.jobs.finished").inc(
                 site=self.site.name, device=self.device.name
@@ -250,16 +375,204 @@ class ClusterSimulator:
             )
         record.start_time = None
         record.ready_time = now
+        # A preempted job keeps its progress: the requeued attempt is the
+        # unfinished remainder, with no restart prefix to pay.
+        self._attempt_meta[job_id] = (remaining, 0.0)
         self._queue.append((record, remaining, running.needed))
         self._dispatch()
         return record
 
+    # --- fault handling -----------------------------------------------------------
+
+    def fail_job(self, job_id: int) -> JobRecord:
+        """Kill a running job: a fault takes its devices mid-attempt.
+
+        Unlike :meth:`preempt`, progress since the last completed
+        checkpoint is lost. The job requeues after the retry policy's
+        backoff (immediately without one) unless its retry budget is
+        exhausted, in which case it joins the dead-job ledger. Raises
+        :class:`SchedulingError` if the job is not currently running.
+        """
+        running = self._running.pop(job_id, None)
+        if running is None:
+            raise SchedulingError(f"job {job_id} is not running; cannot kill")
+        now = self.simulation.now
+        self.simulation.cancel(running.finish_event)
+        elapsed = now - running.record.start_time
+        remaining_sched = max(0.0, running.finish_time - now)
+        self._free += running.needed
+        self._busy_device_seconds -= remaining_sched * running.needed
+        record = running.record
+        record.failures += 1
+        record.killed_at = now
+        self.kill_times.append(now)
+        saved = 0.0
+        if self.checkpoint is not None:
+            saved = min(
+                self.checkpoint.saved_work(elapsed, running.restart_overhead),
+                running.work,
+            )
+        wasted = max(0.0, elapsed - saved)
+        record.wasted_time += wasted
+        self._wasted_device_seconds += wasted * running.needed
+        self._remaining_work[job_id] = max(0.0, running.work - saved)
+        self._restart_prefix[job_id] = (
+            self.checkpoint.restart_time if self.checkpoint is not None else 0.0
+        )
+        if self.telemetry is not None:
+            self.telemetry.counter("cluster.jobs.killed").inc(
+                site=self.site.name, device=self.device.name
+            )
+            self.telemetry.tracer.complete(
+                f"run:{record.job.job_class.value}", CATEGORY_JOB,
+                record.start_time, now,
+                job=record.job.name, site=self.site.name,
+                device=self.device.name, killed=True,
+            )
+        record.start_time = None
+        policy = self.retry_policy
+        if policy is not None and record.failures > policy.max_retries:
+            record.dead = True
+            self.dead_jobs.append(record)
+            self._remaining_work.pop(job_id, None)
+            self._restart_prefix.pop(job_id, None)
+            if self.telemetry is not None:
+                self.telemetry.counter("cluster.jobs.dead").inc(
+                    site=self.site.name, device=self.device.name
+                )
+            self._dispatch()
+            return record
+        record.retries += 1
+        delay = (
+            policy.backoff(record.failures - 1, rng=self.rng)
+            if policy is not None else 0.0
+        )
+        if self.telemetry is not None:
+            self.telemetry.counter("cluster.jobs.retried").inc(
+                site=self.site.name, device=self.device.name
+            )
+        self._schedule_enqueue(record, delay)
+        self._dispatch()
+        return record
+
+    def fail_node(self) -> Optional[JobRecord]:
+        """Take one device out of service (a node fault).
+
+        An idle device is preferred; with none free, a victim among the
+        running jobs is killed — weighted by footprint when an ``rng`` is
+        configured (wider jobs occupy more nodes), the lowest job id
+        otherwise. Returns the killed job's record, or ``None`` when no
+        job died. No-op when every node has already failed.
+        """
+        if self.capacity <= 0:
+            return None
+        self.capacity -= 1
+        self.failed_nodes += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("cluster.nodes.failed").inc(
+                site=self.site.name, device=self.device.name
+            )
+        if self._free > 0:
+            self._free -= 1
+            return None
+        ids = sorted(self._running)
+        if self.rng is not None:
+            victim_id = self.rng.choice(
+                ids, weights=[self._running[i].needed for i in ids]
+            )
+        else:
+            victim_id = ids[0]
+        # The dead node eats one of the devices the kill frees.
+        self._free -= 1
+        return self.fail_job(victim_id)
+
+    def repair_node(self) -> None:
+        """Return one failed device to service and resume dispatching."""
+        if self.failed_nodes == 0:
+            return
+        self.failed_nodes -= 1
+        self.capacity += 1
+        self._free += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("cluster.nodes.repaired").inc(
+                site=self.site.name, device=self.device.name
+            )
+        self._dispatch()
+
+    def evacuate(self) -> List[Job]:
+        """Site outage: stop dispatching and displace every job here.
+
+        Running jobs are killed (their progress wasted — checkpoints at a
+        dead site are unreachable), queued and staging jobs are recalled,
+        and all displaced jobs' records move to ``evacuated_records`` so
+        per-cluster conservation still balances. Returns the displaced
+        jobs for resubmission elsewhere (metascheduler failover).
+        """
+        self.down = True
+        now = self.simulation.now
+        displaced: List[Job] = []
+
+        def displace(record: JobRecord) -> None:
+            job_id = record.job.job_id
+            self._remaining_work.pop(job_id, None)
+            self._restart_prefix.pop(job_id, None)
+            self._attempt_meta.pop(job_id, None)
+            self.records.remove(record)
+            self.evacuated_records.append(record)
+            displaced.append(record.job)
+
+        for job_id in sorted(self._running):
+            running = self._running.pop(job_id)
+            self.simulation.cancel(running.finish_event)
+            elapsed = now - running.record.start_time
+            remaining_sched = max(0.0, running.finish_time - now)
+            self._free += running.needed
+            self._busy_device_seconds -= remaining_sched * running.needed
+            self._wasted_device_seconds += elapsed * running.needed
+            running.record.wasted_time += elapsed
+            running.record.start_time = None
+            displace(running.record)
+        for record, _, _ in self._queue:
+            displace(record)
+        self._queue.clear()
+        for event, record in list(self._pending_enqueues.values()):
+            self.simulation.cancel(event)
+            displace(record)
+        self._pending_enqueues.clear()
+        if self.telemetry is not None:
+            self.telemetry.counter("cluster.jobs.evacuated").inc(
+                len(displaced), site=self.site.name, device=self.device.name
+            )
+            self.telemetry.tracer.instant(
+                "evacuate", CATEGORY_FAULT, now,
+                site=self.site.name, displaced=len(displaced),
+            )
+        return displaced
+
+    def restore(self) -> None:
+        """End a site outage: resume dispatching queued work."""
+        if not self.down:
+            return
+        self.down = False
+        if self.telemetry is not None:
+            self.telemetry.tracer.instant(
+                "restore", CATEGORY_FAULT, self.simulation.now,
+                site=self.site.name,
+            )
+        self._dispatch()
+
     # --- runs and metrics -----------------------------------------------------------
 
     def run(self) -> List[JobRecord]:
-        """Run the simulation to completion and return all records."""
+        """Run the simulation to completion and return all records.
+
+        Jobs on the dead-job ledger are an accounted outcome, not an
+        error; anything else unfinished raises :class:`SchedulingError`.
+        """
         self.simulation.run()
-        unfinished = [r for r in self.records if r.finish_time is None]
+        unfinished = [
+            r for r in self.records if r.finish_time is None and not r.dead
+        ]
         if unfinished:
             names = ", ".join(r.job.name for r in unfinished[:5])
             raise SchedulingError(f"jobs never finished: {names}")
@@ -276,22 +589,36 @@ class ClusterSimulator:
             backlog += (
                 max(0.0, running.finish_time - self.simulation.now) * running.needed
             )
-        return backlog / self.capacity
+        return backlog / max(self.capacity, 1)
 
     def makespan(self) -> float:
         """Finish time of the last job."""
-        if not self.records:
-            return 0.0
-        return max(r.finish_time for r in self.records if r.finish_time is not None)
+        return max(
+            (r.finish_time for r in self.records if r.finish_time is not None),
+            default=0.0,
+        )
 
     def mean_queue_wait(self) -> float:
-        if not self.records:
+        finished = [r for r in self.records if r.start_time is not None]
+        if not finished:
             return 0.0
-        return sum(r.queue_wait for r in self.records) / len(self.records)
+        return sum(r.queue_wait for r in finished) / len(finished)
 
     def utilization(self) -> float:
-        """Busy device-seconds over capacity x makespan."""
+        """Busy device-seconds over healthy capacity x makespan."""
         span = self.makespan()
         if span == 0:
             return 0.0
-        return self._busy_device_seconds / (self.capacity * span)
+        return self._busy_device_seconds / (self.nominal_capacity * span)
+
+    def goodput(self) -> float:
+        """Useful device-seconds over healthy capacity x makespan.
+
+        Counts each completed job's intrinsic work once — checkpoint
+        writes, restart overheads and rolled-back progress are excluded —
+        so ``goodput() <= utilization()`` always.
+        """
+        span = self.makespan()
+        if span == 0:
+            return 0.0
+        return self._useful_device_seconds / (self.nominal_capacity * span)

@@ -176,6 +176,151 @@ def fabric_congestion(
     }
 
 
+# --- the resilience churn target ----------------------------------------------
+
+
+@register_target("resilience-churn")
+def resilience_churn(
+    params: Dict[str, object],
+    telemetry: Telemetry,
+    rng: RandomSource,
+) -> Dict[str, float]:
+    """A single-site cluster under a node-fault campaign, swept.
+
+    A batch of identical jobs runs on ``nodes`` devices while an
+    exponential node-failure process kills them; killed jobs requeue under
+    a bounded retry policy, optionally resuming from periodic checkpoints.
+    All randomness (fault timeline, victim choice) forks from the point's
+    ``rng``, so the sweep engine's fingerprint contract covers the fault
+    schedule too — ``fault_time_sum`` lands in the metrics precisely so a
+    perturbed timeline changes the sweep fingerprint.
+
+    Grid parameters (all optional):
+
+    ``nodes`` / ``jobs`` / ``ranks``
+        Cluster size, job count and per-job width (defaults 8, 24, 1).
+    ``work``
+        Intended per-job runtime in seconds (default 900); job kernels are
+        calibrated so the runtime estimate matches.
+    ``mtbf``
+        Aggregate mean time between node failures at the site, seconds
+        (default 4000).
+    ``repair_time``
+        Node downtime per failure (default 120).
+    ``checkpoint_interval`` / ``checkpoint_cost`` / ``restart_time``
+        Periodic checkpointing knobs; interval 0 (default) disables
+        checkpointing entirely.
+    ``max_retries`` / ``base_delay``
+        Retry policy bounds (defaults 10 and 5 s; jitter stays 0 so only
+        the named forks below consume randomness).
+    ``arrival_gap``
+        Seconds between job arrivals (default 60).
+    """
+    from repro.federation import Site, SiteKind
+    from repro.hardware import Precision, default_catalog
+    from repro.resilience import (
+        CheckpointPlan,
+        FailureProcess,
+        FaultCampaign,
+        FaultInjector,
+        NodeFaultSpec,
+        RetryPolicy,
+        bind_cluster,
+        check_conservation,
+        cluster_report,
+    )
+    from repro.scheduling.cluster import ClusterSimulator
+    from repro.scheduling.runtime import estimate_job
+    from repro.workloads.base import JobClass, make_single_kernel_job
+
+    nodes = int(params.get("nodes", 8))
+    jobs = int(params.get("jobs", 24))
+    ranks = int(params.get("ranks", 1))
+    work = float(params.get("work", 900.0))
+    mtbf = float(params.get("mtbf", 4_000.0))
+    repair_time = float(params.get("repair_time", 120.0))
+    interval = float(params.get("checkpoint_interval", 0.0))
+    cost = float(params.get("checkpoint_cost", 30.0))
+    restart_time = float(params.get("restart_time", 30.0))
+    max_retries = int(params.get("max_retries", 10))
+    base_delay = float(params.get("base_delay", 5.0))
+    arrival_gap = float(params.get("arrival_gap", 60.0))
+
+    catalog = default_catalog()
+    device = catalog.get("epyc-class-cpu")
+    site = Site(
+        name="churn", kind=SiteKind.ON_PREMISE, devices={device: nodes}
+    )
+
+    def make_job(index: int, flops: float):
+        job = make_single_kernel_job(
+            name=f"churn-{index}",
+            job_class=JobClass.SIMULATION,
+            flops=flops,
+            bytes_moved=1e6,
+            precision=Precision.FP64,
+            ranks=ranks,
+        )
+        job.arrival_time = index * arrival_gap
+        return job
+
+    # Calibrate kernel flops so the runtime estimate hits ``work`` —
+    # compute-bound kernels scale linearly.
+    probe = make_job(0, 1e15)
+    probe_time = estimate_job(probe, device, site).time
+    flops = 1e15 * work / probe_time
+
+    checkpoint = (
+        CheckpointPlan(interval=interval, cost=cost, restart_time=restart_time)
+        if interval > 0 else None
+    )
+    cluster = ClusterSimulator(
+        site=site, device=device, telemetry=telemetry,
+        retry_policy=RetryPolicy(
+            max_retries=max_retries, base_delay=base_delay, jitter=0.0
+        ),
+        checkpoint=checkpoint, rng=rng.fork("cluster"),
+    )
+    telemetry.bind_simulation(cluster.simulation)
+    for index in range(jobs):
+        cluster.submit(make_job(index, flops))
+    horizon = float(
+        params.get("horizon", 2.0 * (jobs * arrival_gap + 20.0 * work))
+    )
+    campaign = FaultCampaign(
+        horizon=horizon,
+        node_faults=(
+            NodeFaultSpec(
+                site=site.name,
+                process=FailureProcess(mtbf=mtbf),
+                repair_time=repair_time,
+            ),
+        ),
+    )
+    timeline = campaign.timeline(rng.fork("faults"))
+    injector = FaultInjector(
+        cluster.simulation, campaign, rng.fork("faults"),
+        telemetry=telemetry, timeline=timeline,
+    )
+    bind_cluster(injector, cluster)
+    injector.install()
+    cluster.run()
+    report = cluster_report(cluster)
+    check_conservation(cluster)
+    return {
+        "completed": float(report.completed),
+        "dead": float(report.dead),
+        "kills": float(report.kills),
+        "retries_total": float(report.retries),
+        "faults_injected": float(injector.injected),
+        "goodput": report.goodput,
+        "utilization": report.utilization,
+        "wasted_device_seconds": report.wasted_device_seconds,
+        "makespan_s": report.makespan,
+        "fault_time_sum": sum(event.time for event in timeline),
+    }
+
+
 # --- named sweeps -------------------------------------------------------------
 
 
@@ -184,7 +329,8 @@ def named_sweep(name: str, seed: Optional[int] = None):
 
     ``"congestion"`` is the 64-point congestion study (4 topologies × 4
     congestion variants × 4 loads); ``"smoke"`` is its 8-point miniature
-    for CI.  Unknown names raise ``KeyError``.
+    for CI; ``"resilience"`` sweeps checkpoint interval × failure rate on
+    the churn target.  Unknown names raise ``KeyError``.
     """
     from repro.sweep.engine import SweepSpec
 
@@ -214,8 +360,22 @@ def named_sweep(name: str, seed: Optional[int] = None):
             },
             seed=seed if seed is not None else 7,
         )
-    raise KeyError(f"unknown named sweep {name!r}; known: congestion, smoke")
+    if name == "resilience":
+        return SweepSpec(
+            name="resilience",
+            target="resilience-churn",
+            grid={
+                "checkpoint_interval": [0, 120, 360, 720],
+                "mtbf": [500, 2_000],
+                "jobs": [16],
+                "work": [600.0],
+            },
+            seed=seed if seed is not None else 1031,
+        )
+    raise KeyError(
+        f"unknown named sweep {name!r}; known: congestion, smoke, resilience"
+    )
 
 
 #: Named sweeps available to the CLI (``python -m repro sweep <name>``).
-NAMED_SWEEPS = ("congestion", "smoke")
+NAMED_SWEEPS = ("congestion", "smoke", "resilience")

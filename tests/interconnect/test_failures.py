@@ -5,6 +5,9 @@ import pytest
 from repro.core.errors import ConfigurationError
 from repro.core.rng import RandomSource
 from repro.interconnect.failures import (
+    DEFAULT_SEED,
+    connectivity_curve,
+    default_failure_rng,
     disconnection_threshold,
     fail_links,
     fail_switches,
@@ -99,3 +102,86 @@ class TestResilienceComparison:
     def test_threshold_validation(self, topology):
         with pytest.raises(ConfigurationError):
             disconnection_threshold(topology, target_connectivity=0.0)
+
+
+class TestDegenerateConventions:
+    """The documented <2-terminal convention: one terminal is trivially
+    connected (1.0), zero terminals means the fabric is gone (0.0)."""
+
+    def test_single_terminal_is_fully_connected(self):
+        topology = build_hyperx(dims=(2, 2), terminals_per_switch=1)
+        fabric = fail_switches(topology, 3, rng=RandomSource(seed=7))
+        if fabric.topology.terminal_count == 1:
+            assert terminal_connectivity(fabric) == 1.0
+
+    def test_zero_terminals_is_fully_disconnected(self):
+        topology = build_hyperx(dims=(2, 2), terminals_per_switch=0)
+        fabric = fail_links(topology, 0.0)
+        assert terminal_connectivity(fabric) == 0.0
+
+    def test_two_terminals_measured_normally(self):
+        topology = build_hyperx(dims=(2, 2), terminals_per_switch=1)
+        fabric = fail_switches(topology, 2, rng=RandomSource(seed=8))
+        if fabric.topology.terminal_count == 2:
+            assert terminal_connectivity(fabric) in (0.0, 1.0)
+
+
+class TestConnectivityCurve:
+    def test_monotone_non_increasing(self):
+        for builder in (
+            lambda: build_hyperx(dims=(4, 4), terminals_per_switch=1),
+            lambda: build_torus(dims=(4, 4), terminals_per_switch=1),
+        ):
+            curve = connectivity_curve(builder(), rng=RandomSource(seed=11))
+            for earlier, later in zip(curve.connectivity, curve.connectivity[1:]):
+                assert later <= earlier
+
+    def test_starts_fully_connected_and_spans_unit_interval(self):
+        curve = connectivity_curve(
+            build_hyperx(dims=(3, 3), terminals_per_switch=1),
+            rng=RandomSource(seed=12),
+        )
+        assert curve.fractions[0] == 0.0
+        assert curve.connectivity[0] == 1.0
+        assert curve.fractions[-1] == pytest.approx(1.0)
+
+    def test_threshold_consistent_with_curve(self):
+        curve = connectivity_curve(
+            build_torus(dims=(4, 4), terminals_per_switch=1),
+            rng=RandomSource(seed=13),
+        )
+        threshold = curve.threshold(0.9)
+        for fraction, value in zip(curve.fractions, curve.connectivity):
+            if fraction < threshold:
+                assert value >= 0.9
+
+    def test_wrapper_matches_curve_threshold(self):
+        topology = build_hyperx(dims=(4, 4), terminals_per_switch=1)
+        direct = disconnection_threshold(
+            topology, target_connectivity=0.9, rng=RandomSource(seed=14)
+        )
+        via_curve = connectivity_curve(
+            topology, rng=RandomSource(seed=14)
+        ).threshold(0.9)
+        assert direct == via_curve
+
+    def test_seeded_curve_is_reproducible(self):
+        topology = build_torus(dims=(3, 3), terminals_per_switch=1)
+        a = connectivity_curve(topology, rng=RandomSource(seed=15))
+        b = connectivity_curve(topology, rng=RandomSource(seed=15))
+        assert a == b
+
+
+class TestDefaultRng:
+    def test_named_fork_is_stable(self):
+        a = default_failure_rng("links").uniform()
+        b = default_failure_rng("links").uniform()
+        assert a == b
+
+    def test_purposes_are_independent_streams(self):
+        assert default_failure_rng("links").uniform() != default_failure_rng(
+            "switches"
+        ).uniform()
+
+    def test_module_seed_is_documented_constant(self):
+        assert DEFAULT_SEED == 1729

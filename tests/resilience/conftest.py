@@ -1,0 +1,42 @@
+"""Shared fixtures for the resilience tests: a calibrated single-site rig."""
+
+import pytest
+
+from repro.federation import Site, SiteKind
+from repro.hardware import Precision, default_catalog
+from repro.scheduling.cluster import ClusterSimulator
+from repro.scheduling.runtime import estimate_job
+from repro.workloads.base import JobClass, make_single_kernel_job
+
+CPU = default_catalog().get("epyc-class-cpu")
+
+
+def make_site(name="testsite", nodes=4):
+    return Site(name=name, kind=SiteKind.ON_PREMISE, devices={CPU: nodes})
+
+
+def make_job(work, *, name="job", ranks=1, arrival=0.0):
+    """A compute-bound job whose runtime estimate is ~``work`` seconds."""
+    probe = make_single_kernel_job(
+        name="probe", job_class=JobClass.SIMULATION, flops=1e15,
+        bytes_moved=1e6, precision=Precision.FP64, ranks=ranks,
+    )
+    site = make_site(nodes=max(ranks, 1))
+    probe_time = estimate_job(probe, CPU, site).time
+    job = make_single_kernel_job(
+        name=name, job_class=JobClass.SIMULATION,
+        flops=1e15 * work / probe_time,
+        bytes_moved=1e6, precision=Precision.FP64, ranks=ranks,
+    )
+    job.arrival_time = arrival
+    return job
+
+
+def make_cluster(nodes=4, **kwargs):
+    site = make_site(nodes=nodes)
+    return ClusterSimulator(site=site, device=CPU, **kwargs)
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster()

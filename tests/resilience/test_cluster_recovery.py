@@ -1,0 +1,273 @@
+"""Tests for kill/retry/checkpoint-restart and node churn in the cluster."""
+
+import math
+
+import pytest
+
+from repro.core.rng import RandomSource
+from repro.resilience import (
+    CheckpointPlan,
+    RetryPolicy,
+    check_conservation,
+    cluster_report,
+)
+from tests.resilience.conftest import make_cluster, make_job
+
+
+def _run_with_kill(cluster, job, kill_at):
+    record = cluster.submit(job)
+    cluster.simulation.schedule_at(
+        kill_at, lambda: cluster.fail_job(job.job_id)
+    )
+    cluster.run()
+    return record
+
+
+class TestFailJob:
+    def test_kill_requeues_and_finishes(self):
+        cluster = make_cluster(nodes=1)
+        job = make_job(600.0)
+        record = _run_with_kill(cluster, job, kill_at=100.0)
+        runtime = record.predicted_runtime
+        assert record.failures == 1
+        assert record.retries == 1
+        assert record.finish_time == pytest.approx(100.0 + runtime)
+        assert record.wasted_time == pytest.approx(100.0)
+        check_conservation(cluster)
+
+    def test_backoff_delays_the_restart(self):
+        policy = RetryPolicy(
+            max_retries=3, base_delay=50.0, multiplier=2.0, jitter=0.0
+        )
+        cluster = make_cluster(nodes=1, retry_policy=policy)
+        job = make_job(600.0)
+        record = _run_with_kill(cluster, job, kill_at=100.0)
+        assert record.finish_time == pytest.approx(
+            100.0 + 50.0 + record.predicted_runtime
+        )
+
+    def test_retry_budget_exhaustion_declares_dead(self):
+        policy = RetryPolicy(max_retries=0, base_delay=1.0, jitter=0.0)
+        cluster = make_cluster(nodes=1, retry_policy=policy)
+        job = make_job(600.0)
+        record = _run_with_kill(cluster, job, kill_at=100.0)
+        assert record.dead
+        assert record.finish_time is None
+        assert cluster.dead_jobs == [record]
+        tally = check_conservation(cluster)
+        assert tally["dead"] == 1
+        assert tally["completed"] == 0
+        cluster_report(cluster)  # dead jobs are an outcome, not an error
+
+    def test_useful_work_counted_once_despite_retries(self):
+        cluster = make_cluster(nodes=1)
+        job = make_job(600.0)
+        record = _run_with_kill(cluster, job, kill_at=200.0)
+        assert cluster.useful_device_seconds == pytest.approx(
+            record.predicted_runtime
+        )
+        assert cluster.wasted_device_seconds == pytest.approx(200.0)
+
+    def test_goodput_never_exceeds_utilization(self):
+        cluster = make_cluster(nodes=2)
+        for index in range(3):
+            cluster.submit(make_job(300.0, name=f"j{index}", arrival=index * 10.0))
+        cluster.simulation.schedule_at(
+            150.0, lambda: cluster.fail_node()
+        )
+        cluster.run()
+        assert cluster.goodput() <= cluster.utilization() + 1e-12
+        check_conservation(cluster)
+
+    def test_fault_free_run_has_equal_goodput_and_utilization(self):
+        cluster = make_cluster(nodes=2)
+        cluster.submit(make_job(300.0))
+        cluster.run()
+        assert cluster.goodput() == pytest.approx(cluster.utilization())
+
+
+class TestCheckpointRestart:
+    def test_attempt_pays_checkpoint_writes(self):
+        plan = CheckpointPlan(interval=100.0, cost=10.0, restart_time=5.0)
+        cluster = make_cluster(nodes=1, checkpoint=plan)
+        job = make_job(350.0)
+        record = cluster.submit(job)
+        cluster.run()
+        runtime = record.predicted_runtime
+        expected = runtime + (math.ceil(runtime / 100.0) - 1) * 10.0
+        assert record.finish_time == pytest.approx(expected)
+
+    def test_kill_resumes_from_last_checkpoint(self):
+        plan = CheckpointPlan(interval=100.0, cost=10.0, restart_time=5.0)
+        cluster = make_cluster(nodes=1, checkpoint=plan)
+        job = make_job(350.0)
+        record = _run_with_kill(cluster, job, kill_at=250.0)
+        runtime = record.predicted_runtime
+        # At elapsed 250 the job has banked floor(250/110)=2 checkpoints,
+        # i.e. 200 s of work; 50 s is lost.
+        assert record.wasted_time == pytest.approx(50.0)
+        left = runtime - 200.0
+        expected_attempt = (
+            5.0 + left + (math.ceil(left / 100.0) - 1) * 10.0
+        )
+        assert record.finish_time == pytest.approx(250.0 + expected_attempt)
+        check_conservation(cluster)
+
+    def test_checkpointing_beats_rerun_from_scratch_under_faults(self):
+        def final_makespan(checkpoint):
+            cluster = make_cluster(nodes=1, checkpoint=checkpoint)
+            job = make_job(1_000.0)
+            record = cluster.submit(job)
+            for kill_at in (400.0, 900.0):
+                cluster.simulation.schedule_at(
+                    kill_at, lambda: cluster.fail_job(job.job_id)
+                )
+            cluster.run()
+            return record.finish_time
+
+        plan = CheckpointPlan(interval=100.0, cost=1.0, restart_time=2.0)
+        assert final_makespan(plan) < final_makespan(None)
+
+    def test_restart_prefix_not_charged_on_first_attempt(self):
+        plan = CheckpointPlan(interval=1_000.0, cost=0.0, restart_time=500.0)
+        cluster = make_cluster(nodes=1, checkpoint=plan)
+        record = cluster.submit(make_job(300.0))
+        cluster.run()
+        assert record.finish_time == pytest.approx(record.predicted_runtime)
+
+
+class TestNodeChurn:
+    def test_fault_on_idle_device_kills_nothing(self):
+        cluster = make_cluster(nodes=4)
+        record = cluster.submit(make_job(300.0))
+        cluster.simulation.schedule_at(10.0, lambda: cluster.fail_node())
+        cluster.run()
+        assert record.failures == 0
+        assert cluster.capacity == 3
+        assert cluster.nominal_capacity == 4
+        check_conservation(cluster)
+
+    def test_fault_on_busy_cluster_kills_a_victim(self):
+        cluster = make_cluster(nodes=1)
+        record = cluster.submit(make_job(300.0))
+        victims = []
+        cluster.simulation.schedule_at(
+            10.0, lambda: victims.append(cluster.fail_node())
+        )
+        cluster.simulation.schedule_at(20.0, lambda: cluster.repair_node())
+        cluster.run()
+        assert victims == [record]
+        assert record.failures == 1
+        assert record.finish_time is not None
+        check_conservation(cluster)
+
+    def test_repair_restores_capacity(self):
+        cluster = make_cluster(nodes=2)
+        cluster.simulation.schedule_at(5.0, lambda: cluster.fail_node())
+        cluster.simulation.schedule_at(15.0, lambda: cluster.repair_node())
+        cluster.submit(make_job(100.0, ranks=2, arrival=20.0))
+        cluster.run()
+        assert cluster.capacity == 2
+        assert cluster.free_devices == 2
+        assert cluster.failed_nodes == 0
+
+    def test_wide_job_waits_out_a_node_outage(self):
+        """A 2-rank job cannot start while one of 2 nodes is down."""
+        cluster = make_cluster(nodes=2)
+        cluster.simulation.schedule_at(0.0, lambda: cluster.fail_node())
+        cluster.simulation.schedule_at(500.0, lambda: cluster.repair_node())
+        record = cluster.submit(make_job(100.0, ranks=2))
+        cluster.run()
+        assert record.start_time == pytest.approx(500.0)
+
+    def test_all_nodes_failed_is_a_noop_beyond_zero(self):
+        cluster = make_cluster(nodes=1)
+        cluster.simulation.schedule_at(0.0, lambda: cluster.fail_node())
+        cluster.simulation.schedule_at(1.0, lambda: cluster.fail_node())
+        cluster.run()
+        assert cluster.capacity == 0
+
+    def test_victim_selection_weighted_by_footprint_is_seeded(self):
+        def victim_name(seed):
+            cluster = make_cluster(
+                nodes=4, rng=RandomSource(seed=seed, name="victims")
+            )
+            wide = make_job(300.0, name="wide", ranks=3)
+            narrow = make_job(300.0, name="narrow", ranks=1)
+            cluster.submit(wide)
+            cluster.submit(narrow)
+            killed = []
+            cluster.simulation.schedule_at(
+                10.0, lambda: killed.append(cluster.fail_node())
+            )
+            cluster.run()
+            return killed[0].job.name
+
+        assert victim_name(8) == victim_name(8)
+        names = {victim_name(seed) for seed in range(12)}
+        assert "wide" in names  # 3x the footprint, should dominate
+
+
+class TestEvacuation:
+    def test_evacuate_displaces_everything(self):
+        cluster = make_cluster(nodes=2)
+        running = make_job(300.0, name="running")
+        queued = make_job(300.0, name="queued", ranks=2)
+        staging = make_job(300.0, name="staging")
+        cluster.submit(running)
+        cluster.submit(queued)
+        cluster.submit(staging, transfer_time=1_000.0)
+        displaced = []
+        cluster.simulation.schedule_at(
+            50.0, lambda: displaced.extend(cluster.evacuate())
+        )
+        cluster.run()
+        assert {j.name for j in displaced} == {"running", "queued", "staging"}
+        assert cluster.records == []
+        assert len(cluster.evacuated_records) == 3
+        assert cluster.free_devices == 2
+        tally = check_conservation(cluster)
+        assert tally["evacuated"] == 3
+
+    def test_restore_resumes_dispatch(self):
+        """Work arriving during an outage queues up and starts at restore."""
+        cluster = make_cluster(nodes=1)
+        cluster.simulation.schedule_at(0.0, lambda: cluster.evacuate())
+        records = []
+        cluster.simulation.schedule_at(
+            10.0, lambda: records.append(cluster.submit(make_job(50.0, arrival=10.0)))
+        )
+        cluster.simulation.schedule_at(100.0, lambda: cluster.restore())
+        cluster.run()
+        assert records[0].start_time == pytest.approx(100.0)
+        check_conservation(cluster)
+
+    def test_evacuated_progress_is_wasted(self):
+        cluster = make_cluster(nodes=1)
+        cluster.submit(make_job(300.0))
+        cluster.simulation.schedule_at(120.0, lambda: cluster.evacuate())
+        cluster.run()
+        assert cluster.wasted_device_seconds == pytest.approx(120.0)
+
+
+class TestReport:
+    def test_report_totals_match_ledgers(self):
+        policy = RetryPolicy(max_retries=2, base_delay=1.0, jitter=0.0)
+        cluster = make_cluster(nodes=2, retry_policy=policy)
+        jobs = [make_job(400.0, name=f"j{i}", arrival=i * 5.0) for i in range(3)]
+        for job in jobs:
+            cluster.submit(job)
+        for kill_at in (100.0, 300.0):
+            cluster.simulation.schedule_at(kill_at, lambda: cluster.fail_node())
+            cluster.simulation.schedule_at(
+                kill_at + 50.0, lambda: cluster.repair_node()
+            )
+        cluster.run()
+        report = cluster_report(cluster)
+        assert report.submitted == 3
+        assert report.completed + report.dead == 3
+        assert report.kills == len(cluster.kill_times)
+        assert sum(report.retry_histogram.values()) == 3
+        assert report.goodput <= report.utilization + 1e-12
+        if report.kills:
+            assert report.mtti == pytest.approx(report.makespan / report.kills)

@@ -1,0 +1,121 @@
+"""Tests for metascheduler site-outage failover."""
+
+import pytest
+
+from repro.federation import Federation, Site, SiteKind, WanLink
+from repro.federation.bursting import BurstingPolicy
+from repro.hardware import default_catalog
+from repro.observability import Telemetry
+from repro.resilience import check_conservation
+from repro.scheduling.metascheduler import MetaScheduler
+from tests.resilience.conftest import make_job
+
+CPU = default_catalog().get("epyc-class-cpu")
+
+
+def two_site_federation(second_kind=SiteKind.ON_PREMISE):
+    """Two CPU sites; ``alpha`` added first so it wins placement ties."""
+    federation = Federation(name="failover-fed")
+    alpha = Site(name="alpha", kind=SiteKind.ON_PREMISE, devices={CPU: 4})
+    beta = Site(name="beta", kind=second_kind, devices={CPU: 4})
+    federation.add_site(alpha)
+    federation.add_site(beta)
+    federation.connect(alpha, beta, WanLink(bandwidth=1.25e9, latency=0.01))
+    return federation
+
+
+class TestFailover:
+    def test_outage_resubmits_to_survivor(self):
+        telemetry = Telemetry()
+        scheduler = MetaScheduler(two_site_federation(), telemetry=telemetry)
+        job = make_job(600.0)
+        scheduler.simulation.schedule_at(
+            100.0, lambda: scheduler.fail_site("alpha")
+        )
+        records = scheduler.run([job])
+        assert len(records) == 1
+        assert records[0].finish_time is not None
+        assert scheduler.placements_by_site()["beta"] >= 1
+        assert (
+            telemetry.counter("federation.failover.resubmitted").total() == 1
+        )
+        assert telemetry.counter("federation.site_outages").total() == 1
+        for pool in scheduler.pools.values():
+            check_conservation(pool)
+
+    def test_down_site_excluded_from_new_placements(self):
+        scheduler = MetaScheduler(two_site_federation())
+        scheduler.fail_site("alpha")
+        scheduler.run([make_job(100.0)])
+        assert set(scheduler.placements_by_site()) == {"beta"}
+
+    def test_fail_site_is_idempotent(self):
+        scheduler = MetaScheduler(two_site_federation())
+        scheduler.fail_site("alpha")
+        assert scheduler.fail_site("alpha") == []
+
+    def test_unknown_site_rejected(self):
+        scheduler = MetaScheduler(two_site_federation())
+        with pytest.raises(Exception):
+            scheduler.fail_site("nowhere")
+
+
+class TestStranding:
+    def _single_site_scheduler(self, telemetry=None):
+        federation = Federation(name="lone-fed")
+        federation.add_site(
+            Site(name="alpha", kind=SiteKind.ON_PREMISE, devices={CPU: 4})
+        )
+        return MetaScheduler(federation, telemetry=telemetry)
+
+    def test_no_survivor_strands_until_restore(self):
+        telemetry = Telemetry()
+        scheduler = self._single_site_scheduler(telemetry)
+        job = make_job(600.0)
+        scheduler.simulation.schedule_at(
+            100.0, lambda: scheduler.fail_site("alpha")
+        )
+        scheduler.simulation.schedule_at(
+            500.0, lambda: scheduler.restore_site("alpha")
+        )
+        records = scheduler.run([job])
+        assert len(records) == 1
+        assert records[0].finish_time > 500.0
+        assert scheduler.stranded == []
+        assert telemetry.counter("federation.failover.stranded").total() == 1
+        assert telemetry.counter("federation.site_restored").total() == 1
+
+    def test_restore_of_healthy_site_is_noop(self):
+        scheduler = self._single_site_scheduler()
+        scheduler.restore_site("alpha")
+        assert scheduler.down_sites == set()
+
+
+class TestBurstingGate:
+    def test_policy_blocks_cloud_failover(self):
+        """With the burst budget at zero, a displaced job strands rather
+        than following the outage to the cloud."""
+        policy = BurstingPolicy(max_burst_fraction=0.0)
+        scheduler = MetaScheduler(
+            two_site_federation(second_kind=SiteKind.CLOUD), failover=policy
+        )
+        job = make_job(600.0)
+        scheduler.simulation.schedule_at(
+            100.0, lambda: scheduler.fail_site("alpha")
+        )
+        records = scheduler.run([job])
+        assert records == []
+        assert [j.name for j in scheduler.stranded] == [job.name]
+        assert "beta" not in scheduler.placements_by_site()
+
+    def test_ungated_job_bursts_to_cloud(self):
+        scheduler = MetaScheduler(
+            two_site_federation(second_kind=SiteKind.CLOUD)
+        )
+        job = make_job(600.0)
+        scheduler.simulation.schedule_at(
+            100.0, lambda: scheduler.fail_site("alpha")
+        )
+        records = scheduler.run([job])
+        assert records[0].finish_time is not None
+        assert "beta" in scheduler.placements_by_site()
