@@ -1,0 +1,116 @@
+"""Invariant-checker overhead benchmark: instrumented vs validated runs.
+
+The validation layer must be near-free: chaining
+:class:`~repro.validate.KernelInvariantHooks` in front of telemetry's
+kernel probe adds a handful of float comparisons per event, and the
+end-of-run ledger checks are O(counters). The acceptance bar is <5% wall
+time on an event-heavy profile. Times the same profile through a plain
+:class:`~repro.observability.Telemetry` and through
+:func:`~repro.validate.run_validated` (which also runs the end-of-run
+checks), and writes the measurement as ``BENCH_validate.json`` so CI can
+gate on it.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_validate.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+
+from repro import profiles
+from repro.observability import Telemetry
+from repro.validate import run_validated
+
+#: Event-heavy profiles that stress the chained kernel hooks.
+PROFILE_IDS = ("C16", "F3")
+
+
+def run_bare(profile_id: str) -> float:
+    """Wall seconds for one instrumented (but unvalidated) profile run."""
+    telemetry = Telemetry()
+    started = time.perf_counter()
+    profiles.run(profile_id, telemetry)
+    return time.perf_counter() - started
+
+
+def run_checked(profile_id: str) -> float:
+    """Wall seconds for the same run with invariants armed and checked."""
+    started = time.perf_counter()
+    _result, checker = run_validated(profile_id)
+    elapsed = time.perf_counter() - started
+    if not checker.ok:
+        raise RuntimeError(
+            f"benchmark invariant broken: {checker.summary()}"
+        )
+    return elapsed
+
+
+def best_of(repeats: int, runner, profile_id: str) -> float:
+    """Minimum wall time over ``repeats`` runs (noise floor estimate)."""
+    return min(runner(profile_id) for _ in range(repeats))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI sizing: 3 repeats")
+    parser.add_argument("--output", default="BENCH_validate.json")
+    args = parser.parse_args()
+    if args.quick:
+        args.repeats = 3
+
+    per_profile = {}
+    bare_total = 0.0
+    checked_total = 0.0
+    for profile_id in PROFILE_IDS:
+        # Warm-up pass absorbs import and first-run allocation costs.
+        run_bare(profile_id)
+        bare = best_of(args.repeats, run_bare, profile_id)
+        checked = best_of(args.repeats, run_checked, profile_id)
+        bare_total += bare
+        checked_total += checked
+        per_profile[profile_id] = {
+            "bare_seconds": bare,
+            "checked_seconds": checked,
+            "overhead_pct": (
+                100.0 * (checked - bare) / bare if bare else 0.0
+            ),
+        }
+
+    overhead_pct = (
+        100.0 * (checked_total - bare_total) / bare_total
+        if bare_total else 0.0
+    )
+    document = {
+        "schema": "repro.bench/v1",
+        "benchmark": "validate_invariant_overhead",
+        "workload": {
+            "profiles": list(PROFILE_IDS),
+            "repeats": args.repeats,
+        },
+        "profiles": per_profile,
+        "bare_seconds": bare_total,
+        "checked_seconds": checked_total,
+        "overhead_pct": overhead_pct,
+        "cpu_count": os.cpu_count(),
+    }
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    for profile_id, row in per_profile.items():
+        print(f"{profile_id}: bare {row['bare_seconds']:.3f}s  "
+              f"checked {row['checked_seconds']:.3f}s  "
+              f"overhead {row['overhead_pct']:+.2f}%")
+    print(f"total overhead {overhead_pct:+.2f}%")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,9 @@ Subpackages
 ``repro.sweep``
     Parallel scenario sweeps: parameter grids fanned over worker
     processes with bit-identical results at any worker count.
+``repro.validate``
+    Validation and conformance: runtime invariants, golden-result
+    fingerprints, differential model checks (``python -m repro validate``).
 ``repro.profiles``
     Runnable experiment profiles: ``repro.profiles.run("C1", ...)``.
 """

@@ -10,7 +10,9 @@ Run as ``python -m repro <command>``:
 * ``metrics``    — run a profiled experiment, print its counter tables,
 * ``sweep``      — fan a scenario sweep over worker processes,
 * ``faults``     — run the fault-injection profile (C16) and report
-  goodput, retries and conservation.
+  goodput, retries and conservation,
+* ``validate``   — run invariants, differential checks and golden-
+  fingerprint comparisons (``--record`` refreshes the goldens).
 """
 
 from __future__ import annotations
@@ -361,6 +363,26 @@ def _command_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_validate(args: argparse.Namespace) -> int:
+    """Run the validation pipeline; exit 0 only if everything holds."""
+    from repro.validate import DEFAULT_RTOL, validate
+
+    try:
+        report = validate(
+            mode="record" if args.record else "check",
+            profiles=args.profiles,
+            sweeps=args.sweeps,
+            golden_dir=args.golden_dir,
+            rtol=args.rtol if args.rtol is not None else DEFAULT_RTOL,
+            differential=not args.skip_differential,
+        )
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -453,6 +475,40 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--repair-time", type=float, default=None)
     faults.add_argument("--max-jobs", type=int, default=None)
     faults.add_argument("--seed", type=int, default=None)
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="check invariants, differentials and golden fingerprints",
+    )
+    mode = validate.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--check", action="store_true",
+        help="compare against committed goldens (the default)",
+    )
+    mode.add_argument(
+        "--record", action="store_true",
+        help="(re)write the golden fingerprints from this build",
+    )
+    validate.add_argument(
+        "--golden-dir", default=None,
+        help="golden fingerprint directory (default: tests/golden)",
+    )
+    validate.add_argument(
+        "--profiles", nargs="*", default=None, metavar="ID",
+        help="profile subset (default: all; pass none to skip profiles)",
+    )
+    validate.add_argument(
+        "--sweeps", nargs="*", default=None, metavar="NAME",
+        help="named-sweep subset (default: all; pass none to skip sweeps)",
+    )
+    validate.add_argument(
+        "--rtol", type=float, default=None,
+        help="relative tolerance for numeric drift (default: 1e-6)",
+    )
+    validate.add_argument(
+        "--skip-differential", action="store_true",
+        help="skip the differential model checks",
+    )
     return parser
 
 
@@ -466,6 +522,7 @@ _HANDLERS = {
     "metrics": _command_metrics,
     "sweep": _command_sweep,
     "faults": _command_faults,
+    "validate": _command_validate,
 }
 
 

@@ -42,6 +42,10 @@ class RandomSource:
         stream — including across processes: the name is hashed with CRC32,
         not Python's per-process-randomised ``hash()``.
         """
+        if not name:
+            # CRC32("") is 0, which collides with any name hashing to 0 and
+            # silently yields a stream indistinguishable from a typo'd call.
+            raise ValueError("fork needs a non-empty name")
         if self.seed is None:
             child_seed = None
         else:
@@ -67,6 +71,10 @@ class RandomSource:
 
     def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
         """A float drawn uniformly from ``[low, high)``."""
+        if high < low:
+            raise ValueError(
+                f"uniform bounds are inverted: low={low} > high={high}"
+            )
         return float(self._rng.uniform(low, high))
 
     def integer(self, low: int, high: int) -> int:
@@ -100,6 +108,12 @@ class RandomSource:
         if not items:
             raise ValueError("cannot choose from an empty sequence")
         if weights is not None:
+            if len(weights) != len(items):
+                raise ValueError(
+                    f"got {len(weights)} weights for {len(items)} items"
+                )
+            if any(w < 0 for w in weights):
+                raise ValueError("weights must be non-negative")
             total = float(sum(weights))
             if total <= 0:
                 raise ValueError("weights must sum to a positive value")
@@ -111,6 +125,8 @@ class RandomSource:
 
     def sample(self, items: Sequence[T], k: int) -> List[T]:
         """``k`` distinct elements of ``items`` in random order."""
+        if k < 0:
+            raise ValueError(f"sample size must be non-negative, got {k}")
         if k > len(items):
             raise ValueError(f"cannot sample {k} items from {len(items)}")
         indices = self._rng.choice(len(items), size=k, replace=False)

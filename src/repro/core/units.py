@@ -78,6 +78,34 @@ _FLOP_STEPS = (
 )
 
 
+def _format_scaled(value, steps, base_scale, base_suffix, precision):
+    """Pick the largest unit not exceeding ``value`` and render it.
+
+    Rounding can carry a mantissa across the next unit's boundary —
+    ``999.9999 ms`` renders as ``'1e+03 ms'`` under ``.3g`` — so after
+    formatting, a mantissa that reached the neighbouring unit's ratio is
+    re-rendered in that larger unit (``'1 s'``).
+    """
+    magnitude = abs(value)
+    index = len(steps)  # sentinel: fell through to the base unit
+    for position, (scale, suffix) in enumerate(steps):
+        if magnitude >= scale:
+            index, (scale, suffix) = position, (scale, suffix)
+            break
+    else:
+        scale, suffix = base_scale, base_suffix
+    rendered = f"{value / scale:.{precision}g}"
+    larger = index - 1 if index < len(steps) else len(steps) - 1
+    if larger >= 0:
+        # Unit ratios are powers of ten; round away float-division noise
+        # (1e-3 / 1e-6 is not exactly 1000.0).
+        ratio = round(steps[larger][0] / scale)
+        if abs(float(rendered)) >= ratio:
+            scale, suffix = steps[larger]
+            rendered = f"{value / scale:.{precision}g}"
+    return f"{rendered} {suffix}"
+
+
 def format_time(seconds: float, precision: int = 3) -> str:
     """Render a duration with an auto-selected unit, e.g. ``'1.25 ms'``.
 
@@ -85,33 +113,21 @@ def format_time(seconds: float, precision: int = 3) -> str:
     """
     if seconds == 0:
         return "0 s"
-    magnitude = abs(seconds)
-    for scale, suffix in _TIME_STEPS:
-        if magnitude >= scale:
-            return f"{seconds / scale:.{precision}g} {suffix}"
-    return f"{seconds / NANOSECOND:.{precision}g} ns"
+    return _format_scaled(seconds, _TIME_STEPS, NANOSECOND, "ns", precision)
 
 
 def format_bytes(num_bytes: float, precision: int = 3) -> str:
     """Render a byte count with an auto-selected decimal unit."""
     if num_bytes == 0:
         return "0 B"
-    magnitude = abs(num_bytes)
-    for scale, suffix in _SIZE_STEPS:
-        if magnitude >= scale:
-            return f"{num_bytes / scale:.{precision}g} {suffix}"
-    return f"{num_bytes:.{precision}g} B"
+    return _format_scaled(num_bytes, _SIZE_STEPS, 1.0, "B", precision)
 
 
 def format_flops(flops: float, precision: int = 3) -> str:
     """Render an operation count with an auto-selected unit."""
     if flops == 0:
         return "0 FLOP"
-    magnitude = abs(flops)
-    for scale, suffix in _FLOP_STEPS:
-        if magnitude >= scale:
-            return f"{flops / scale:.{precision}g} {suffix}"
-    return f"{flops:.{precision}g} FLOP"
+    return _format_scaled(flops, _FLOP_STEPS, 1.0, "FLOP", precision)
 
 
 def format_rate(bytes_per_second: float, precision: int = 3) -> str:

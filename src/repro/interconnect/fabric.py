@@ -495,6 +495,13 @@ class FabricSimulator:
             ):
                 flow = arrivals[arrival_index]
                 arrival_index += 1
+                if self.telemetry is not None:
+                    # Conservation ledger: every admitted byte must later
+                    # land in fabric.flow_bytes or fabric.flow_bytes_lost.
+                    self.telemetry.counter(
+                        "fabric.flow_bytes_offered",
+                        "bytes injected at flow admission",
+                    ).inc(flow.size, tag=flow.tag or "flow")
                 try:
                     path = self._route(flow)
                 except (nx.NetworkXNoPath, nx.NodeNotFound):
@@ -633,6 +640,12 @@ class FabricSimulator:
             self.telemetry.counter("fabric.flow_bytes").inc(
                 stats.delivered_bytes, tag=tag
             )
+        lost = stats.size - stats.delivered_bytes
+        if lost > 0:
+            self.telemetry.counter(
+                "fabric.flow_bytes_lost",
+                "offered bytes that never reached their destination",
+            ).inc(lost, tag=tag)
         self.telemetry.tracer.complete(
             f"flow:{tag}", CATEGORY_FLOW, stats.start_time, stats.finish_time,
             flow_id=stats.flow_id, bytes=stats.delivered_bytes, dropped=True,

@@ -1,0 +1,367 @@
+"""Differential checks: fast paths against independent references.
+
+Each check re-derives an answer two ways — the optimised production path
+and an independent (slower, simpler) reference — and demands agreement:
+
+* :func:`check_routes` — :class:`~repro.interconnect.routecache.RouteCache`
+  memoised routes vs uncached :mod:`networkx` shortest paths, link
+  decompositions vs plain pair-zipping, cached propagation delays vs a
+  manual per-edge latency sum.
+* :func:`check_collectives` — the alpha-beta-gamma closed forms vs
+  step-by-step round loops that accumulate one message at a time.
+* :func:`check_checkpointing` — the Young/Daly interval vs a numeric grid
+  scan of the first-order Daly expected-time model, for every checkpoint
+  target preset.
+* :func:`check_sweep` — the fork-pool parallel sweep vs serial execution
+  of the same spec (the engine's bit-identical-at-any-worker-count
+  contract).
+
+All checks are deterministic (seeded sampling only) and fast enough for
+tier-1; :func:`run_differential_checks` bundles them for the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import networkx as nx
+
+from repro.core.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class DifferentialResult:
+    """Outcome of one differential check."""
+
+    name: str
+    passed: bool
+    comparisons: int
+    detail: str
+
+    def __str__(self) -> str:
+        status = "ok" if self.passed else "FAILED"
+        return (
+            f"differential {self.name}: {status} "
+            f"({self.comparisons} comparisons) — {self.detail}"
+        )
+
+
+# --- routes ---------------------------------------------------------------------
+
+
+def check_routes(pairs: int = 48, seed: int = 2024) -> DifferentialResult:
+    """Cached routing vs uncached networkx on two topology families."""
+    from repro.interconnect.routecache import route_cache_for
+    from repro.interconnect.topology import build_topology
+
+    topologies = [
+        build_topology(
+            "dragonfly", groups=6, routers_per_group=4, terminals=4
+        ),
+        build_topology("fat-tree", k=4),
+    ]
+    rng = RandomSource(seed=seed, name="validate/routes")
+    comparisons = 0
+    failures: List[str] = []
+    for topology in topologies:
+        cache = route_cache_for(topology)
+        graph = topology.graph
+        terminals = topology.terminals
+        sample = [
+            tuple(rng.sample(terminals, 2)) for _ in range(pairs)
+        ]
+        for source, destination in sample:
+            cached = cache.minimal_route(source, destination)
+            # Independent reference: a fresh shortest-path computation on
+            # the raw graph, no cache involved.
+            reference_hops = nx.shortest_path_length(
+                graph, source, destination
+            )
+            comparisons += 1
+            if cached[0] != source or cached[-1] != destination:
+                failures.append(
+                    f"{topology.name}: route {source}->{destination} has "
+                    f"endpoints {cached[0]}..{cached[-1]}"
+                )
+                continue
+            if len(cached) - 1 != reference_hops:
+                failures.append(
+                    f"{topology.name}: cached {source}->{destination} is "
+                    f"{len(cached) - 1} hops, networkx says "
+                    f"{reference_hops}"
+                )
+            missing = [
+                (u, v) for u, v in zip(cached, cached[1:])
+                if not graph.has_edge(u, v)
+            ]
+            if missing:
+                failures.append(
+                    f"{topology.name}: cached route uses non-edges "
+                    f"{missing}"
+                )
+            links = cache.links_of(cached)
+            if links != list(zip(cached, cached[1:])):
+                failures.append(
+                    f"{topology.name}: links_of disagrees with "
+                    f"pair-zipping for {source}->{destination}"
+                )
+            delay = cache.propagation_delay(cached)
+            reference_delay = sum(
+                float(graph.edges[u, v]["latency"])
+                for u, v in zip(cached, cached[1:])
+            )
+            if not math.isclose(
+                delay, reference_delay, rel_tol=1e-12, abs_tol=1e-18
+            ):
+                failures.append(
+                    f"{topology.name}: cached delay {delay} != manual sum "
+                    f"{reference_delay} for {source}->{destination}"
+                )
+    detail = (
+        f"{len(topologies)} topologies x {pairs} pairs agree with "
+        "uncached networkx"
+        if not failures
+        else "; ".join(failures[:3])
+    )
+    return DifferentialResult(
+        "routes", not failures, comparisons, detail
+    )
+
+
+# --- collectives ----------------------------------------------------------------
+
+
+def _ring_allreduce_steps(model, message_bytes: float) -> float:
+    """Ring all-reduce simulated one step at a time.
+
+    ``p - 1`` reduce-scatter steps (each moves and reduces one chunk) then
+    ``p - 1`` all-gather steps (move only).
+    """
+    p = model.nodes
+    if p == 1:
+        return 0.0
+    chunk = message_bytes / p
+    elapsed = 0.0
+    for _ in range(p - 1):
+        elapsed += model.alpha + chunk * model.beta + chunk * model.gamma
+    for _ in range(p - 1):
+        elapsed += model.alpha + chunk * model.beta
+    return elapsed
+
+
+def _tree_allreduce_steps(model, message_bytes: float) -> float:
+    p = model.nodes
+    if p == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(p))
+    elapsed = 0.0
+    for _ in range(rounds):  # reduce rounds carry the gamma term
+        elapsed += (
+            model.alpha + message_bytes * model.beta
+            + message_bytes * model.gamma
+        )
+    for _ in range(rounds):  # gather rounds move data only
+        elapsed += model.alpha + message_bytes * model.beta
+    return elapsed
+
+
+def _in_network_allreduce_steps(model, message_bytes: float) -> float:
+    p = model.nodes
+    if p == 1:
+        return 0.0
+    depth = max(1, math.ceil(math.log(p, model.switch_radix)))
+    elapsed = 0.0
+    for _ in range(2 * depth):  # one hop latency up, one down, per level
+        elapsed += model.alpha
+    wire = 2.0 * message_bytes * model.beta
+    switch = message_bytes / model.switch_reduce_rate
+    return elapsed + max(wire, switch)
+
+
+def _broadcast_steps(model, message_bytes: float) -> float:
+    if model.nodes == 1:
+        return 0.0
+    elapsed = 0.0
+    for _ in range(math.ceil(math.log2(model.nodes))):
+        elapsed += model.alpha + message_bytes * model.beta
+    return elapsed
+
+
+def _ring_exchange_steps(model, message_bytes: float) -> float:
+    """Shared reference for all-gather and pairwise all-to-all."""
+    if model.nodes == 1:
+        return 0.0
+    elapsed = 0.0
+    for _ in range(model.nodes - 1):
+        elapsed += model.alpha + message_bytes * model.beta
+    return elapsed
+
+
+def _barrier_steps(model, _message_bytes: float) -> float:
+    if model.nodes == 1:
+        return 0.0
+    elapsed = 0.0
+    for _ in range(math.ceil(math.log2(model.nodes))):
+        elapsed += model.alpha
+    return elapsed
+
+
+def check_collectives(rtol: float = 1e-9) -> DifferentialResult:
+    """Collective closed forms vs step-by-step round loops."""
+    from repro.interconnect.collectives import CollectiveModel
+
+    populations = (1, 2, 3, 4, 7, 8, 16, 64, 100)
+    sizes = (0.0, 1e3, 1e6, 1e9)
+    checks: List[Tuple[str, Callable, Callable]] = [
+        ("allreduce_ring", CollectiveModel.allreduce_ring,
+         _ring_allreduce_steps),
+        ("allreduce_tree", CollectiveModel.allreduce_tree,
+         _tree_allreduce_steps),
+        ("allreduce_in_network", CollectiveModel.allreduce_in_network,
+         _in_network_allreduce_steps),
+        ("broadcast", CollectiveModel.broadcast, _broadcast_steps),
+        ("allgather", CollectiveModel.allgather, _ring_exchange_steps),
+        ("alltoall", CollectiveModel.alltoall, _ring_exchange_steps),
+        ("barrier", lambda model, _n: model.barrier(), _barrier_steps),
+    ]
+    comparisons = 0
+    failures: List[str] = []
+    for p in populations:
+        model = CollectiveModel(nodes=p)
+        for n in sizes:
+            for name, closed_form, stepwise in checks:
+                closed = closed_form(model, n)
+                stepped = stepwise(model, n)
+                comparisons += 1
+                if not math.isclose(
+                    closed, stepped, rel_tol=rtol, abs_tol=1e-15
+                ):
+                    failures.append(
+                        f"{name}(p={p}, n={n}): closed {closed} != "
+                        f"stepped {stepped}"
+                    )
+    detail = (
+        f"{len(checks)} collectives x {len(populations)} populations x "
+        f"{len(sizes)} sizes agree"
+        if not failures
+        else "; ".join(failures[:3])
+    )
+    return DifferentialResult(
+        "collectives", not failures, comparisons, detail
+    )
+
+
+# --- checkpointing --------------------------------------------------------------
+
+
+def check_checkpointing(
+    grid_points: int = 241, value_rtol: float = 0.02
+) -> DifferentialResult:
+    """Young/Daly closed form vs a numeric grid scan, per target preset.
+
+    The Young/Daly interval is a *first-order* optimum, so its argmin can
+    sit off the numeric one; what must agree is the achieved expected
+    time. The grid spans ``tau* / 6 .. tau* * 6`` geometrically and the
+    closed form's value must be within ``value_rtol`` of the grid minimum.
+    Also cross-checks :class:`~repro.resilience.recovery.CheckpointPlan`
+    against the bare :func:`~repro.scheduling.checkpointing.young_daly_interval`.
+    """
+    from repro.resilience.recovery import CheckpointPlan
+    from repro.scheduling.checkpointing import (
+        CheckpointedExecution,
+        FailureModel,
+        fabric_pm_target,
+        local_ssd_target,
+        parallel_filesystem_target,
+        young_daly_interval,
+    )
+
+    failures = FailureModel(node_mtbf=1e6, nodes=32)
+    checkpoint_bytes = 2e11
+    comparisons = 0
+    problems: List[str] = []
+    for target in (
+        fabric_pm_target(), local_ssd_target(), parallel_filesystem_target()
+    ):
+        execution = CheckpointedExecution(
+            work_time=4e5,
+            checkpoint_bytes_per_node=checkpoint_bytes,
+            failures=failures,
+            target=target,
+        )
+        optimum = execution.optimal_interval
+        closed_value = execution.expected_time()
+        low, high = optimum / 6.0, optimum * 6.0
+        ratio = (high / low) ** (1.0 / (grid_points - 1))
+        grid_minimum = min(
+            execution.expected_time(low * ratio**i)
+            for i in range(grid_points)
+        )
+        comparisons += grid_points
+        drift = abs(closed_value - grid_minimum) / grid_minimum
+        if drift > value_rtol:
+            problems.append(
+                f"{target.name}: Young/Daly expected time {closed_value} "
+                f"is {drift:.2%} off the numeric optimum {grid_minimum}"
+            )
+        plan_interval = CheckpointPlan.from_target(
+            target, checkpoint_bytes, failures
+        ).interval
+        reference_interval = young_daly_interval(
+            failures.system_mtbf, target.checkpoint_time(checkpoint_bytes)
+        )
+        comparisons += 1
+        if not math.isclose(plan_interval, reference_interval, rel_tol=1e-12):
+            problems.append(
+                f"{target.name}: CheckpointPlan interval {plan_interval} "
+                f"!= young_daly_interval {reference_interval}"
+            )
+    detail = (
+        f"3 targets within {value_rtol:.0%} of the numeric optimum over "
+        f"{grid_points}-point grids"
+        if not problems
+        else "; ".join(problems)
+    )
+    return DifferentialResult(
+        "checkpointing", not problems, comparisons, detail
+    )
+
+
+# --- sweep ----------------------------------------------------------------------
+
+
+def check_sweep(workers: int = 2) -> DifferentialResult:
+    """Fork-pool sweep vs serial execution of the same spec."""
+    from repro.sweep import named_sweep, run_sweep
+
+    serial = run_sweep(named_sweep("smoke"), workers=1)
+    pooled = run_sweep(named_sweep("smoke"), workers=workers)
+    serial_print = serial.fingerprint()
+    pooled_print = pooled.fingerprint()
+    passed = serial_print == pooled_print
+    detail = (
+        f"smoke sweep fingerprint {serial_print[:12]} identical at 1 and "
+        f"{workers} workers"
+        if passed
+        else (
+            f"smoke sweep diverged: serial {serial_print[:12]} vs "
+            f"{workers}-worker pool {pooled_print[:12]}"
+        )
+    )
+    return DifferentialResult(
+        "sweep-pool", passed, len(serial.points), detail
+    )
+
+
+def run_differential_checks(
+    sweep_workers: int = 2,
+) -> List[DifferentialResult]:
+    """Run every differential check; never raises, returns all results."""
+    return [
+        check_routes(),
+        check_collectives(),
+        check_checkpointing(),
+        check_sweep(workers=sweep_workers),
+    ]

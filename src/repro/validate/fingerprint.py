@@ -1,0 +1,262 @@
+"""Golden-result fingerprints: tolerance-aware drift detection.
+
+A *fingerprint* is a small JSON document (``repro.validate/v1``) capturing
+everything deterministic about one run — the summary metrics and every
+counter total for a profile; per-point params, metrics and counters for a
+sweep. Fingerprints recorded from a known-good build live in
+``tests/golden/`` and every later build is compared against them:
+
+* comparisons are **tolerance-aware** — numbers may drift by ``rtol``
+  before they count, so harmless float reassociation across platforms
+  passes while a changed answer fails;
+* mismatches produce **drift-explaining messages** (which key, golden vs
+  current value, by how much) instead of a bare hash inequality, so the
+  first question after a red check — "what actually changed?" — is
+  answered by the failure itself.
+
+:class:`GoldenStore` is the directory-backed record/load/check API used by
+``python -m repro validate`` and the tier-1 golden tests.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Union
+
+#: Fingerprint document schema identifier.
+SCHEMA = "repro.validate/v1"
+
+#: Default relative tolerance for numeric comparisons. Runs are seeded and
+#: deterministic, so this only needs to absorb cross-platform libm and
+#: reassociation noise — far below any real behaviour change.
+DEFAULT_RTOL = 1e-6
+
+#: Absolute floor so comparisons against zero do not demand exact zeros.
+DEFAULT_ATOL = 1e-12
+
+
+def profile_fingerprint(result) -> Dict[str, object]:
+    """The ``repro.validate/v1`` document for one ``ProfileResult``.
+
+    Captures the numeric summary metrics and every counter total from the
+    run's telemetry — the same observable surface the sweep engine hashes,
+    so any behaviour change a sweep would notice, a golden notices too.
+    """
+    counters = {
+        metric.name: float(metric.total())
+        for metric in result.telemetry.metrics
+        if metric.kind == "counter"
+    }
+    return {
+        "schema": SCHEMA,
+        "kind": "profile",
+        "id": result.experiment_id,
+        "title": result.title,
+        "params": {k: repr(v) for k, v in result.params.items()},
+        "metrics": dict(result.metrics),
+        "counters": counters,
+    }
+
+
+def sweep_fingerprint(result) -> Dict[str, object]:
+    """The ``repro.validate/v1`` document for one ``SweepResult``.
+
+    Stores the sweep's exact digest for reference plus the full per-point
+    payload, so a drift report can say *which point, which metric*.
+    """
+    return {
+        "schema": SCHEMA,
+        "kind": "sweep",
+        "id": result.name,
+        "target": result.target,
+        "seed": result.seed,
+        "digest": result.fingerprint(),
+        "points": [
+            {
+                "index": point.index,
+                "params": {k: repr(v) for k, v in point.params.items()},
+                "metrics": dict(point.metrics),
+                "counters": dict(point.counters),
+            }
+            for point in result.points
+        ],
+    }
+
+
+def _close(golden: float, current: float, rtol: float) -> bool:
+    return abs(golden - current) <= DEFAULT_ATOL + rtol * max(
+        abs(golden), abs(current)
+    )
+
+
+def _numeric_drifts(
+    prefix: str,
+    golden: Dict[str, float],
+    current: Dict[str, float],
+    rtol: float,
+) -> List[str]:
+    """Key-by-key comparison of two name -> number maps."""
+    messages: List[str] = []
+    for key in sorted(set(golden) - set(current)):
+        messages.append(
+            f"{prefix}[{key!r}]: in golden ({golden[key]!r}) but missing "
+            "from the current run"
+        )
+    for key in sorted(set(current) - set(golden)):
+        messages.append(
+            f"{prefix}[{key!r}]: new in the current run ({current[key]!r}), "
+            "absent from golden — re-record if intentional"
+        )
+    for key in sorted(set(golden) & set(current)):
+        g, c = float(golden[key]), float(current[key])
+        if not _close(g, c, rtol):
+            scale = max(abs(g), abs(c), DEFAULT_ATOL)
+            drift = abs(g - c) / scale
+            messages.append(
+                f"{prefix}[{key!r}]: golden {g!r} -> current {c!r} "
+                f"(rel drift {drift:.3e} > rtol {rtol:g})"
+            )
+    return messages
+
+
+def _exact_drifts(
+    prefix: str, golden: Dict[str, str], current: Dict[str, str]
+) -> List[str]:
+    """Exact comparison for repr-encoded parameter maps."""
+    messages: List[str] = []
+    for key in sorted(set(golden) | set(current)):
+        g, c = golden.get(key), current.get(key)
+        if g != c:
+            messages.append(
+                f"{prefix}[{key!r}]: golden {g!r} -> current {c!r}"
+            )
+    return messages
+
+
+def compare_fingerprints(
+    golden: Dict[str, object],
+    current: Dict[str, object],
+    rtol: float = DEFAULT_RTOL,
+) -> List[str]:
+    """Every way ``current`` drifted from ``golden``, as readable messages.
+
+    An empty list means the run matches the golden within tolerance.
+    Structural fields (schema, kind, id, params) compare exactly; metric
+    and counter values compare within ``rtol``.
+    """
+    messages: List[str] = []
+    for field in ("schema", "kind", "id"):
+        if golden.get(field) != current.get(field):
+            messages.append(
+                f"{field}: golden {golden.get(field)!r} != current "
+                f"{current.get(field)!r}"
+            )
+    if messages:
+        return messages  # structurally different documents; stop here
+
+    messages.extend(
+        _exact_drifts("params", golden.get("params", {}),
+                      current.get("params", {}))
+    )
+    if golden["kind"] == "profile":
+        messages.extend(
+            _numeric_drifts("metrics", golden.get("metrics", {}),
+                            current.get("metrics", {}), rtol)
+        )
+        messages.extend(
+            _numeric_drifts("counters", golden.get("counters", {}),
+                            current.get("counters", {}), rtol)
+        )
+        return messages
+
+    golden_points = golden.get("points", [])
+    current_points = current.get("points", [])
+    if len(golden_points) != len(current_points):
+        messages.append(
+            f"points: golden has {len(golden_points)}, current has "
+            f"{len(current_points)}"
+        )
+        return messages
+    for g_point, c_point in zip(golden_points, current_points):
+        index = g_point.get("index")
+        prefix = f"point[{index}]"
+        if c_point.get("index") != index:
+            messages.append(
+                f"{prefix}: index changed to {c_point.get('index')}"
+            )
+            continue
+        messages.extend(
+            _exact_drifts(f"{prefix}.params", g_point.get("params", {}),
+                          c_point.get("params", {}))
+        )
+        messages.extend(
+            _numeric_drifts(f"{prefix}.metrics", g_point.get("metrics", {}),
+                            c_point.get("metrics", {}), rtol)
+        )
+        messages.extend(
+            _numeric_drifts(f"{prefix}.counters",
+                            g_point.get("counters", {}),
+                            c_point.get("counters", {}), rtol)
+        )
+    return messages
+
+
+class GoldenStore:
+    """Directory of golden fingerprints, one JSON file per subject.
+
+    Files are named ``<kind>_<id>.json`` (``profile_C1.json``,
+    ``sweep_smoke.json``) and hold one ``repro.validate/v1`` document,
+    pretty-printed with sorted keys so diffs in review stay readable.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+        self.directory = pathlib.Path(directory)
+
+    def path_for(self, kind: str, subject_id: str) -> pathlib.Path:
+        return self.directory / f"{kind}_{subject_id}.json"
+
+    def record(self, document: Dict[str, object]) -> pathlib.Path:
+        """Write (or overwrite) the golden for one document."""
+        if document.get("schema") != SCHEMA:
+            raise ValueError(
+                f"refusing to record non-{SCHEMA} document: "
+                f"{document.get('schema')!r}"
+            )
+        path = self.path_for(str(document["kind"]), str(document["id"]))
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        return path
+
+    def load(
+        self, kind: str, subject_id: str
+    ) -> Optional[Dict[str, object]]:
+        """The stored golden document, or ``None`` if never recorded."""
+        path = self.path_for(kind, subject_id)
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text())
+
+    def documents(self) -> List[Dict[str, object]]:
+        """Every stored golden, sorted by filename."""
+        if not self.directory.is_dir():
+            return []
+        return [
+            json.loads(path.read_text())
+            for path in sorted(self.directory.glob("*.json"))
+        ]
+
+    def check(
+        self, document: Dict[str, object], rtol: float = DEFAULT_RTOL
+    ) -> List[str]:
+        """Drift messages for ``document`` against its stored golden."""
+        golden = self.load(str(document["kind"]), str(document["id"]))
+        if golden is None:
+            return [
+                f"no golden recorded for {document['kind']} "
+                f"{document['id']!r} under {self.directory} — run "
+                "`python -m repro validate --record` on a known-good build"
+            ]
+        return compare_fingerprints(golden, document, rtol=rtol)

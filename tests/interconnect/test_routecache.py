@@ -166,6 +166,62 @@ class TestInvalidation:
         # The registry handed out a fresh entry on next access.
         assert route_cache_for(topology).stats()["routes"] == 0
 
+    def test_in_place_edge_removal_requires_invalidation(self):
+        """Mutating topology.graph in place leaves the shared cache stale
+        (the documented hazard); explicit invalidation reroutes around the
+        removed edge."""
+        topology = build_two_tier(leaves=2, spines=2, terminals_per_leaf=2)
+        cache = route_cache_for(topology)
+        source, destination = topology.terminals[0], topology.terminals[-1]
+        stale = cache.minimal_route(source, destination)
+        # Cut the switch-to-switch edge the cached route crosses.
+        u, v = next(
+            (a, b) for a, b in zip(stale, stale[1:])
+            if a in topology.switches and b in topology.switches
+        )
+        topology.graph.remove_edge(u, v)
+        try:
+            # Stale cache: still hands back the route over the dead edge.
+            assert cache.minimal_route(source, destination) is stale
+            invalidate_route_cache(topology)
+            fresh = route_cache_for(topology).minimal_route(
+                source, destination
+            )
+            hops = list(zip(fresh, fresh[1:]))
+            assert (u, v) not in hops and (v, u) not in hops
+            assert all(
+                topology.graph.has_edge(a, b) for a, b in hops
+            )
+        finally:
+            topology.graph.add_edge(u, v, **{"latency": 5e-7,
+                                             "bandwidth": 5e10})
+
+    def test_fabric_refresh_rebuilds_after_in_place_mutation(self):
+        """FabricSimulator._refresh_link_state invalidates the shared
+        cache and rebuilds its capacity map from the mutated graph."""
+        topology = build_two_tier(leaves=2, spines=2, terminals_per_leaf=2)
+        simulator = FabricSimulator(topology)
+        before = dict(simulator._capacities)
+        victim = next(
+            (u, v) for u, v in topology.graph.edges()
+            if topology.graph.nodes[u].get("role") == "switch"
+            and topology.graph.nodes[v].get("role") == "switch"
+        )
+        attrs = dict(topology.graph.edges[victim])
+        topology.graph.remove_edge(*victim)
+        try:
+            simulator._refresh_link_state()
+            assert victim not in simulator._capacities
+            assert victim[::-1] not in simulator._capacities
+            assert len(simulator._capacities) == len(before) - 2
+            # The registry's cache was replaced, not just cleared.
+            assert simulator._route_cache is route_cache_for(topology)
+            stats = simulator.run(_uniform_flows(topology, 10))
+            assert stats
+        finally:
+            topology.graph.add_edge(*victim, **attrs)
+            invalidate_route_cache(topology)
+
 
 class TestFabricKeywordApi:
     def test_positional_config_warns_but_works(self):

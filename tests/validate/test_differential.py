@@ -1,0 +1,61 @@
+"""The tier-1 differential checks: fast paths vs independent references."""
+
+from repro.validate import (
+    check_checkpointing,
+    check_collectives,
+    check_routes,
+    check_sweep,
+    run_differential_checks,
+)
+
+
+class TestRoutesDifferential:
+    def test_cached_routes_agree_with_uncached_networkx(self):
+        result = check_routes()
+        assert result.passed, result.detail
+        assert result.comparisons == 96  # 2 topologies x 48 pairs
+
+    def test_sampling_is_seeded(self):
+        assert check_routes(seed=7).passed
+        assert check_routes(pairs=8).comparisons == 16
+
+
+class TestCollectivesDifferential:
+    def test_closed_forms_agree_with_step_loops(self):
+        result = check_collectives()
+        assert result.passed, result.detail
+        # 7 collectives x 9 populations x 4 message sizes
+        assert result.comparisons == 7 * 9 * 4
+
+
+class TestCheckpointingDifferential:
+    def test_young_daly_matches_numeric_grid_scan(self):
+        result = check_checkpointing()
+        assert result.passed, result.detail
+        # 3 targets x (241 grid evaluations + 1 plan cross-check)
+        assert result.comparisons == 3 * 242
+
+    def test_tightening_value_tolerance_too_far_fails(self):
+        """Sanity that the check can fail: Young/Daly is first-order, so an
+        absurd tolerance (1e-9) must expose the higher-order gap."""
+        assert not check_checkpointing(value_rtol=1e-9).passed
+
+
+class TestSweepDifferential:
+    def test_pool_matches_serial_bit_for_bit(self):
+        result = check_sweep(workers=2)
+        assert result.passed, result.detail
+        assert result.comparisons > 0
+
+
+class TestBundle:
+    def test_run_differential_checks_covers_all_four(self):
+        results = run_differential_checks()
+        assert [r.name for r in results] == [
+            "routes", "collectives", "checkpointing", "sweep-pool"
+        ]
+        assert all(r.passed for r in results), [str(r) for r in results]
+
+    def test_results_render_readably(self):
+        result = check_collectives()
+        assert "differential collectives: ok" in str(result)

@@ -1,0 +1,149 @@
+"""Tests for fingerprint documents, tolerance compare and the GoldenStore."""
+
+import copy
+import json
+
+import pytest
+
+from repro.validate import (
+    DEFAULT_RTOL,
+    SCHEMA,
+    GoldenStore,
+    compare_fingerprints,
+    profile_fingerprint,
+    run_validated,
+    sweep_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def c1_document():
+    result, checker = run_validated("C1")
+    assert checker.ok, checker.summary()
+    return profile_fingerprint(result)
+
+
+@pytest.fixture(scope="module")
+def smoke_document():
+    from repro.sweep import named_sweep, run_sweep
+
+    return sweep_fingerprint(run_sweep(named_sweep("smoke"), workers=1))
+
+
+class TestDocumentShape:
+    def test_profile_document(self, c1_document):
+        assert c1_document["schema"] == SCHEMA
+        assert c1_document["kind"] == "profile"
+        assert c1_document["id"] == "C1"
+        assert c1_document["metrics"]
+        assert c1_document["counters"]
+        assert all(
+            isinstance(v, str) for v in c1_document["params"].values()
+        )
+        json.dumps(c1_document)  # must be JSON-serialisable as-is
+
+    def test_sweep_document(self, smoke_document):
+        assert smoke_document["schema"] == SCHEMA
+        assert smoke_document["kind"] == "sweep"
+        assert smoke_document["id"] == "smoke"
+        assert len(smoke_document["digest"]) == 64
+        assert smoke_document["points"]
+        for point in smoke_document["points"]:
+            assert set(point) == {"index", "params", "metrics", "counters"}
+        json.dumps(smoke_document)
+
+
+class TestCompare:
+    def test_identical_documents_have_no_drift(self, c1_document):
+        assert compare_fingerprints(c1_document, c1_document) == []
+
+    def test_drift_message_names_key_values_and_rtol(self, c1_document):
+        current = copy.deepcopy(c1_document)
+        key = sorted(current["metrics"])[0]
+        golden_value = c1_document["metrics"][key]
+        current["metrics"][key] = golden_value * 1.5 + 1.0
+        messages = compare_fingerprints(c1_document, current)
+        assert len(messages) == 1
+        assert key in messages[0]
+        assert repr(golden_value) in messages[0]
+        assert f"rtol {DEFAULT_RTOL:g}" in messages[0]
+
+    def test_drift_within_rtol_passes(self, c1_document):
+        current = copy.deepcopy(c1_document)
+        key = sorted(current["metrics"])[0]
+        current["metrics"][key] *= 1.0 + 1e-9
+        assert compare_fingerprints(c1_document, current) == []
+        assert compare_fingerprints(
+            c1_document, current, rtol=1e-15
+        ) != []
+
+    def test_missing_and_new_keys_are_reported(self, c1_document):
+        current = copy.deepcopy(c1_document)
+        dropped = sorted(current["counters"])[0]
+        del current["counters"][dropped]
+        current["counters"]["made.up.counter"] = 1.0
+        messages = compare_fingerprints(c1_document, current)
+        assert any("missing from the current run" in m for m in messages)
+        assert any("new in the current run" in m for m in messages)
+
+    def test_param_changes_compare_exactly(self, smoke_document):
+        current = copy.deepcopy(smoke_document)
+        point = current["points"][0]
+        key = sorted(point["params"])[0]
+        point["params"][key] = "'changed'"
+        messages = compare_fingerprints(smoke_document, current)
+        assert any(key in m and "'changed'" in m for m in messages)
+
+    def test_structural_mismatch_short_circuits(self, c1_document):
+        current = copy.deepcopy(c1_document)
+        current["id"] = "C999"
+        messages = compare_fingerprints(c1_document, current)
+        assert messages == [
+            "id: golden 'C1' != current 'C999'"
+        ]
+
+    def test_sweep_point_drift_names_the_point(self, smoke_document):
+        current = copy.deepcopy(smoke_document)
+        point = current["points"][1]
+        key = sorted(point["metrics"])[0]
+        point["metrics"][key] = point["metrics"][key] * 1.01 + 1.0
+        messages = compare_fingerprints(smoke_document, current)
+        assert any(m.startswith("point[1].metrics") for m in messages)
+
+    def test_sweep_point_count_mismatch(self, smoke_document):
+        current = copy.deepcopy(smoke_document)
+        current["points"] = current["points"][:-1]
+        messages = compare_fingerprints(smoke_document, current)
+        assert any(m.startswith("points:") for m in messages)
+
+
+class TestGoldenStore:
+    def test_record_load_check_round_trip(self, tmp_path, c1_document):
+        store = GoldenStore(tmp_path)
+        path = store.record(c1_document)
+        assert path == tmp_path / "profile_C1.json"
+        assert store.load("profile", "C1") == c1_document
+        assert store.check(c1_document) == []
+        assert [d["id"] for d in store.documents()] == ["C1"]
+
+    def test_missing_golden_explains_how_to_record(self, tmp_path,
+                                                   c1_document):
+        store = GoldenStore(tmp_path / "empty")
+        messages = store.check(c1_document)
+        assert len(messages) == 1
+        assert "no golden recorded" in messages[0]
+        assert "--record" in messages[0]
+
+    def test_refuses_foreign_schema(self, tmp_path):
+        store = GoldenStore(tmp_path)
+        with pytest.raises(ValueError, match="refusing to record"):
+            store.record({"schema": "other/v9", "kind": "profile", "id": "X"})
+
+    def test_files_are_stable_pretty_json(self, tmp_path, c1_document):
+        store = GoldenStore(tmp_path)
+        path = store.record(c1_document)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text == json.dumps(
+            c1_document, indent=2, sort_keys=True
+        ) + "\n"
