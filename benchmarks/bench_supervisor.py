@@ -1,0 +1,105 @@
+"""Supervisor overhead benchmark: supervised vs bare-pool execution.
+
+Runs the same sweep through the bare ``multiprocessing`` pool and through
+the fault-tolerant supervisor (same worker count, no faults injected),
+checks the two runs are bit-identical, and writes ``BENCH_supervisor.json``
+with the relative overhead.  The supervision tax — pipes, per-point
+dispatch, journal-free bookkeeping — must stay **under 5%** on the
+congestion-style sweeps whose per-point cost it exists to protect; CI
+gates on ``overhead_pct``.
+
+Each mode runs ``--reps`` times and the best (minimum) wall time is kept,
+so a scheduler hiccup in either mode cannot fake an overhead regression.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_supervisor.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+
+from repro.sweep import named_sweep, run_sweep
+
+#: CI gate: supervised wall time may exceed the bare pool's by this much.
+MAX_OVERHEAD_PCT = 5.0
+
+
+def best_wall(spec, workers: int, reps: int, supervised: bool):
+    """Best-of-``reps`` (result, wall_seconds) for one execution mode."""
+    best = None
+    for _ in range(reps):
+        result = run_sweep(spec, workers=workers, supervised=supervised)
+        if best is None or result.wall_seconds < best.wall_seconds:
+            best = result
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sweep", default="congestion",
+                        choices=("congestion", "smoke"))
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for both modes "
+                             "(default: min(4, cpu_count))")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per mode; best wall time is kept")
+    parser.add_argument("--quick", action="store_true",
+                        help="2 reps per mode — the CI configuration "
+                             "(the sweep stays full-size: the gate needs "
+                             "real per-point cost, not spawn latency)")
+    parser.add_argument("--output", default="BENCH_supervisor.json")
+    args = parser.parse_args()
+    if args.quick:
+        args.reps = 2
+    workers = args.workers or min(4, os.cpu_count() or 1)
+
+    spec = named_sweep(args.sweep)
+    bare = best_wall(spec, workers, args.reps, supervised=False)
+    supervised = best_wall(spec, workers, args.reps, supervised=True)
+    identical = bare.fingerprint() == supervised.fingerprint()
+    overhead_pct = (
+        (supervised.wall_seconds - bare.wall_seconds)
+        / bare.wall_seconds * 100.0
+        if bare.wall_seconds else float("inf")
+    )
+
+    document = {
+        "schema": "repro.bench/v1",
+        "benchmark": "supervisor_overhead",
+        "sweep": spec.name,
+        "points": len(bare.points),
+        "workers": workers,
+        "reps": args.reps,
+        "bare_seconds": bare.wall_seconds,
+        "supervised_seconds": supervised.wall_seconds,
+        "overhead_pct": overhead_pct,
+        "max_overhead_pct": MAX_OVERHEAD_PCT,
+        "bit_identical": identical,
+        "fingerprint": bare.fingerprint(),
+        "harness": supervised.harness,
+        "cpu_count": os.cpu_count(),
+    }
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"{len(bare.points)} points x {workers} workers: "
+          f"bare {bare.wall_seconds:.2f}s, "
+          f"supervised {supervised.wall_seconds:.2f}s "
+          f"(overhead {overhead_pct:+.1f}%, bit-identical: {identical})")
+    print(f"wrote {path}")
+    if not identical:
+        print("ERROR: supervised run diverged from the bare pool")
+        return 1
+    if overhead_pct > MAX_OVERHEAD_PCT:
+        print(f"ERROR: supervision overhead {overhead_pct:.1f}% exceeds "
+              f"the {MAX_OVERHEAD_PCT:.0f}% budget")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -269,9 +269,20 @@ def _parse_axis_value(text: str):
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    """Run a scenario sweep; print its table and optionally store JSON."""
+    """Run a scenario sweep; print its table and optionally store JSON.
+
+    Exit codes: 0 clean, 1 partial (error ledger non-empty), 2 bad
+    arguments, 130 interrupted (journal flushed; resume with --resume).
+    """
     from repro.analysis.aggregate import pivot, summary_table
-    from repro.sweep import NAMED_SWEEPS, SweepSpec, named_sweep, run_sweep
+    from repro.core.errors import ConfigurationError
+    from repro.sweep import (
+        NAMED_SWEEPS,
+        SweepInterrupted,
+        SweepSpec,
+        named_sweep,
+        run_sweep,
+    )
     from repro.sweep.store import save_sweep
 
     if args.target:
@@ -312,10 +323,31 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(f"  point {point.index + 1}/{total} done "
               f"({point.wall_seconds * 1e3:.1f} ms)")
 
-    result = run_sweep(
-        spec, workers=args.workers, trace_dir=args.trace_dir,
-        progress=report if args.verbose else None,
-    )
+    try:
+        result = run_sweep(
+            spec, workers=args.workers, trace_dir=args.trace_dir,
+            progress=report if args.verbose else None,
+            timeout=args.timeout, retries=args.retries,
+            chaos=args.chaos, journal=args.journal, resume=args.resume,
+            strict=args.strict,
+            supervised=True if args.supervised else None,
+        )
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except SweepInterrupted as interrupt:
+        partial = interrupt.partial
+        done = len(partial.points) if partial is not None else 0
+        journal_path = args.resume or args.journal
+        print(f"\ninterrupted: {done}/{total} point(s) completed "
+              "before Ctrl-C", file=sys.stderr)
+        if journal_path:
+            print(f"journal flushed to {journal_path}; continue with "
+                  f"--resume {journal_path}", file=sys.stderr)
+        else:
+            print("no journal was kept (pass --journal PATH to make "
+                  "sweeps resumable)", file=sys.stderr)
+        return 130
     if args.pivot:
         rows_axis, columns_axis, value = args.pivot
         pivot(result, rows_axis, columns_axis, value,
@@ -329,10 +361,26 @@ def _command_sweep(args: argparse.Namespace) -> int:
     print(f"swept {len(result.points)} points in "
           f"{result.wall_seconds:.2f}s with {result.workers} worker(s); "
           f"fingerprint {result.fingerprint()[:12]}")
+    recovered = sum(
+        result.harness.get(key, 0.0)
+        for key in ("crashes", "timeouts", "errors")
+    )
+    if recovered:
+        print(f"supervisor recovered from {recovered:.0f} harness fault(s): "
+              f"{result.harness.get('crashes', 0.0):.0f} crash(es), "
+              f"{result.harness.get('timeouts', 0.0):.0f} timeout(s), "
+              f"{result.harness.get('errors', 0.0):.0f} point error(s); "
+              f"{result.harness.get('retries', 0.0):.0f} retried")
+    if result.failures:
+        print(f"\n{len(result.failures)} point(s) failed after retries:",
+              file=sys.stderr)
+        for failure in result.failures:
+            print(f"  point {failure.index} ({failure.attempts} attempts): "
+                  f"{failure.error}", file=sys.stderr)
     if args.output:
         path = save_sweep(result, args.output)
         print(f"wrote sweep results to {path}")
-    return 0
+    return 0 if result.ok else 1
 
 
 def _command_faults(args: argparse.Namespace) -> int:
@@ -462,6 +510,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a rows x cols table of mean VALUE instead of all points",
     )
     sweep.add_argument("--verbose", action="store_true")
+    sweep.add_argument(
+        "--supervised", action="store_true",
+        help="force the fault-tolerant executor even with no other "
+             "fault-tolerance flags",
+    )
+    sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock budget; overdue workers are killed and "
+             "the point retried",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="retry budget per point before it lands in the error ledger "
+             "(default 2 when supervised)",
+    )
+    sweep.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="journal every completed point to this crash-consistent "
+             "JSONL file",
+    )
+    sweep.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from a journal: skip its completed points, append "
+             "new ones (fingerprint matches an uninterrupted run)",
+    )
+    sweep.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject harness faults, e.g. crash:0.1,hang:0.05 "
+             "(hang needs --timeout)",
+    )
+    sweep.add_argument(
+        "--strict", action="store_true",
+        help="raise on the first exhausted point instead of returning a "
+             "partial result with an error ledger",
+    )
 
     faults = subparsers.add_parser(
         "faults",

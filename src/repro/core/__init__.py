@@ -6,6 +6,7 @@ formatting helpers (:mod:`repro.core.units`), seeded random-number management
 (:mod:`repro.core.rng`) and the exception hierarchy used across the library.
 """
 
+from repro.core.atomicio import atomic_write_text, fsync_directory
 from repro.core.errors import (
     CapacityError,
     ConfigurationError,
@@ -64,8 +65,10 @@ __all__ = [
     "SimulationHooks",
     "TB",
     "TFLOP",
+    "atomic_write_text",
     "format_bytes",
     "format_flops",
     "format_rate",
     "format_time",
+    "fsync_directory",
 ]

@@ -17,6 +17,14 @@ it).  Results persist as ``repro.sweep/v1`` JSON documents
 (:mod:`repro.sweep.store`) and aggregate into tables via
 :mod:`repro.analysis.aggregate`.
 
+Fault tolerance rides on the same contract: the supervised executor
+(:mod:`repro.sweep.supervisor`) detects crashed and hung workers,
+requeues their points under a bounded retry budget, journals every
+completed point to a crash-consistent JSONL file
+(:mod:`repro.sweep.journal`), and resumes an interrupted sweep —
+``run_sweep(spec, resume=path)`` — with a fingerprint bit-identical to
+an uninterrupted run.
+
 Quickstart
 ----------
 >>> from repro.sweep import SweepSpec, run_sweep
@@ -34,7 +42,16 @@ from repro.sweep.engine import (
     run_sweep,
 )
 from repro.sweep.grid import ParameterGrid, ScenarioPoint
+from repro.sweep.journal import RunJournal, load_journal
 from repro.sweep.store import SCHEMA, load_sweep, save_sweep, sweep_document
+from repro.sweep.supervisor import (
+    ChaosSpec,
+    PointFailure,
+    SupervisorConfig,
+    SweepInterrupted,
+    SweepPointError,
+    parse_chaos,
+)
 from repro.sweep.targets import (
     FABRIC_CONGESTION_VARIANTS,
     NAMED_SWEEPS,
@@ -45,17 +62,25 @@ from repro.sweep.targets import (
 )
 
 __all__ = [
+    "ChaosSpec",
     "FABRIC_CONGESTION_VARIANTS",
     "NAMED_SWEEPS",
     "ParameterGrid",
+    "PointFailure",
     "PointResult",
+    "RunJournal",
     "SCHEMA",
     "ScenarioPoint",
+    "SupervisorConfig",
+    "SweepInterrupted",
+    "SweepPointError",
     "SweepResult",
     "SweepSpec",
     "TARGETS",
+    "load_journal",
     "load_sweep",
     "named_sweep",
+    "parse_chaos",
     "register_target",
     "resolve_target",
     "run_sweep",

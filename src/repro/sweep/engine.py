@@ -18,11 +18,25 @@ make that hold:
 
 Workers resolve the target by *name* inside the child process, so a spec
 is a small picklable value even under the ``spawn`` start method.
+
+Fault tolerance
+---------------
+Passing any of ``timeout``/``retries``/``chaos``/``journal``/``resume``
+(or ``supervised=True``) routes execution through
+:mod:`repro.sweep.supervisor`: worker crashes and hangs are detected and
+the lost points requeued, every completed point is journalled to an
+append-only crash-consistent JSONL file, and an interrupted sweep resumes
+with ``run_sweep(spec, resume=path)`` — producing a fingerprint
+bit-identical to an uninterrupted run.  By default a sweep with failing
+points **returns** a partial :class:`SweepResult` carrying an error
+ledger (``result.failures``); ``strict=True`` opts back into fail-fast
+raising.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pathlib
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
@@ -31,6 +45,14 @@ from repro.core.errors import ConfigurationError
 from repro.core.rng import RandomSource
 from repro.observability import Telemetry, write_jsonl
 from repro.sweep.grid import ParameterGrid, ScenarioPoint
+from repro.sweep.supervisor import (
+    ChaosSpec,
+    PointFailure,
+    Supervisor,
+    SupervisorConfig,
+    SweepInterrupted,
+    parse_chaos,
+)
 from repro.sweep.targets import resolve_target
 
 
@@ -81,7 +103,13 @@ class PointResult:
 
 @dataclass
 class SweepResult:
-    """All point results of one sweep run, in grid order."""
+    """All point results of one sweep run, in grid order.
+
+    ``failures`` is the error ledger: points that exhausted their retry
+    budget (empty for a clean run — ``result.ok``).  ``harness`` holds
+    the supervisor's retry/timeout/requeue counters.  Neither enters
+    :meth:`fingerprint`, which hashes scenario outcomes only.
+    """
 
     name: str
     target: str
@@ -89,6 +117,13 @@ class SweepResult:
     workers: int
     points: List[PointResult]
     wall_seconds: float = 0.0
+    failures: List[PointFailure] = field(default_factory=list)
+    harness: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every point completed (empty error ledger)."""
+        return not self.failures
 
     def records(self) -> List[Dict[str, object]]:
         """One flat row per point (params + metrics), in grid order."""
@@ -153,6 +188,17 @@ def _run_point(args) -> PointResult:
     )
 
 
+def _run_point_guarded(args):
+    """Pool worker body for non-strict runs: never raises, tags outcomes."""
+    try:
+        return ("ok", _run_point(args))
+    except Exception as error:
+        return (
+            "error",
+            (args[3], dict(args[4]), f"{type(error).__name__}: {error}"),
+        )
+
+
 def _pool_context():
     """Prefer ``fork`` (fast, shares the imported tree); fall back to spawn."""
     try:
@@ -161,11 +207,129 @@ def _pool_context():
         return multiprocessing.get_context("spawn")
 
 
+def _assemble(
+    spec: SweepSpec,
+    workers: int,
+    completed: Dict[int, PointResult],
+    failures: List[PointFailure],
+    wall: float,
+    harness: Optional[Dict[str, float]] = None,
+) -> SweepResult:
+    return SweepResult(
+        name=spec.name,
+        target=spec.target,
+        seed=spec.seed,
+        workers=workers,
+        points=[completed[index] for index in sorted(completed)],
+        wall_seconds=wall,
+        failures=sorted(failures, key=lambda failure: failure.index),
+        harness=dict(harness or {}),
+    )
+
+
+def _run_supervised(
+    spec: SweepSpec,
+    workers: int,
+    trace_dir: Optional[str],
+    progress,
+    timeout: Optional[float],
+    retries: Optional[int],
+    backoff: float,
+    chaos: Optional[ChaosSpec],
+    journal: Optional[str],
+    resume: Optional[str],
+    strict: bool,
+    telemetry: Optional[Telemetry],
+    start_method: Optional[str],
+    started: float,
+) -> SweepResult:
+    from repro.sweep.journal import RunJournal, load_journal
+
+    completed: Dict[int, PointResult] = {}
+    journal_path = resume if resume is not None else journal
+    if resume is not None:
+        state = load_journal(resume)
+        mismatch = state.matches(spec)
+        if mismatch is not None:
+            raise ConfigurationError(
+                f"cannot resume sweep {spec.name!r} from {resume}: {mismatch}"
+            )
+        completed.update(state.completed)
+    run_journal = (
+        RunJournal(
+            journal_path, spec,
+            mode="resume" if resume is not None else "fresh",
+        )
+        if journal_path is not None else None
+    )
+    config = SupervisorConfig(
+        workers=workers,
+        timeout=timeout,
+        retries=2 if retries is None else retries,
+        backoff=backoff,
+        chaos=chaos,
+        start_method=start_method,
+    )
+    supervisor = Supervisor(
+        spec, config, trace_dir=trace_dir,
+        metrics=telemetry.metrics if telemetry is not None else None,
+    )
+    if completed:
+        supervisor.bump("resumed", float(len(completed)))
+    failures: List[PointFailure] = []
+
+    def on_result(result: PointResult, attempts: int) -> None:
+        completed[result.index] = result
+        if run_journal is not None:
+            run_journal.record_point(result, attempts)
+        if progress is not None:
+            progress(result)
+
+    def on_failure(failure: PointFailure) -> None:
+        failures.append(failure)
+        if run_journal is not None:
+            run_journal.record_failure(
+                failure.index, failure.error, failure.attempts
+            )
+
+    tasks = [
+        (point.index, point.params)
+        for point in spec.points()
+        if point.index not in completed
+    ]
+    try:
+        harness = supervisor.run(tasks, on_result, on_failure, strict=strict)
+    except SweepInterrupted as interrupt:
+        interrupt.partial = _assemble(
+            spec, workers, completed, failures,
+            time.perf_counter() - started, supervisor.counters,
+        )
+        raise
+    finally:
+        if run_journal is not None:
+            run_journal.close()
+    return _assemble(
+        spec, workers, completed, failures,
+        time.perf_counter() - started, harness,
+    )
+
+
 def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
     trace_dir: Optional[str] = None,
     progress=None,
+    *,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff: float = 0.05,
+    chaos: Union[ChaosSpec, str, None] = None,
+    journal: Union[str, pathlib.Path, None] = None,
+    resume: Union[str, pathlib.Path, None] = None,
+    strict: bool = False,
+    telemetry: Optional[Telemetry] = None,
+    supervised: Optional[bool] = None,
+    start_method: Optional[str] = None,
 ) -> SweepResult:
     """Run every point of ``spec`` and return the assembled result.
 
@@ -179,7 +343,31 @@ def run_sweep(
         ``point-NNNN.jsonl`` under this directory.
     progress:
         Optional callable ``progress(point_result)`` invoked as results
-        arrive (in grid order).
+        arrive (grid order on the bare paths; completion order under
+        supervision).
+    timeout / retries / backoff:
+        Supervised fault-tolerance policy: per-point wall-clock budget,
+        bounded re-dispatch budget (default 2 when supervised) and the
+        geometric backoff before each retry.
+    chaos:
+        A :class:`~repro.sweep.supervisor.ChaosSpec` (or its string form
+        ``"crash:0.1,hang:0.05"``) injecting worker crashes/hangs into
+        the harness to exercise recovery.
+    journal / resume:
+        ``journal=path`` starts a fresh crash-consistent run journal at
+        ``path``; ``resume=path`` loads one, skips its completed points
+        and appends to it.  The resumed result is bit-identical to an
+        uninterrupted run.
+    strict:
+        ``False`` (default) collects failing points into
+        ``result.failures`` and returns the partial result; ``True``
+        restores the raise-on-first-failure behaviour.
+    telemetry:
+        When given, supervisor events are counted on
+        ``telemetry.metrics`` as ``sweep.supervisor.*`` counters.
+    supervised:
+        Force (``True``) or forbid (``False``) the supervised executor;
+        default auto-enables it when any fault-tolerance option is set.
 
     The target is resolved once up front so an unknown name fails fast,
     then again by name inside each worker.
@@ -187,33 +375,102 @@ def run_sweep(
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
     resolve_target(spec.target)
+    if isinstance(chaos, str):
+        chaos = parse_chaos(chaos)
+    if resume is not None and journal is not None and (
+        pathlib.Path(resume) != pathlib.Path(journal)
+    ):
+        raise ConfigurationError(
+            "pass either journal= (fresh) or resume= (continue), not two "
+            "different paths"
+        )
+    journal = None if journal is None else str(journal)
+    resume = None if resume is None else str(resume)
+    wants_supervision = any(
+        option is not None
+        for option in (timeout, retries, chaos, journal, resume, start_method)
+    )
+    if supervised is None:
+        supervised = wants_supervision
+    elif not supervised and wants_supervision:
+        raise ConfigurationError(
+            "timeout/retries/chaos/journal/resume/start_method require the "
+            "supervised executor; drop supervised=False"
+        )
+    started = time.perf_counter()
+    if supervised:
+        return _run_supervised(
+            spec, workers, trace_dir, progress, timeout, retries, backoff,
+            chaos, journal, resume, strict, telemetry, start_method, started,
+        )
+
     jobs = [
         (spec.target, spec.name, spec.seed, point.index, point.params, trace_dir)
         for point in spec.points()
     ]
-    started = time.perf_counter()
+    completed: Dict[int, PointResult] = {}
+    failures: List[PointFailure] = []
+
+    def interrupted() -> SweepInterrupted:
+        return SweepInterrupted(
+            f"sweep {spec.name!r} interrupted; "
+            f"{len(jobs) - len(completed)} point(s) unfinished",
+            partial=_assemble(
+                spec, workers, completed, failures,
+                time.perf_counter() - started,
+            ),
+        )
+
     if workers == 1:
-        results = []
         for job in jobs:
-            result = _run_point(job)
+            try:
+                result = _run_point(job)
+            except KeyboardInterrupt:
+                raise interrupted() from None
+            except Exception as error:
+                if strict:
+                    raise
+                failures.append(
+                    PointFailure(
+                        index=job[3], params=dict(job[4]),
+                        error=f"{type(error).__name__}: {error}", attempts=1,
+                    )
+                )
+                continue
             if progress is not None:
                 progress(result)
-            results.append(result)
+            completed[result.index] = result
     else:
         context = _pool_context()
         chunksize = max(1, len(jobs) // (workers * 4))
         with context.Pool(processes=workers) as pool:
-            results = []
-            for result in pool.imap(_run_point, jobs, chunksize=chunksize):
-                if progress is not None:
-                    progress(result)
-                results.append(result)
-    wall = time.perf_counter() - started
-    return SweepResult(
-        name=spec.name,
-        target=spec.target,
-        seed=spec.seed,
-        workers=workers,
-        points=results,
-        wall_seconds=wall,
+            try:
+                if strict:
+                    for result in pool.imap(
+                        _run_point, jobs, chunksize=chunksize
+                    ):
+                        if progress is not None:
+                            progress(result)
+                        completed[result.index] = result
+                else:
+                    for kind, payload in pool.imap(
+                        _run_point_guarded, jobs, chunksize=chunksize
+                    ):
+                        if kind == "ok":
+                            if progress is not None:
+                                progress(payload)
+                            completed[payload.index] = payload
+                        else:
+                            index, params, message = payload
+                            failures.append(
+                                PointFailure(
+                                    index=index, params=params,
+                                    error=message, attempts=1,
+                                )
+                            )
+            except KeyboardInterrupt:
+                pool.terminate()
+                raise interrupted() from None
+    return _assemble(
+        spec, workers, completed, failures, time.perf_counter() - started
     )

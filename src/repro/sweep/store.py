@@ -6,23 +6,41 @@ artefacts use, so a stored sweep seeds benchmark baselines directly.
 Round-tripping through :func:`save_sweep`/:func:`load_sweep` preserves
 every deterministic field (:meth:`~repro.sweep.engine.SweepResult.fingerprint`
 is stable across the round trip).
+
+Robustness contract:
+
+* :func:`save_sweep` writes **atomically** (temp file in the same
+  directory, then ``os.replace``) — a crash mid-write never leaves a
+  truncated artefact behind;
+* :func:`load_sweep` fails loudly on corrupt artefacts: malformed JSON,
+  a missing required field, or a non-finite metric value all raise
+  ``ValueError`` naming the path and the offending field.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 from typing import Union
 
+from repro.core.atomicio import atomic_write_text
 from repro.sweep.engine import PointResult, SweepResult
+from repro.sweep.supervisor import PointFailure
 
 #: Schema identifier written into (and required from) every document.
 SCHEMA = "repro.sweep/v1"
 
+#: Fields every stored document must carry.
+_REQUIRED = ("name", "target", "seed", "points")
+
+#: Fields every stored point must carry.
+_POINT_REQUIRED = ("index", "params", "metrics")
+
 
 def sweep_document(result: SweepResult) -> dict:
     """The JSON-ready dict for one sweep result."""
-    return {
+    document = {
         "schema": SCHEMA,
         "name": result.name,
         "target": result.target,
@@ -41,38 +59,108 @@ def sweep_document(result: SweepResult) -> dict:
             for point in result.points
         ],
     }
+    if result.failures:
+        document["failures"] = [
+            failure.record() for failure in result.failures
+        ]
+    if result.harness:
+        document["harness"] = dict(result.harness)
+    return document
 
 
 def save_sweep(
     result: SweepResult, path: Union[str, pathlib.Path]
 ) -> pathlib.Path:
-    """Write the result as JSON; returns the path written."""
-    output = pathlib.Path(path)
-    output.write_text(json.dumps(sweep_document(result), indent=2) + "\n")
-    return output
+    """Atomically write the result as JSON; returns the path written."""
+    return atomic_write_text(
+        path, json.dumps(sweep_document(result), indent=2) + "\n"
+    )
+
+
+def _finite_floats(mapping, path, where: str) -> dict:
+    """``{k: float(v)}`` with a named error for any non-finite value."""
+    values = {}
+    for key, value in mapping.items():
+        try:
+            number = float(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{path}: {where}[{key!r}] is not a number: {value!r}"
+            ) from None
+        if not math.isfinite(number):
+            raise ValueError(
+                f"{path}: {where}[{key!r}] is non-finite ({number!r}); "
+                "artefact is corrupt or was saved from a broken run"
+            )
+        values[key] = number
+    return values
 
 
 def load_sweep(path: Union[str, pathlib.Path]) -> SweepResult:
     """Rebuild a :class:`SweepResult` from a saved document.
 
-    Raises ``ValueError`` on a missing or unknown ``schema`` field so a
-    stale artefact fails loudly rather than mis-parsing.
+    Raises ``ValueError`` — always naming the path, and the field where
+    one is at fault — on malformed JSON (e.g. a truncated artefact), a
+    missing/unknown ``schema``, a missing required field, or a
+    non-finite metric value.
     """
-    document = json.loads(pathlib.Path(path).read_text())
+    source = pathlib.Path(path)
+    try:
+        document = json.loads(source.read_text())
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"{source}: corrupt sweep artefact (invalid JSON: {error})"
+        ) from None
+    if not isinstance(document, dict):
+        raise ValueError(
+            f"{source}: expected a JSON object, found "
+            f"{type(document).__name__}"
+        )
     schema = document.get("schema")
     if schema != SCHEMA:
         raise ValueError(
-            f"{path}: expected schema {SCHEMA!r}, found {schema!r}"
+            f"{source}: expected schema {SCHEMA!r}, found {schema!r}"
         )
-    points = [
-        PointResult(
+    for field in _REQUIRED:
+        if field not in document:
+            raise ValueError(
+                f"{source}: missing required field {field!r}"
+            )
+    points = []
+    for position, entry in enumerate(document["points"]):
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"{source}: points[{position}] is not an object"
+            )
+        for field in _POINT_REQUIRED:
+            if field not in entry:
+                raise ValueError(
+                    f"{source}: points[{position}] missing required field "
+                    f"{field!r}"
+                )
+        index = int(entry["index"])
+        points.append(
+            PointResult(
+                index=index,
+                params=dict(entry["params"]),
+                metrics=_finite_floats(
+                    entry["metrics"], source, f"points[{position}].metrics"
+                ),
+                counters=_finite_floats(
+                    entry.get("counters", {}), source,
+                    f"points[{position}].counters",
+                ),
+                wall_seconds=float(entry.get("wall_seconds", 0.0)),
+            )
+        )
+    failures = [
+        PointFailure(
             index=int(entry["index"]),
-            params=dict(entry["params"]),
-            metrics={k: float(v) for k, v in entry["metrics"].items()},
-            counters={k: float(v) for k, v in entry.get("counters", {}).items()},
-            wall_seconds=float(entry.get("wall_seconds", 0.0)),
+            params=dict(entry.get("params", {})),
+            error=str(entry.get("error", "")),
+            attempts=int(entry.get("attempts", 1)),
         )
-        for entry in document["points"]
+        for entry in document.get("failures", [])
     ]
     return SweepResult(
         name=document["name"],
@@ -81,4 +169,8 @@ def load_sweep(path: Union[str, pathlib.Path]) -> SweepResult:
         workers=int(document.get("workers", 1)),
         points=points,
         wall_seconds=float(document.get("wall_seconds", 0.0)),
+        failures=failures,
+        harness={
+            k: float(v) for k, v in document.get("harness", {}).items()
+        },
     )

@@ -1,0 +1,572 @@
+"""Supervised sweep execution: crash detection, timeouts, retries, chaos.
+
+The bare pool in :mod:`repro.sweep.engine` trusts its workers: one point
+that segfaults, calls ``os._exit`` or hangs forever takes the whole sweep
+with it.  The supervisor replaces that trust with an explicit contract —
+each worker is a long-lived child process driven over its own pipe, so
+the parent always knows *which point* a worker is running and for how
+long:
+
+* a worker that **dies** (non-zero exit, ``os._exit``, SIGKILL — under
+  both ``fork`` and ``spawn`` start methods) is detected as EOF on its
+  pipe; the in-flight point is requeued to a replacement worker;
+* a point that **hangs** past ``timeout`` gets its worker killed and
+  replaced, and the point is requeued;
+* every requeue consumes one unit of the point's bounded
+  **retry-with-backoff** budget; an exhausted budget lands the point in
+  the sweep's error ledger (:class:`PointFailure`) instead of raising —
+  unless ``strict=True``, which restores fail-fast behaviour via
+  :class:`SweepPointError`.
+
+A built-in **chaos mode** (:class:`ChaosSpec`, CLI ``--chaos
+crash:0.1,hang:0.05``) injects worker crashes and hangs into the harness
+itself — deterministically per ``(seed, sweep, point, attempt)`` — so
+recovery is provable end to end: a chaos run that completes has the same
+fingerprint as a calm one.
+
+Retry/timeout/requeue counts surface both as
+``sweep.supervisor.*`` counters on an optional
+:class:`~repro.observability.metrics.MetricsRegistry` and as the
+``SweepResult.harness`` summary dict.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError, ReproError
+from repro.core.rng import RandomSource
+
+#: Exit code chaos-injected crashes die with (visible in crash messages).
+CHAOS_EXIT_CODE = 86
+
+
+class SweepPointError(ReproError):
+    """A point exhausted its retry budget under ``strict=True``."""
+
+
+class SweepInterrupted(KeyboardInterrupt):
+    """Ctrl-C during a sweep, after orderly teardown.
+
+    Subclasses :class:`KeyboardInterrupt` so generic interrupt handling
+    still fires; carries the partial :class:`~repro.sweep.engine.SweepResult`
+    (every point completed before the interrupt, journal already flushed)
+    as ``partial`` when the engine could assemble one.
+    """
+
+    def __init__(self, message: str, partial=None) -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Harness-fault injection probabilities, drawn per (point, attempt).
+
+    ``crash`` is the probability a worker ``os._exit``\\ s instead of
+    running the point; ``hang`` the probability it sleeps
+    ``hang_seconds`` first (long past any sane timeout).  Draws come from
+    ``RandomSource(seed, name=f"chaos/{sweep}/{index}/{attempt}")`` — a
+    pure function of the sweep seed, point and attempt — so chaos runs
+    are reproducible and a retried attempt rolls fresh dice.
+    """
+
+    crash: float = 0.0
+    hang: float = 0.0
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash", "hang"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"chaos {name} probability must be in [0, 1]: {value}"
+                )
+        if self.crash + self.hang > 1.0:
+            raise ConfigurationError(
+                "chaos crash + hang probabilities exceed 1 "
+                f"({self.crash} + {self.hang})"
+            )
+
+    @property
+    def active(self) -> bool:
+        return self.crash > 0.0 or self.hang > 0.0
+
+    def draw(
+        self, seed: int, sweep_name: str, index: int, attempt: int
+    ) -> Optional[str]:
+        """``"crash"``, ``"hang"`` or ``None`` for this (point, attempt)."""
+        rng = RandomSource(seed).fork(
+            f"chaos/{sweep_name}/{index}/{attempt}"
+        )
+        roll = rng.uniform()
+        if roll < self.crash:
+            return "crash"
+        if roll < self.crash + self.hang:
+            return "hang"
+        return None
+
+
+def parse_chaos(text: str) -> ChaosSpec:
+    """Parse the CLI form ``crash:0.1,hang:0.05`` into a :class:`ChaosSpec`."""
+    values: Dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, separator, raw = part.partition(":")
+        name = name.strip()
+        if not separator or name not in ("crash", "hang"):
+            raise ConfigurationError(
+                f"bad chaos clause {part!r}; expected crash:<p> and/or "
+                "hang:<p>"
+            )
+        try:
+            values[name] = float(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad chaos probability in {part!r}"
+            ) from None
+    if not values:
+        raise ConfigurationError(f"empty chaos spec {text!r}")
+    return ChaosSpec(**values)
+
+
+@dataclass
+class PointFailure:
+    """One error-ledger entry: a point that exhausted its retry budget."""
+
+    index: int
+    params: Dict[str, object]
+    error: str
+    attempts: int
+
+    def record(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "params": dict(self.params),
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class SupervisorConfig:
+    """Fault-tolerance policy for one supervised sweep run."""
+
+    workers: int = 1
+    #: Per-point wall-clock budget in seconds; ``None`` disables the kill.
+    timeout: Optional[float] = None
+    #: How many times a failed point is re-dispatched before the ledger.
+    retries: int = 2
+    #: First retry delay; each further retry multiplies by ``backoff_factor``.
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    chaos: Optional[ChaosSpec] = None
+    #: ``fork``/``spawn``/``forkserver``; ``None`` prefers ``fork``.
+    start_method: Optional[str] = None
+    #: Points a worker may hold at once (1 running + the rest queued in
+    #: its pipe).  Depth 2 hides the parent's scheduling latency — the
+    #: worker starts its next point the instant it sends a result —
+    #: without loosening the accounting: the parent still knows exactly
+    #: which points each worker holds.
+    pipeline_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError("supervisor needs workers >= 1")
+        if self.pipeline_depth < 1:
+            raise ConfigurationError(
+                f"pipeline_depth must be >= 1: {self.pipeline_depth}"
+            )
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(
+                f"per-point timeout must be positive: {self.timeout}"
+            )
+        if self.retries < 0:
+            raise ConfigurationError(f"retries must be >= 0: {self.retries}")
+        if self.backoff < 0 or self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                "need backoff >= 0 and backoff_factor >= 1"
+            )
+        if (
+            self.chaos is not None
+            and self.chaos.hang > 0
+            and self.timeout is None
+        ):
+            raise ConfigurationError(
+                "chaos hang injection needs a per-point timeout, or hung "
+                "workers would stall the sweep forever"
+            )
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff before dispatching ``attempt`` (attempts are 1-based)."""
+        if attempt <= 1:
+            return 0.0
+        return self.backoff * self.backoff_factor ** (attempt - 2)
+
+
+def _supervised_worker(conn, common: Tuple) -> None:
+    """Child body: recv a job, run it, send the outcome; repeat until None.
+
+    Module-level (and fed only picklable state) so it works under both
+    ``fork`` and ``spawn`` start methods.
+    """
+    from repro.sweep.engine import _run_point
+
+    target_name, sweep_name, seed, trace_dir, chaos = common
+    parent = multiprocessing.parent_process()
+    watched = [conn] if parent is None else [conn, parent.sentinel]
+    while True:
+        try:
+            # Wait on the parent's sentinel too: a SIGKILLed parent can
+            # never close our pipe (under fork this child inherited the
+            # parent-side fd as well), so EOF alone would leave orphaned
+            # workers blocked in recv() forever.
+            ready = connection.wait(watched)
+            if conn not in ready:
+                break
+            job = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if job is None:
+            break
+        index, params, attempt = job
+        if chaos is not None:
+            action = chaos.draw(seed, sweep_name, index, attempt)
+            if action == "crash":
+                os._exit(CHAOS_EXIT_CODE)
+            elif action == "hang":
+                time.sleep(chaos.hang_seconds)
+        try:
+            result = _run_point(
+                (target_name, sweep_name, seed, index, params, trace_dir)
+            )
+            message = ("ok", index, attempt, result)
+        except KeyboardInterrupt:
+            break
+        except BaseException as error:
+            message = (
+                "error", index, attempt,
+                f"{type(error).__name__}: {error}",
+            )
+        try:
+            conn.send(message)
+        except (BrokenPipeError, EOFError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:  # pragma: no cover - teardown race
+        pass
+
+
+@dataclass
+class _Task:
+    index: int
+    params: Dict[str, object]
+    attempt: int  # 1-based
+    not_before: float = 0.0
+
+
+@dataclass
+class _Worker:
+    process: multiprocessing.Process
+    conn: connection.Connection
+    #: FIFO of points this worker holds: ``tasks[0]`` is running (its
+    #: clock is ``deadline``); the rest sit unstarted in the pipe.
+    tasks: List[_Task] = field(default_factory=list)
+    deadline: Optional[float] = None
+
+
+#: Counter names the supervisor maintains (all also exported as
+#: ``sweep.supervisor.<name>`` observability counters).
+COUNTERS = (
+    "dispatched", "completed", "retries", "requeued", "crashes",
+    "timeouts", "errors", "failed", "workers_replaced", "resumed",
+)
+
+
+class Supervisor:
+    """Drives one sweep's points through supervised worker processes."""
+
+    def __init__(
+        self,
+        spec,
+        config: SupervisorConfig,
+        trace_dir: Optional[str] = None,
+        metrics=None,
+    ) -> None:
+        self.spec = spec
+        self.config = config
+        self.trace_dir = trace_dir
+        self.metrics = metrics
+        self.counters: Dict[str, float] = {name: 0.0 for name in COUNTERS}
+        if config.start_method is not None:
+            self._context = multiprocessing.get_context(config.start_method)
+        else:
+            from repro.sweep.engine import _pool_context
+
+            self._context = _pool_context()
+        self._common = (
+            spec.target, spec.name, spec.seed, trace_dir, config.chaos
+        )
+        self._workers: List[_Worker] = []
+        self._pending: List[_Task] = []
+        self._outstanding = 0
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def bump(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"sweep.supervisor.{name}",
+                "sweep supervisor harness event count",
+            ).inc(amount)
+
+    def _spawn_worker(self) -> _Worker:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_supervised_worker,
+            args=(child_conn, self._common),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(process=process, conn=parent_conn)
+        self._workers.append(worker)
+        return worker
+
+    def _discard_worker(self, worker: _Worker) -> None:
+        """Kill and reap one worker; its pipe is closed and it leaves the pool."""
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=5.0)
+        if worker in self._workers:
+            self._workers.remove(worker)
+
+    def _retry_or_fail(
+        self,
+        task: _Task,
+        error: str,
+        now: float,
+        on_failure: Callable[[PointFailure], None],
+        strict: bool,
+    ) -> None:
+        if task.attempt <= self.config.retries:
+            self.bump("retries")
+            self._pending.append(
+                _Task(
+                    index=task.index,
+                    params=task.params,
+                    attempt=task.attempt + 1,
+                    not_before=now + self.config.delay_before(task.attempt + 1),
+                )
+            )
+            return
+        self._outstanding -= 1
+        self.bump("failed")
+        failure = PointFailure(
+            index=task.index,
+            params=dict(task.params),
+            error=error,
+            attempts=task.attempt,
+        )
+        on_failure(failure)
+        if strict:
+            raise SweepPointError(
+                f"sweep {self.spec.name!r} point {task.index} failed after "
+                f"{task.attempt} attempt(s): {error}"
+            )
+
+    def _handle_loss(
+        self,
+        worker: _Worker,
+        error: str,
+        kind: str,
+        now: float,
+        on_failure: Callable[[PointFailure], None],
+        strict: bool,
+    ) -> None:
+        """A worker died or was killed mid-point: requeue and replace."""
+        running = worker.tasks[0] if worker.tasks else None
+        queued = worker.tasks[1:]
+        self.bump(kind)
+        self._discard_worker(worker)
+        if running is not None:
+            self.bump("requeued")
+            self._retry_or_fail(running, error, now, on_failure, strict)
+        # Queued points never started, so they go back untouched — the
+        # loss consumes no part of their retry budget.
+        self._pending.extend(queued)
+        # Replace the worker only if there is (or will be) work to run.
+        if self._pending and len(self._workers) < self.config.workers:
+            self.bump("workers_replaced")
+            self._spawn_worker()
+
+    # -- the event loop ---------------------------------------------------
+
+    def run(
+        self,
+        tasks: List[Tuple[int, Dict[str, object]]],
+        on_result: Callable[[object, int], None],
+        on_failure: Callable[[PointFailure], None],
+        strict: bool = False,
+    ) -> Dict[str, float]:
+        """Run every (index, params) task; returns the harness counters.
+
+        ``on_result(point_result, attempts)`` fires as points complete
+        (completion order, not grid order); ``on_failure(point_failure)``
+        fires when a point exhausts its retry budget.
+        """
+        self._pending = [
+            _Task(index=index, params=dict(params), attempt=1)
+            for index, params in tasks
+        ]
+        self._outstanding = len(self._pending)
+        if not self._pending:
+            return dict(self.counters)
+        pool_size = min(self.config.workers, len(self._pending))
+        try:
+            for _ in range(pool_size):
+                self._spawn_worker()
+            while self._outstanding > 0:
+                self._step(on_result, on_failure, strict)
+        except KeyboardInterrupt:
+            raise SweepInterrupted(
+                f"sweep {self.spec.name!r} interrupted; "
+                f"{self._outstanding} point(s) unfinished"
+            ) from None
+        finally:
+            self._shutdown()
+        return dict(self.counters)
+
+    def _dispatch_ready(self, now, on_failure, strict) -> None:
+        # Breadth-first: top every worker up to one task before any
+        # worker gets its pipelined second, so early points spread out.
+        for depth in range(1, self.config.pipeline_depth + 1):
+            for worker in list(self._workers):
+                if len(worker.tasks) >= depth:
+                    continue
+                task = self._pop_ready(now)
+                if task is None:
+                    return
+                try:
+                    worker.conn.send((task.index, task.params, task.attempt))
+                except (BrokenPipeError, OSError):
+                    # Worker died before this task reached it; the task
+                    # goes back untouched (no attempt consumed) and the
+                    # death is handled like any other crash.
+                    self._pending.append(task)
+                    self._handle_loss(
+                        worker, "WorkerCrash: worker process died",
+                        "crashes", now, on_failure, strict,
+                    )
+                    continue
+                if not worker.tasks:
+                    worker.deadline = (
+                        now + self.config.timeout
+                        if self.config.timeout is not None else None
+                    )
+                worker.tasks.append(task)
+                self.bump("dispatched")
+
+    def _pop_ready(self, now: float) -> Optional[_Task]:
+        best = None
+        for task in self._pending:
+            if task.not_before > now:
+                continue
+            if best is None or task.index < best.index:
+                best = task
+        if best is not None:
+            self._pending.remove(best)
+        return best
+
+    def _step(
+        self,
+        on_result: Callable[[object, int], None],
+        on_failure: Callable[[PointFailure], None],
+        strict: bool,
+    ) -> None:
+        now = time.monotonic()
+        # 1. Kill anything past its per-point deadline.
+        timeout_s = self.config.timeout
+        for worker in list(self._workers):
+            if worker.deadline is not None and now >= worker.deadline:
+                self._handle_loss(
+                    worker,
+                    f"TimeoutError: point exceeded {timeout_s:g}s wall-clock "
+                    "budget",
+                    "timeouts", now, on_failure, strict,
+                )
+        # 2. Hand work to idle workers (respecting retry backoff).
+        self._dispatch_ready(now, on_failure, strict)
+        busy = [w for w in self._workers if w.tasks]
+        if not busy:
+            if self._pending:
+                wake = min(task.not_before for task in self._pending)
+                time.sleep(max(0.0, min(wake - now, 0.1)))
+            return
+        # 3. Sleep until a message, a death, a deadline or a backoff expiry.
+        horizons = [w.deadline for w in busy if w.deadline is not None]
+        spare_depth = any(
+            len(w.tasks) < self.config.pipeline_depth for w in self._workers
+        )
+        if self._pending and spare_depth:
+            horizons.append(min(task.not_before for task in self._pending))
+        wait_timeout = (
+            max(0.0, min(horizons) - now) if horizons else None
+        )
+        by_conn = {worker.conn: worker for worker in busy}
+        ready = connection.wait(list(by_conn), timeout=wait_timeout)
+        now = time.monotonic()
+        for conn in ready:
+            worker = by_conn[conn]
+            if worker not in self._workers:
+                continue  # already reaped by an earlier event this step
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                worker.process.join(timeout=5.0)
+                code = worker.process.exitcode
+                self._handle_loss(
+                    worker,
+                    f"WorkerCrash: worker process died (exit code {code})",
+                    "crashes", now, on_failure, strict,
+                )
+                continue
+            kind, _index, attempt, payload = message
+            task = worker.tasks.pop(0)
+            # The pipelined next task (if any) started the moment the
+            # worker sent this result; its clock starts now.
+            worker.deadline = (
+                now + self.config.timeout
+                if worker.tasks and self.config.timeout is not None
+                else None
+            )
+            if kind == "ok":
+                self.bump("completed")
+                self._outstanding -= 1
+                on_result(payload, attempt)
+            else:
+                self.bump("errors")
+                self._retry_or_fail(task, payload, now, on_failure, strict)
+
+    def _shutdown(self) -> None:
+        for worker in list(self._workers):
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in list(self._workers):
+            worker.process.join(timeout=1.0)
+            self._discard_worker(worker)

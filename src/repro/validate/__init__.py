@@ -30,6 +30,7 @@ from repro.validate.differential import (
     DifferentialResult,
     check_checkpointing,
     check_collectives,
+    check_resume,
     check_routes,
     check_sweep,
     run_differential_checks,
@@ -70,6 +71,7 @@ __all__ = [
     "Violation",
     "check_checkpointing",
     "check_collectives",
+    "check_resume",
     "check_routes",
     "check_sweep",
     "compare_fingerprints",

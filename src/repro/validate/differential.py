@@ -15,6 +15,10 @@ and an independent (slower, simpler) reference — and demands agreement:
 * :func:`check_sweep` — the fork-pool parallel sweep vs serial execution
   of the same spec (the engine's bit-identical-at-any-worker-count
   contract).
+* :func:`check_resume` — a journalled sweep interrupted mid-run (journal
+  truncated to a prefix, with a deliberately torn trailing line) and
+  resumed via ``run_sweep(..., resume=...)`` vs the uninterrupted run:
+  fingerprints must be bit-identical.
 
 All checks are deterministic (seeded sampling only) and fast enough for
 tier-1; :func:`run_differential_checks` bundles them for the CLI.
@@ -23,6 +27,7 @@ tier-1; :func:`run_differential_checks` bundles them for the CLI.
 from __future__ import annotations
 
 import math
+import pathlib
 from dataclasses import dataclass
 from typing import Callable, List, Tuple
 
@@ -355,6 +360,52 @@ def check_sweep(workers: int = 2) -> DifferentialResult:
     )
 
 
+def check_resume(keep_points: int = 3) -> DifferentialResult:
+    """Resumed sweep vs uninterrupted run: fingerprints must be identical.
+
+    Simulates a crash mid-sweep: the smoke sweep runs once with a journal,
+    the journal is truncated to its first ``keep_points`` point records
+    plus a torn trailing line (exactly what a SIGKILL mid-append leaves),
+    and the sweep is resumed from it.  The resumed result must carry every
+    point and hash bit-identically to the uninterrupted run.
+    """
+    import tempfile
+
+    from repro.sweep import named_sweep, run_sweep
+
+    spec = named_sweep("smoke")
+    fresh = run_sweep(spec, workers=1)
+    with tempfile.TemporaryDirectory(prefix="repro-resume-") as scratch:
+        journal_path = pathlib.Path(scratch) / "smoke.journal.jsonl"
+        full = run_sweep(spec, workers=1, journal=journal_path)
+        lines = journal_path.read_text().splitlines()
+        kept = lines[: 1 + keep_points]  # header + first points
+        torn = '{"kind": "point", "index": 99, "metr'  # no newline: torn
+        journal_path.write_text("\n".join(kept) + "\n" + torn)
+        resumed = run_sweep(spec, workers=1, resume=journal_path)
+    fresh_print = fresh.fingerprint()
+    resumed_print = resumed.fingerprint()
+    passed = (
+        fresh_print == full.fingerprint() == resumed_print
+        and resumed.ok
+        and resumed.harness.get("resumed") == float(keep_points)
+    )
+    detail = (
+        f"fingerprint {fresh_print[:12]} identical after resuming from a "
+        f"{keep_points}-point journal prefix with a torn tail"
+        if passed
+        else (
+            f"resume diverged: fresh {fresh_print[:12]}, journalled "
+            f"{full.fingerprint()[:12]}, resumed {resumed_print[:12]} "
+            f"(resumed {resumed.harness.get('resumed')} points, "
+            f"{len(resumed.failures)} failures)"
+        )
+    )
+    return DifferentialResult(
+        "sweep-resume", passed, len(fresh.points), detail
+    )
+
+
 def run_differential_checks(
     sweep_workers: int = 2,
 ) -> List[DifferentialResult]:
@@ -364,4 +415,5 @@ def run_differential_checks(
         check_collectives(),
         check_checkpointing(),
         check_sweep(workers=sweep_workers),
+        check_resume(),
     ]

@@ -21,8 +21,11 @@ sweep. Fingerprints recorded from a known-good build live in
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 from typing import Dict, List, Optional, Union
+
+from repro.core.atomicio import atomic_write_text
 
 #: Fingerprint document schema identifier.
 SCHEMA = "repro.validate/v1"
@@ -225,26 +228,74 @@ class GoldenStore:
             )
         path = self.path_for(str(document["kind"]), str(document["id"]))
         self.directory.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        # Atomic: a crash mid-record must never truncate a golden that
+        # every later build would then fail to load.
+        atomic_write_text(
+            path, json.dumps(document, indent=2, sort_keys=True) + "\n"
         )
         return path
+
+    @staticmethod
+    def _load_file(path: pathlib.Path) -> Dict[str, object]:
+        """Parse one golden file, raising a named error on corruption."""
+        try:
+            document = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path}: corrupt golden fingerprint (invalid JSON: "
+                f"{error}) — delete it and re-record"
+            ) from None
+        if not isinstance(document, dict):
+            raise ValueError(
+                f"{path}: expected a JSON object, found "
+                f"{type(document).__name__}"
+            )
+        if document.get("schema") != SCHEMA:
+            raise ValueError(
+                f"{path}: expected schema {SCHEMA!r}, found "
+                f"{document.get('schema')!r}"
+            )
+        for field in ("kind", "id"):
+            if field not in document:
+                raise ValueError(
+                    f"{path}: missing required field {field!r}"
+                )
+        subjects = [("", document)] + [
+            (f"points[{position}].", point)
+            for position, point in enumerate(document.get("points", []))
+        ]
+        for prefix, holder in subjects:
+            for section in ("metrics", "counters"):
+                for key, value in holder.get(section, {}).items():
+                    if not isinstance(
+                        value, (int, float)
+                    ) or not math.isfinite(float(value)):
+                        raise ValueError(
+                            f"{path}: {prefix}{section}[{key!r}] is not a "
+                            f"finite number: {value!r}"
+                        )
+        return document
 
     def load(
         self, kind: str, subject_id: str
     ) -> Optional[Dict[str, object]]:
-        """The stored golden document, or ``None`` if never recorded."""
+        """The stored golden document, or ``None`` if never recorded.
+
+        A file that exists but fails to parse (truncated write from a
+        crashed recorder, hand-edit gone wrong, NaN values) raises a
+        ``ValueError`` naming the path rather than mis-comparing.
+        """
         path = self.path_for(kind, subject_id)
         if not path.is_file():
             return None
-        return json.loads(path.read_text())
+        return self._load_file(path)
 
     def documents(self) -> List[Dict[str, object]]:
         """Every stored golden, sorted by filename."""
         if not self.directory.is_dir():
             return []
         return [
-            json.loads(path.read_text())
+            self._load_file(path)
             for path in sorted(self.directory.glob("*.json"))
         ]
 

@@ -1,0 +1,100 @@
+"""Shared fault-tolerance test targets and specs.
+
+Importable both from the test process (forked supervisor workers inherit
+the registrations) and from subprocess scripts (``python -c "import
+tests.sweep._ft_helpers"`` with the repo root on ``sys.path``), so the
+parent-SIGKILL resume tests can rebuild the exact same sweep spec on
+both sides of the kill.
+"""
+
+import os
+import pathlib
+import time
+
+from repro.sweep import SweepSpec, register_target
+
+
+@register_target("ft-cheap")
+def ft_cheap(params, telemetry, rng):
+    """Milliseconds-cheap deterministic point: value = 2x + U(seed, index)."""
+    telemetry.metrics.counter("ft.runs").inc()
+    return {"value": 2.0 * float(params["x"]) + rng.uniform()}
+
+
+@register_target("ft-slow")
+def ft_slow(params, telemetry, rng):
+    """Like ft-cheap but takes a configurable wall-clock beat per point."""
+    time.sleep(float(params.get("sleep_s", 0.05)))
+    return {"value": 2.0 * float(params["x"]) + rng.uniform()}
+
+
+@register_target("ft-crash-once")
+def ft_crash_once(params, telemetry, rng):
+    """``os._exit`` the worker on the first attempt of each point only.
+
+    A marker file under ``params['marker_dir']`` distinguishes attempts,
+    so the retry (a fresh worker) completes deterministically.
+    """
+    marker = pathlib.Path(params["marker_dir"]) / f"crashed-{params['x']}"
+    if not marker.exists():
+        marker.write_text("first attempt\n")
+        os._exit(21)
+    return {"value": float(params["x"])}
+
+
+@register_target("ft-hang-once")
+def ft_hang_once(params, telemetry, rng):
+    """Hang far past any timeout on the first attempt of each point only."""
+    marker = pathlib.Path(params["marker_dir"]) / f"hung-{params['x']}"
+    if not marker.exists():
+        marker.write_text("first attempt\n")
+        time.sleep(60.0)
+    return {"value": float(params["x"])}
+
+
+@register_target("ft-sigkill-once")
+def ft_sigkill_once(params, telemetry, rng):
+    """SIGKILL the worker (not a clean exit) on each point's first attempt."""
+    import signal
+
+    marker = pathlib.Path(params["marker_dir"]) / f"killed-{params['x']}"
+    if not marker.exists():
+        marker.write_text("first attempt\n")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"value": float(params["x"])}
+
+
+@register_target("ft-always-crash")
+def ft_always_crash(params, telemetry, rng):
+    os._exit(23)
+
+
+@register_target("ft-boom")
+def ft_boom(params, telemetry, rng):
+    """In-worker exception (no process death) on odd points only."""
+    if int(params["x"]) % 2 == 1:
+        raise RuntimeError(f"boom on x={params['x']}")
+    return {"value": float(params["x"])}
+
+
+@register_target("ft-interrupt")
+def ft_interrupt(params, telemetry, rng):
+    """Simulate Ctrl-C landing while a specific point is running."""
+    if int(params["x"]) == int(params.get("interrupt_at", 2)):
+        raise KeyboardInterrupt
+    return {"value": float(params["x"])}
+
+
+def cheap_spec(n=6, seed=77, target="ft-cheap", **extra_axes):
+    grid = {"x": list(range(n))}
+    grid.update(extra_axes)
+    return SweepSpec(name="ft", target=target, grid=grid, seed=seed)
+
+
+def slow_spec(n=8, seed=101, sleep_s=0.05):
+    return SweepSpec(
+        name="ft-slow",
+        target="ft-slow",
+        grid={"x": list(range(n)), "sleep_s": [sleep_s]},
+        seed=seed,
+    )

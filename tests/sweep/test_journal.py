@@ -1,0 +1,184 @@
+"""Crash-consistent journal: round-trips, torn tails, corruption errors."""
+
+import json
+
+import pytest
+
+from repro.sweep import PointResult, RunJournal, SweepSpec, load_journal
+from repro.sweep.journal import SCHEMA, grid_digest, journal_header
+
+from tests.sweep import _ft_helpers as ft
+
+
+def _point(index, value=1.0):
+    return PointResult(
+        index=index,
+        params={"x": index},
+        metrics={"value": value},
+        counters={"runs": 1.0},
+        wall_seconds=0.01,
+    )
+
+
+class TestHeader:
+    def test_header_identifies_the_sweep(self):
+        spec = ft.cheap_spec(n=4)
+        header = journal_header(spec)
+        assert header["schema"] == SCHEMA
+        assert header["name"] == "ft"
+        assert header["target"] == "ft-cheap"
+        assert header["seed"] == spec.seed
+        assert header["points"] == 4
+        assert header["grid_digest"] == grid_digest(spec)
+
+    def test_grid_digest_is_stable_but_axis_sensitive(self):
+        assert grid_digest(ft.cheap_spec(n=4)) == grid_digest(ft.cheap_spec(n=4))
+        assert grid_digest(ft.cheap_spec(n=4)) != grid_digest(ft.cheap_spec(n=5))
+
+class TestRoundTrip:
+    def test_points_and_failures_round_trip(self, tmp_path):
+        spec = ft.cheap_spec(n=4)
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, spec) as journal:
+            journal.record_point(_point(0), attempts=1)
+            journal.record_point(_point(2, value=5.0), attempts=3)
+            journal.record_failure(1, "RuntimeError: boom", attempts=2)
+        state = load_journal(path)
+        assert state.matches(spec) is None
+        assert sorted(state.completed) == [0, 2]
+        assert state.completed[2].metrics == {"value": 5.0}
+        assert state.completed[0].counters == {"runs": 1.0}
+        assert state.failed[1]["error"] == "RuntimeError: boom"
+        assert state.failed[1]["attempts"] == 2
+        assert state.torn_tail is False
+
+    def test_resume_mode_appends_instead_of_truncating(self, tmp_path):
+        spec = ft.cheap_spec(n=4)
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, spec) as journal:
+            journal.record_point(_point(0), attempts=1)
+        with RunJournal(path, spec, mode="resume") as journal:
+            journal.record_point(_point(1), attempts=1)
+        state = load_journal(path)
+        assert sorted(state.completed) == [0, 1]
+
+    def test_a_later_point_record_clears_an_earlier_failure(self, tmp_path):
+        spec = ft.cheap_spec(n=4)
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, spec) as journal:
+            journal.record_failure(3, "RuntimeError: boom", attempts=3)
+            journal.record_point(_point(3), attempts=1)
+        state = load_journal(path)
+        assert 3 in state.completed
+        assert state.failed == {}
+
+    def test_fresh_mode_truncates_an_existing_journal(self, tmp_path):
+        spec = ft.cheap_spec(n=4)
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, spec) as journal:
+            journal.record_point(_point(0), attempts=1)
+        with RunJournal(path, spec, mode="fresh"):
+            pass
+        assert load_journal(path).completed == {}
+
+    def test_bad_mode_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fresh|resume"):
+            RunJournal(tmp_path / "run.jsonl", ft.cheap_spec(), mode="append")
+
+
+class TestTornTail:
+    def test_torn_trailing_line_is_dropped_not_fatal(self, tmp_path):
+        spec = ft.cheap_spec(n=4)
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, spec) as journal:
+            journal.record_point(_point(0), attempts=1)
+            journal.record_point(_point(1), attempts=1)
+        with open(path, "a") as handle:
+            handle.write('{"kind": "point", "index": 2, "metr')  # no newline
+        state = load_journal(path)
+        assert state.torn_tail is True
+        assert sorted(state.completed) == [0, 1]
+
+    def test_clean_journal_reports_no_torn_tail(self, tmp_path):
+        spec = ft.cheap_spec(n=4)
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, spec):
+            pass
+        assert load_journal(path).torn_tail is False
+
+
+class TestCorruption:
+    def _journal(self, tmp_path, lines):
+        path = tmp_path / "run.jsonl"
+        path.write_text("".join(line + "\n" for line in lines))
+        return path
+
+    def test_mid_file_garbage_names_path_and_line(self, tmp_path):
+        spec = ft.cheap_spec(n=4)
+        path = self._journal(
+            tmp_path,
+            [json.dumps(journal_header(spec)), "{not json", "{}"],
+        )
+        with pytest.raises(ValueError, match=r"run\.jsonl.*line 2"):
+            load_journal(path)
+
+    def test_missing_header_is_rejected(self, tmp_path):
+        path = self._journal(
+            tmp_path, ['{"kind": "point", "index": 0}']
+        )
+        with pytest.raises(ValueError, match="precedes the journal header"):
+            load_journal(path)
+
+    def test_empty_file_is_rejected(self, tmp_path):
+        path = self._journal(tmp_path, [])
+        with pytest.raises(ValueError, match="no header"):
+            load_journal(path)
+
+    def test_wrong_schema_is_rejected(self, tmp_path):
+        header = journal_header(ft.cheap_spec())
+        header["schema"] = "repro.sweep.journal/v99"
+        path = self._journal(tmp_path, [json.dumps(header)])
+        with pytest.raises(ValueError, match="expected schema"):
+            load_journal(path)
+
+    def test_duplicate_header_is_rejected(self, tmp_path):
+        header = json.dumps(journal_header(ft.cheap_spec()))
+        path = self._journal(tmp_path, [header, header])
+        with pytest.raises(ValueError, match="duplicate header"):
+            load_journal(path)
+
+    def test_malformed_point_record_names_the_line(self, tmp_path):
+        spec = ft.cheap_spec(n=4)
+        path = self._journal(
+            tmp_path,
+            [json.dumps(journal_header(spec)),
+             '{"kind": "point", "index": 0, "params": {}}'],
+        )
+        with pytest.raises(ValueError, match="malformed point record at line 2"):
+            load_journal(path)
+
+    def test_unknown_record_kind_is_rejected(self, tmp_path):
+        spec = ft.cheap_spec(n=4)
+        path = self._journal(
+            tmp_path,
+            [json.dumps(journal_header(spec)), '{"kind": "banana"}'],
+        )
+        with pytest.raises(ValueError, match="unknown record kind 'banana'"):
+            load_journal(path)
+
+
+class TestSpecMatching:
+    def test_journal_for_a_different_grid_reports_the_mismatch(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, ft.cheap_spec(n=4)):
+            pass
+        mismatch = load_journal(path).matches(ft.cheap_spec(n=5))
+        assert mismatch is not None
+        assert "points" in mismatch or "grid_digest" in mismatch
+
+    def test_journal_for_a_different_seed_reports_the_mismatch(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, ft.cheap_spec(seed=1)):
+            pass
+        mismatch = load_journal(path).matches(ft.cheap_spec(seed=2))
+        assert mismatch is not None and "seed" in mismatch

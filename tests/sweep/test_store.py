@@ -1,11 +1,14 @@
-"""Round-trip tests for the repro.sweep/v1 JSON store."""
+"""Round-trip, atomicity and corruption tests for the repro.sweep/v1 store."""
 
 import json
+import os
 
 import pytest
 
 from repro.sweep import SweepSpec, load_sweep, run_sweep, save_sweep
 from repro.sweep.store import SCHEMA, sweep_document
+
+from tests.sweep import _ft_helpers  # noqa: F401  (registers ft-* targets)
 
 
 @pytest.fixture(scope="module")
@@ -50,4 +53,105 @@ class TestStore:
         path = tmp_path / "none.json"
         path.write_text("{}")
         with pytest.raises(ValueError):
+            load_sweep(path)
+
+    def test_failures_and_harness_round_trip(self, tmp_path):
+        spec = SweepSpec(
+            name="store-ft",
+            target="ft-boom",
+            grid={"x": [0, 1]},
+            seed=3,
+        )
+        result = run_sweep(spec, workers=1, retries=0)
+        assert not result.ok
+        loaded = load_sweep(save_sweep(result, tmp_path / "partial.json"))
+        assert not loaded.ok
+        assert loaded.failures[0].index == 1
+        assert "boom" in loaded.failures[0].error
+        assert loaded.harness == result.harness
+        assert loaded.fingerprint() == result.fingerprint()
+
+
+class TestAtomicSave:
+    def test_no_temp_files_left_behind(self, result, tmp_path):
+        save_sweep(result, tmp_path / "sweep.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["sweep.json"]
+
+    def test_failed_write_preserves_the_old_artefact(
+        self, result, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "sweep.json"
+        path.write_text('{"precious": true}')
+
+        def explode(fd):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "fsync", explode)
+        with pytest.raises(OSError, match="disk full"):
+            save_sweep(result, path)
+        assert json.loads(path.read_text()) == {"precious": True}
+        assert [p.name for p in tmp_path.iterdir()] == ["sweep.json"]
+
+
+class TestCorruptArtefacts:
+    def _saved(self, result, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(result, path)
+        return path
+
+    def test_truncated_json_names_the_path(self, result, tmp_path):
+        path = self._saved(result, tmp_path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ValueError, match=r"sweep\.json.*invalid JSON"):
+            load_sweep(path)
+
+    def test_non_object_document_is_rejected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            load_sweep(path)
+
+    @pytest.mark.parametrize("field", ["name", "target", "seed", "points"])
+    def test_missing_required_field_is_named(self, result, tmp_path, field):
+        path = self._saved(result, tmp_path)
+        document = json.loads(path.read_text())
+        del document[field]
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match=f"missing required field '{field}'"):
+            load_sweep(path)
+
+    @pytest.mark.parametrize("field", ["index", "params", "metrics"])
+    def test_missing_point_field_is_named(self, result, tmp_path, field):
+        path = self._saved(result, tmp_path)
+        document = json.loads(path.read_text())
+        del document["points"][1][field]
+        path.write_text(json.dumps(document))
+        with pytest.raises(
+            ValueError, match=rf"points\[1\] missing required field '{field}'"
+        ):
+            load_sweep(path)
+
+    def test_nan_metric_names_the_point_and_key(self, result, tmp_path):
+        path = self._saved(result, tmp_path)
+        document = json.loads(path.read_text())
+        key = next(iter(document["points"][0]["metrics"]))
+        document["points"][0]["metrics"][key] = "nan"
+        path.write_text(json.dumps(document))
+        with pytest.raises(
+            ValueError, match=rf"points\[0\]\.metrics\['{key}'\] is non-finite"
+        ):
+            load_sweep(path)
+
+    def test_non_numeric_counter_names_the_point_and_key(
+        self, result, tmp_path
+    ):
+        path = self._saved(result, tmp_path)
+        document = json.loads(path.read_text())
+        document["points"][0]["counters"]["bogus"] = {"nested": 1}
+        path.write_text(json.dumps(document))
+        with pytest.raises(
+            ValueError,
+            match=r"points\[0\]\.counters\['bogus'\] is not a number",
+        ):
             load_sweep(path)

@@ -1,0 +1,332 @@
+"""The supervised executor: crash/hang recovery, retries, chaos, resume.
+
+The acceptance bar for the fault-tolerance work: a sweep killed mid-run
+(SIGKILL on a worker or on the parent process) resumes via ``resume=``
+with a fingerprint bit-identical to an uninterrupted run — demonstrated
+here at ``workers=1`` and ``workers=4``.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.observability import Telemetry
+from repro.sweep import (
+    ChaosSpec,
+    SweepInterrupted,
+    SweepPointError,
+    SweepSpec,
+    load_journal,
+    parse_chaos,
+    run_sweep,
+)
+from repro.sweep.supervisor import CHAOS_EXIT_CODE, SupervisorConfig
+
+from tests.sweep import _ft_helpers as ft
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestChaosSpec:
+    def test_parse_round_trip(self):
+        spec = parse_chaos("crash:0.1,hang:0.05")
+        assert spec == ChaosSpec(crash=0.1, hang=0.05)
+        assert parse_chaos("crash:0.2") == ChaosSpec(crash=0.2)
+
+    @pytest.mark.parametrize(
+        "text", ["", "banana:0.1", "crash", "crash:lots", "crash:0.1;hang:0.2"]
+    )
+    def test_parse_rejects_malformed_clauses(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_chaos(text)
+
+    def test_probabilities_are_validated(self):
+        with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+            ChaosSpec(crash=1.5)
+        with pytest.raises(ConfigurationError, match="exceed 1"):
+            ChaosSpec(crash=0.7, hang=0.7)
+
+    def test_draws_are_deterministic_per_point_and_attempt(self):
+        spec = ChaosSpec(crash=0.45)
+        first = [spec.draw(77, "ft", i, 1) for i in range(8)]
+        again = [spec.draw(77, "ft", i, 1) for i in range(8)]
+        assert first == again
+        # A retried attempt rolls fresh dice, not the same outcome forever.
+        chains = [
+            [spec.draw(77, "ft", i, attempt) for attempt in range(1, 6)]
+            for i in range(8)
+        ]
+        assert any(len(set(chain)) > 1 for chain in chains)
+
+    def test_hang_injection_requires_a_timeout(self):
+        with pytest.raises(ConfigurationError, match="timeout"):
+            SupervisorConfig(chaos=ChaosSpec(hang=0.1), timeout=None)
+
+
+class TestSupervisorConfig:
+    def test_backoff_schedule_is_geometric(self):
+        config = SupervisorConfig(backoff=0.1, backoff_factor=2.0)
+        assert config.delay_before(1) == 0.0
+        assert config.delay_before(2) == pytest.approx(0.1)
+        assert config.delay_before(3) == pytest.approx(0.2)
+        assert config.delay_before(4) == pytest.approx(0.4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"timeout": 0.0},
+            {"retries": -1},
+            {"backoff": -0.1},
+            {"backoff_factor": 0.5},
+        ],
+    )
+    def test_bad_policy_is_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SupervisorConfig(**kwargs)
+
+
+class TestSupervisedMatchesBare:
+    def test_supervised_fingerprint_equals_unsupervised(self):
+        spec = ft.cheap_spec(n=6)
+        bare = run_sweep(spec)
+        supervised = run_sweep(spec, workers=2, supervised=True)
+        assert supervised.ok
+        assert supervised.fingerprint() == bare.fingerprint()
+        assert supervised.harness["completed"] == 6.0
+        assert supervised.harness["crashes"] == 0.0
+
+
+class TestCrashRecovery:
+    def test_worker_os_exit_is_requeued_to_a_replacement(self, tmp_path):
+        spec = ft.cheap_spec(
+            n=4, target="ft-crash-once", marker_dir=[str(tmp_path)]
+        )
+        result = run_sweep(spec, workers=2, retries=2)
+        assert result.ok
+        assert [p.metrics["value"] for p in result.points] == [0.0, 1.0, 2.0, 3.0]
+        assert result.harness["crashes"] == 4.0
+        assert result.harness["requeued"] == 4.0
+        assert result.harness["workers_replaced"] >= 1.0
+
+    def test_worker_sigkill_is_requeued_to_a_replacement(self, tmp_path):
+        spec = ft.cheap_spec(
+            n=3, target="ft-sigkill-once", marker_dir=[str(tmp_path)]
+        )
+        result = run_sweep(spec, workers=2, retries=2)
+        assert result.ok
+        assert result.harness["crashes"] == 3.0
+
+    def test_chaos_crashes_recover_with_identical_fingerprint(self):
+        spec = ft.cheap_spec(n=8)
+        calm = run_sweep(spec)
+        chaotic = run_sweep(
+            spec, workers=2, chaos=ChaosSpec(crash=0.45), retries=3
+        )
+        assert chaotic.ok
+        assert chaotic.fingerprint() == calm.fingerprint()
+        # Deterministic chaos: seed 77 / sweep "ft" / crash 0.45 injects
+        # first-attempt crashes on points 4, 5 and 7, chains of length
+        # 1, 2 and 2 — five crashed attempts in total.
+        assert chaotic.harness["crashes"] == 5.0
+        assert chaotic.harness["retries"] == 5.0
+        assert chaotic.harness["completed"] == 8.0
+
+    def test_chaos_accepts_the_cli_string_form(self):
+        spec = ft.cheap_spec(n=8)
+        result = run_sweep(spec, workers=2, chaos="crash:0.45", retries=3)
+        assert result.ok
+        assert result.harness["crashes"] == 5.0
+
+
+class TestTimeoutRecovery:
+    def test_hung_point_is_killed_and_retried(self, tmp_path):
+        spec = ft.cheap_spec(
+            n=2, target="ft-hang-once", marker_dir=[str(tmp_path)]
+        )
+        result = run_sweep(spec, workers=1, timeout=0.4, retries=2)
+        assert result.ok
+        assert [p.metrics["value"] for p in result.points] == [0.0, 1.0]
+        assert result.harness["timeouts"] == 2.0
+        assert result.harness["requeued"] == 2.0
+
+
+class TestRetryExhaustion:
+    def test_exhausted_budget_lands_in_the_error_ledger(self):
+        spec = ft.cheap_spec(n=2, target="ft-always-crash")
+        result = run_sweep(spec, workers=1, retries=1)
+        assert not result.ok
+        assert result.points == []
+        assert [f.index for f in result.failures] == [0, 1]
+        for failure in result.failures:
+            assert failure.attempts == 2
+            assert "exit code 23" in failure.error
+        assert result.harness["failed"] == 2.0
+
+    def test_strict_mode_raises_instead(self):
+        spec = ft.cheap_spec(n=2, target="ft-always-crash")
+        with pytest.raises(SweepPointError, match="after 2 attempt"):
+            run_sweep(spec, workers=1, retries=1, strict=True)
+
+    def test_in_worker_exceptions_use_the_same_budget(self):
+        spec = ft.cheap_spec(n=4, target="ft-boom")
+        result = run_sweep(spec, workers=2, retries=1)
+        assert [f.index for f in result.failures] == [1, 3]
+        assert all("boom" in f.error for f in result.failures)
+        assert [p.index for p in result.points] == [0, 2]
+        assert result.harness["errors"] == 4.0  # 2 points x 2 attempts
+
+
+class TestSpawnStartMethod:
+    def test_crash_detection_works_under_spawn(self):
+        spec = SweepSpec(
+            name="spawn-ft",
+            target="fabric-congestion",
+            grid={
+                "topology": ["two-tier"], "congestion": ["none"],
+                "load": [0.5], "flows": [8],
+            },
+            seed=5,
+        )
+        result = run_sweep(
+            spec, workers=1, chaos=ChaosSpec(crash=1.0), retries=1,
+            start_method="spawn",
+        )
+        assert not result.ok
+        assert result.failures[0].attempts == 2
+        assert f"exit code {CHAOS_EXIT_CODE}" in result.failures[0].error
+
+
+class TestInterrupt:
+    def test_inline_interrupt_carries_the_partial_result(self):
+        spec = ft.cheap_spec(n=5, target="ft-interrupt")
+        with pytest.raises(SweepInterrupted) as excinfo:
+            run_sweep(spec, workers=1)
+        assert isinstance(excinfo.value, KeyboardInterrupt)
+        partial = excinfo.value.partial
+        assert [p.index for p in partial.points] == [0, 1]
+        assert "3 point(s) unfinished" in str(excinfo.value)
+
+
+class TestJournalAndResume:
+    def test_journalled_run_is_loadable_and_complete(self, tmp_path):
+        spec = ft.cheap_spec(n=4)
+        journal = tmp_path / "run.jsonl"
+        result = run_sweep(spec, workers=2, journal=journal)
+        state = load_journal(journal)
+        assert state.matches(spec) is None
+        assert sorted(state.completed) == [0, 1, 2, 3]
+        assert result.ok
+
+    def test_resume_skips_completed_points(self, tmp_path):
+        spec = ft.cheap_spec(n=6)
+        journal = tmp_path / "run.jsonl"
+        full = run_sweep(spec, workers=1, journal=journal)
+        # Truncate the journal to the header + first two point records.
+        lines = journal.read_text().splitlines()
+        journal.write_text("".join(line + "\n" for line in lines[:3]))
+        resumed = run_sweep(spec, workers=2, resume=journal)
+        assert resumed.ok
+        assert resumed.harness["resumed"] == 2.0
+        assert resumed.harness["dispatched"] == 4.0
+        assert resumed.fingerprint() == full.fingerprint()
+
+    def test_resume_rejects_a_journal_for_a_different_spec(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        run_sweep(ft.cheap_spec(n=4), journal=journal)
+        with pytest.raises(ConfigurationError, match="cannot resume"):
+            run_sweep(ft.cheap_spec(n=5), resume=journal)
+
+    def test_journal_and_resume_must_agree_on_the_path(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not two"):
+            run_sweep(
+                ft.cheap_spec(),
+                journal=tmp_path / "a.jsonl",
+                resume=tmp_path / "b.jsonl",
+            )
+
+    def test_supervised_false_forbids_fault_tolerance_options(self):
+        with pytest.raises(ConfigurationError, match="supervised"):
+            run_sweep(ft.cheap_spec(), timeout=1.0, supervised=False)
+
+
+#: Runs a journalled sweep and SIGKILLs its own parent process the moment
+#: the k-th point result lands — the hardest interruption there is.
+_SIGKILL_SCRIPT = textwrap.dedent(
+    """
+    import os, signal, sys
+
+    from tests.sweep import _ft_helpers as ft
+    from repro.sweep import run_sweep
+
+    workers, journal, kill_after = (
+        int(sys.argv[1]), sys.argv[2], int(sys.argv[3])
+    )
+    done = 0
+
+    def progress(result):
+        global done
+        done += 1
+        if done >= kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    run_sweep(ft.slow_spec(), workers=workers, journal=journal,
+              progress=progress)
+    """
+)
+
+
+class TestResumeAfterParentSigkill:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_resumed_fingerprint_is_bit_identical(self, tmp_path, workers):
+        journal = tmp_path / "run.jsonl"
+        process = subprocess.run(
+            [sys.executable, "-c", _SIGKILL_SCRIPT,
+             str(workers), str(journal), "3"],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": "src"},
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert process.returncode == -signal.SIGKILL, process.stderr
+        spec = ft.slow_spec()
+        state = load_journal(journal)
+        assert state.matches(spec) is None
+        completed_before = len(state.completed)
+        assert 3 <= completed_before < len(spec.points())
+        resumed = run_sweep(spec, workers=workers, resume=journal)
+        assert resumed.ok
+        assert resumed.harness["resumed"] == float(completed_before)
+        fresh = run_sweep(spec)
+        assert resumed.fingerprint() == fresh.fingerprint()
+        # The journal now holds the full sweep; resuming again is a no-op
+        # that still reproduces the same fingerprint.
+        again = run_sweep(spec, resume=journal)
+        assert again.harness["dispatched"] == 0.0
+        assert again.fingerprint() == fresh.fingerprint()
+
+
+class TestTelemetryCounters:
+    def test_supervisor_events_surface_as_metrics(self):
+        telemetry = Telemetry()
+        spec = ft.cheap_spec(n=8)
+        run_sweep(
+            spec, workers=2, chaos=ChaosSpec(crash=0.45), retries=3,
+            telemetry=telemetry,
+        )
+        metrics = telemetry.metrics
+
+        def total(name):
+            return metrics.counter(f"sweep.supervisor.{name}").total()
+
+        assert total("completed") == 8.0
+        assert total("crashes") == 5.0
+        assert total("retries") == 5.0
+        assert total("failed") == 0.0

@@ -3,6 +3,7 @@
 from repro.validate import (
     check_checkpointing,
     check_collectives,
+    check_resume,
     check_routes,
     check_sweep,
     run_differential_checks,
@@ -48,11 +49,22 @@ class TestSweepDifferential:
         assert result.comparisons > 0
 
 
+class TestResumeDifferential:
+    def test_resumed_fingerprint_matches_fresh(self):
+        result = check_resume()
+        assert result.passed, result.detail
+        assert "torn tail" in result.detail
+
+    def test_prefix_length_is_configurable(self):
+        assert check_resume(keep_points=1).passed
+
+
 class TestBundle:
-    def test_run_differential_checks_covers_all_four(self):
+    def test_run_differential_checks_covers_all_five(self):
         results = run_differential_checks()
         assert [r.name for r in results] == [
-            "routes", "collectives", "checkpointing", "sweep-pool"
+            "routes", "collectives", "checkpointing", "sweep-pool",
+            "sweep-resume",
         ]
         assert all(r.passed for r in results), [str(r) for r in results]
 

@@ -147,3 +147,41 @@ class TestGoldenStore:
         assert text == json.dumps(
             c1_document, indent=2, sort_keys=True
         ) + "\n"
+
+
+class TestGoldenStoreRobustness:
+    def test_record_is_atomic_no_temp_leftovers(self, tmp_path, c1_document):
+        store = GoldenStore(tmp_path)
+        store.record(c1_document)
+        assert [p.name for p in tmp_path.iterdir()] == ["profile_C1.json"]
+
+    def test_corrupt_golden_tells_you_to_re_record(self, tmp_path,
+                                                   c1_document):
+        store = GoldenStore(tmp_path)
+        path = store.record(c1_document)
+        path.write_text(path.read_text()[:40])
+        with pytest.raises(ValueError, match="delete it and re-record"):
+            store.load("profile", "C1")
+
+    def test_golden_missing_kind_or_id_is_rejected(self, tmp_path,
+                                                   c1_document):
+        store = GoldenStore(tmp_path)
+        path = store.record(c1_document)
+        document = json.loads(path.read_text())
+        del document["id"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(ValueError, match="missing required field 'id'"):
+            store.documents()
+
+    def test_golden_with_nan_metric_is_rejected(self, tmp_path,
+                                                smoke_document):
+        store = GoldenStore(tmp_path)
+        path = store.record(smoke_document)
+        document = json.loads(path.read_text())
+        key = next(iter(document["points"][0]["metrics"]))
+        document["points"][0]["metrics"][key] = float("inf")
+        path.write_text(
+            json.dumps(document).replace("Infinity", "1e999")
+        )
+        with pytest.raises(ValueError, match="not a finite number"):
+            store.load("sweep", document["id"])
