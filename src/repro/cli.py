@@ -271,14 +271,16 @@ def _parse_axis_value(text: str):
 def _command_sweep(args: argparse.Namespace) -> int:
     """Run a scenario sweep; print its table and optionally store JSON.
 
-    Exit codes: 0 clean, 1 partial (error ledger non-empty), 2 bad
-    arguments, 130 interrupted (journal flushed; resume with --resume).
+    Exit codes: 0 clean, 1 partial (error ledger non-empty, or a
+    --strict point failure), 2 bad arguments, 130 interrupted (journal
+    flushed; resume with --resume).
     """
     from repro.analysis.aggregate import pivot, summary_table
     from repro.core.errors import ConfigurationError
     from repro.sweep import (
         NAMED_SWEEPS,
         SweepInterrupted,
+        SweepPointError,
         SweepSpec,
         named_sweep,
         run_sweep,
@@ -335,6 +337,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
     except ConfigurationError as error:
         print(str(error), file=sys.stderr)
         return 2
+    except SweepPointError as error:
+        print(str(error), file=sys.stderr)
+        return 1
     except SweepInterrupted as interrupt:
         partial = interrupt.partial
         done = len(partial.points) if partial is not None else 0

@@ -4,9 +4,10 @@ A process killed mid-``write_text`` leaves a truncated artefact that a
 later ``json.loads`` chokes on.  :func:`atomic_write_text` removes that
 window: the payload lands in a temporary file *in the same directory*
 (same filesystem, so the final rename cannot degrade into a copy), is
-flushed and fsynced, then published with :func:`os.replace` — readers
-see either the complete old file or the complete new one, never a torn
-middle state.
+flushed and fsynced, then published with :func:`os.replace`, and the
+directory entry is fsynced so the rename itself survives power loss —
+readers see either the complete old file or the complete new one, never
+a torn middle state.
 """
 
 from __future__ import annotations
@@ -41,12 +42,16 @@ def atomic_write_text(
         except OSError:
             pass
         raise
+    fsync_directory(target.parent)
     return target
 
 
 def fsync_directory(path: Union[str, pathlib.Path]) -> None:
     """Flush a directory's entry table (durability of a just-renamed file)."""
-    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms that refuse dir opens
+        return
     try:
         os.fsync(fd)
     except OSError:  # pragma: no cover - some filesystems refuse dir fsync

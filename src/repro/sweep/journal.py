@@ -24,6 +24,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
+from repro.core.atomicio import fsync_directory
 from repro.sweep.engine import PointResult, SweepSpec
 
 #: Journal document schema identifier (the header's ``schema`` field).
@@ -162,7 +163,13 @@ def load_journal(path: Union[str, pathlib.Path]) -> JournalState:
             state.failed.pop(index, None)
             continue
         if kind == "failure":
-            index = int(record["index"])
+            try:
+                index = int(record["index"])
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{source}: malformed failure record at line {number}: "
+                    f"{error}"
+                ) from None
             if index not in state.completed:
                 state.failed[index] = record
             continue
@@ -197,9 +204,36 @@ class RunJournal:
         self.fsync = fsync
         if self.path.parent and not self.path.parent.is_dir():
             self.path.parent.mkdir(parents=True, exist_ok=True)
+        if mode == "resume":
+            self._truncate_torn_tail()
         self._handle = open(self.path, "w" if mode == "fresh" else "a")
         if mode == "fresh":
+            if self.fsync:
+                # The journal *file* is fsynced per record, but its very
+                # existence is only durable once the directory entry is.
+                fsync_directory(self.path.parent)
             self._append(journal_header(spec))
+
+    def _truncate_torn_tail(self) -> None:
+        """Drop a torn trailing line before appending in resume mode.
+
+        :func:`load_journal` tolerates one torn tail (the record never
+        durably happened), but appending after it would concatenate the
+        next record onto the partial line, corrupting the journal for
+        every later load.  Truncating back to the last terminated line
+        restores the invariant of at most one torn trailing line.
+        """
+        try:
+            with open(self.path, "rb+") as handle:
+                raw = handle.read()
+                if not raw or raw.endswith(b"\n"):
+                    return
+                handle.truncate(raw.rfind(b"\n") + 1)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+        except FileNotFoundError:
+            return
 
     def _append(self, record: Dict[str, object]) -> None:
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")

@@ -153,15 +153,33 @@ def load_sweep(path: Union[str, pathlib.Path]) -> SweepResult:
                 wall_seconds=float(entry.get("wall_seconds", 0.0)),
             )
         )
-    failures = [
-        PointFailure(
-            index=int(entry["index"]),
-            params=dict(entry.get("params", {})),
-            error=str(entry.get("error", "")),
-            attempts=int(entry.get("attempts", 1)),
+    failures = []
+    for position, entry in enumerate(document.get("failures", [])):
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"{source}: failures[{position}] is not an object"
+            )
+        if "index" not in entry:
+            raise ValueError(
+                f"{source}: failures[{position}] missing required field "
+                "'index'"
+            )
+        try:
+            index = int(entry["index"])
+            attempts = int(entry.get("attempts", 1))
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{source}: failures[{position}] has a non-integer "
+                "'index' or 'attempts'"
+            ) from None
+        failures.append(
+            PointFailure(
+                index=index,
+                params=dict(entry.get("params", {})),
+                error=str(entry.get("error", "")),
+                attempts=attempts,
+            )
         )
-        for entry in document.get("failures", [])
-    ]
     return SweepResult(
         name=document["name"],
         target=document["target"],

@@ -220,6 +220,14 @@ def _supervised_worker(conn, common: Tuple) -> None:
     from repro.sweep.engine import _run_point
 
     target_name, sweep_name, seed, trace_dir, chaos = common
+    try:
+        # Ready handshake: interpreter boot + imports are done (the bulk
+        # of spawn-method startup).  The parent starts the first point's
+        # timeout clock on this sentinel, not at dispatch, so startup
+        # latency can never masquerade as a point timeout.
+        conn.send(("ready", -1, 0, None))
+    except (BrokenPipeError, EOFError, OSError):
+        return
     parent = multiprocessing.parent_process()
     watched = [conn] if parent is None else [conn, parent.sentinel]
     while True:
@@ -281,6 +289,9 @@ class _Worker:
     #: clock is ``deadline``); the rest sit unstarted in the pipe.
     tasks: List[_Task] = field(default_factory=list)
     deadline: Optional[float] = None
+    #: True once the child's ready handshake arrived; until then no
+    #: deadline runs, so startup latency is never billed to a point.
+    ready: bool = False
 
 
 #: Counter names the supervisor maintains (all also exported as
@@ -473,9 +484,12 @@ class Supervisor:
                     )
                     continue
                 if not worker.tasks:
+                    # A not-yet-ready worker is still booting; its first
+                    # point's clock starts when the handshake arrives.
                     worker.deadline = (
                         now + self.config.timeout
-                        if self.config.timeout is not None else None
+                        if worker.ready and self.config.timeout is not None
+                        else None
                     )
                 worker.tasks.append(task)
                 self.bump("dispatched")
@@ -545,6 +559,11 @@ class Supervisor:
                 )
                 continue
             kind, _index, attempt, payload = message
+            if kind == "ready":
+                worker.ready = True
+                if worker.tasks and self.config.timeout is not None:
+                    worker.deadline = now + self.config.timeout
+                continue
             task = worker.tasks.pop(0)
             # The pipelined next task (if any) started the moment the
             # worker sent this result; its clock starts now.

@@ -106,6 +106,26 @@ class TestTornTail:
             pass
         assert load_journal(path).torn_tail is False
 
+    def test_resume_truncates_the_torn_tail_before_appending(self, tmp_path):
+        """Resuming over a torn tail must not concatenate onto it.
+
+        Two consecutive crash(+torn tail)/resume cycles on the same file:
+        each resume drops the partial line, so the journal always keeps
+        its at-most-one-torn-trailing-line invariant and stays loadable.
+        """
+        spec = ft.cheap_spec(n=4)
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path, spec) as journal:
+            journal.record_point(_point(0), attempts=1)
+        for index in (1, 2):  # crash + resume, twice
+            with open(path, "a") as handle:
+                handle.write(f'{{"kind": "point", "index": {index}, "metr')
+            with RunJournal(path, spec, mode="resume") as journal:
+                journal.record_point(_point(index), attempts=1)
+            state = load_journal(path)
+            assert state.torn_tail is False
+            assert sorted(state.completed) == list(range(index + 1))
+
 
 class TestCorruption:
     def _journal(self, tmp_path, lines):
@@ -155,6 +175,18 @@ class TestCorruption:
              '{"kind": "point", "index": 0, "params": {}}'],
         )
         with pytest.raises(ValueError, match="malformed point record at line 2"):
+            load_journal(path)
+
+    def test_malformed_failure_record_names_the_line(self, tmp_path):
+        spec = ft.cheap_spec(n=4)
+        path = self._journal(
+            tmp_path,
+            [json.dumps(journal_header(spec)),
+             '{"kind": "failure", "error": "boom"}'],
+        )
+        with pytest.raises(
+            ValueError, match="malformed failure record at line 2"
+        ):
             load_journal(path)
 
     def test_unknown_record_kind_is_rejected(self, tmp_path):

@@ -132,6 +132,37 @@ class TestCorruptArtefacts:
         ):
             load_sweep(path)
 
+    def test_failure_entry_missing_index_is_named(self, result, tmp_path):
+        path = self._saved(result, tmp_path)
+        document = json.loads(path.read_text())
+        document["failures"] = [{"error": "boom", "attempts": 2}]
+        path.write_text(json.dumps(document))
+        with pytest.raises(
+            ValueError,
+            match=r"failures\[0\] missing required field 'index'",
+        ):
+            load_sweep(path)
+
+    def test_non_object_failure_entry_is_named(self, result, tmp_path):
+        path = self._saved(result, tmp_path)
+        document = json.loads(path.read_text())
+        document["failures"] = ["boom"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(
+            ValueError, match=r"failures\[0\] is not an object"
+        ):
+            load_sweep(path)
+
+    def test_non_integer_failure_index_is_named(self, result, tmp_path):
+        path = self._saved(result, tmp_path)
+        document = json.loads(path.read_text())
+        document["failures"] = [{"index": "many", "error": "boom"}]
+        path.write_text(json.dumps(document))
+        with pytest.raises(
+            ValueError, match=r"failures\[0\] has a non-integer"
+        ):
+            load_sweep(path)
+
     def test_nan_metric_names_the_point_and_key(self, result, tmp_path):
         path = self._saved(result, tmp_path)
         document = json.loads(path.read_text())

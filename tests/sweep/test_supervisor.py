@@ -6,12 +6,14 @@ with a fingerprint bit-identical to an uninterrupted run — demonstrated
 here at ``workers=1`` and ``workers=4``.
 """
 
+import multiprocessing
 import os
 import pathlib
 import signal
 import subprocess
 import sys
 import textwrap
+import time
 
 import pytest
 
@@ -26,7 +28,13 @@ from repro.sweep import (
     parse_chaos,
     run_sweep,
 )
-from repro.sweep.supervisor import CHAOS_EXIT_CODE, SupervisorConfig
+from repro.sweep.supervisor import (
+    CHAOS_EXIT_CODE,
+    Supervisor,
+    SupervisorConfig,
+    _Task,
+    _Worker,
+)
 
 from tests.sweep import _ft_helpers as ft
 
@@ -157,6 +165,52 @@ class TestTimeoutRecovery:
         assert result.harness["requeued"] == 2.0
 
 
+class TestReadyHandshake:
+    def test_first_point_clock_starts_on_ready_not_dispatch(self):
+        """Worker startup (interpreter boot + imports, notably under the
+        spawn start method and for every replacement worker) must not be
+        billed to the first point's wall-clock budget — the deadline only
+        starts once the child's ready handshake arrives."""
+        supervisor = Supervisor(
+            ft.cheap_spec(n=1), SupervisorConfig(workers=1, timeout=5.0)
+        )
+        parent_conn, child_conn = multiprocessing.Pipe()
+        worker = _Worker(process=None, conn=parent_conn)
+        supervisor._workers.append(worker)
+        supervisor._pending = [_Task(index=0, params={"x": 0}, attempt=1)]
+        supervisor._outstanding = 1
+        try:
+            before = time.monotonic()
+            supervisor._dispatch_ready(
+                before, lambda failure: None, strict=False
+            )
+            assert [task.index for task in worker.tasks] == [0]
+            assert worker.ready is False
+            assert worker.deadline is None  # no clock while still booting
+            child_conn.send(("ready", -1, 0, None))
+            supervisor._step(
+                lambda *args: None, lambda failure: None, strict=False
+            )
+            assert worker.ready is True
+            assert worker.deadline is not None
+            assert worker.deadline >= before + 5.0
+        finally:
+            parent_conn.close()
+            child_conn.close()
+
+    def test_tight_timeout_survives_worker_startup(self, tmp_path):
+        """End to end: a tight per-point timeout produces no false
+        timeouts, including on the replacement workers the crash
+        recovery spawns mid-sweep (each replacement re-enters startup)."""
+        spec = ft.cheap_spec(
+            n=3, target="ft-crash-once", marker_dir=[str(tmp_path)]
+        )
+        result = run_sweep(spec, workers=2, retries=2, timeout=2.0)
+        assert result.ok
+        assert result.harness["timeouts"] == 0.0
+        assert result.harness["crashes"] == 3.0
+
+
 class TestRetryExhaustion:
     def test_exhausted_budget_lands_in_the_error_ledger(self):
         spec = ft.cheap_spec(n=2, target="ft-always-crash")
@@ -173,6 +227,17 @@ class TestRetryExhaustion:
         spec = ft.cheap_spec(n=2, target="ft-always-crash")
         with pytest.raises(SweepPointError, match="after 2 attempt"):
             run_sweep(spec, workers=1, retries=1, strict=True)
+
+    def test_strict_cli_exits_1_with_a_message_not_a_traceback(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "sweep", "strict-ft", "--target", "ft-always-crash",
+            "--axis", "x=0,1", "--retries", "0", "--strict",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "failed after 1 attempt" in err
 
     def test_in_worker_exceptions_use_the_same_budget(self):
         spec = ft.cheap_spec(n=4, target="ft-boom")
