@@ -8,6 +8,8 @@ Run as ``python -m repro <command>``:
 * ``experiments``— the experiment index with bench targets,
 * ``trace``      — run a profiled experiment, write a Chrome trace,
 * ``metrics``    — run a profiled experiment, print its counter tables,
+* ``profile``    — run an experiment under the wall-clock profiler and
+  report where host time went (phases, event types, top frames),
 * ``sweep``      — fan a scenario sweep over worker processes,
 * ``faults``     — run the fault-injection profile (C16) and report
   goodput, retries and conservation,
@@ -268,6 +270,109 @@ def _parse_axis_value(text: str):
     return text
 
 
+def _command_profile(args: argparse.Namespace) -> int:
+    """Run an experiment profile under the wall-clock profiler.
+
+    Unlike ``trace``/``metrics`` (simulated time), this answers ROADMAP
+    item 1's question — where does *host* wall-clock time go — with
+    deterministic phase attribution, per-event-type latency tables, an
+    optional sampling stack profiler, and a ``repro.profile/v1`` report
+    JSON.  Exit codes: 0 ok, 2 bad profile id or override.
+    """
+    import json as json_module
+    import pathlib
+
+    from repro.observability import (
+        PHASE_RUN,
+        PhaseProfiler,
+        StackSampler,
+        Telemetry,
+        prometheus_lines,
+        profile_report,
+        write_collapsed,
+        write_profiler_chrome_trace,
+        write_prometheus,
+    )
+    from repro.profiles import run as run_profile_by_id
+
+    overrides = {}
+    for clause in args.set or []:
+        if "=" not in clause:
+            print(f"bad --set {clause!r}; expected key=value", file=sys.stderr)
+            return 2
+        key, _, value = clause.partition("=")
+        overrides[key] = _parse_axis_value(value)
+
+    profiler = PhaseProfiler(detail=bool(args.chrome))
+    sampler = (
+        StackSampler(interval=args.sample_interval)
+        if (args.sample or args.collapsed)
+        else None
+    )
+    telemetry = Telemetry(profiler=profiler)
+    try:
+        if sampler is not None:
+            sampler.start()
+        with profiler.scope(PHASE_RUN):
+            result = run_profile_by_id(args.experiment, telemetry, **overrides)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    except TypeError as error:
+        print(f"bad override for {args.experiment}: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if sampler is not None:
+            sampler.stop()
+
+    _print_summary(result)
+    phases = Table(
+        "Wall-clock phases (host seconds, hottest first)",
+        ["phase", "seconds", "calls", "mean (s)"],
+    )
+    for phase, seconds, calls, mean in profiler.phase_table():
+        phases.add_row(phase, f"{seconds:.6f}", calls, f"{mean:.3e}")
+    phases.print()
+    events = Table(
+        f"Top {args.top} event types by wall-clock dispatch time",
+        ["callback", "seconds", "calls", "mean (s)"],
+    )
+    for label, seconds, calls, mean in profiler.event_table()[: args.top]:
+        events.add_row(label, f"{seconds:.6f}", calls, f"{mean:.3e}")
+    events.print()
+    if sampler is not None:
+        frames = Table(
+            f"Top {args.top} sampled frames ({sampler.samples} samples, "
+            f"{sampler.interval * 1e3:.1f} ms interval)",
+            ["frame", "samples"],
+        )
+        for frame, count in sampler.top_frames(args.top):
+            frames.add_row(frame, count)
+        frames.print()
+
+    report = profile_report(
+        profiler, sampler, name=result.experiment_id, top=args.top
+    )
+    output = pathlib.Path(
+        args.output or f"profile_{result.experiment_id.lower()}.json"
+    )
+    output.write_text(json_module.dumps(report, indent=2) + "\n")
+    print(f"wrote profile report to {output}")
+    if args.collapsed:
+        path = write_collapsed(sampler, args.collapsed)
+        print(f"wrote collapsed stacks (flamegraph input) to {path}")
+    if args.chrome:
+        path = write_profiler_chrome_trace(profiler, args.chrome)
+        print(f"wrote wall-clock Chrome trace to {path}")
+    if args.prometheus:
+        path = write_prometheus(telemetry.metrics, args.prometheus)
+        print(
+            f"wrote {len(prometheus_lines(telemetry.metrics))} Prometheus "
+            f"exposition lines to {path}"
+        )
+    return 0
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     """Run a scenario sweep; print its table and optionally store JSON.
 
@@ -325,22 +430,43 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(f"  point {point.index + 1}/{total} done "
               f"({point.wall_seconds * 1e3:.1f} ms)")
 
+    collect_telemetry = bool(args.telemetry or args.prometheus)
+    parent_telemetry = None
+    reporter = None
+    if args.progress or collect_telemetry:
+        from repro.observability import Telemetry
+
+        parent_telemetry = Telemetry()
+    if args.progress:
+        from repro.observability import SweepProgressReporter
+
+        reporter = SweepProgressReporter(total, telemetry=parent_telemetry)
+
     try:
         result = run_sweep(
             spec, workers=args.workers, trace_dir=args.trace_dir,
-            progress=report if args.verbose else None,
+            progress=reporter if reporter is not None
+            else (report if args.verbose else None),
             timeout=args.timeout, retries=args.retries,
             chaos=args.chaos, journal=args.journal, resume=args.resume,
             strict=args.strict,
+            telemetry=parent_telemetry,
             supervised=True if args.supervised else None,
+            collect_telemetry=collect_telemetry,
         )
     except ConfigurationError as error:
+        if reporter is not None:
+            reporter.close()
         print(str(error), file=sys.stderr)
         return 2
     except SweepPointError as error:
+        if reporter is not None:
+            reporter.close()
         print(str(error), file=sys.stderr)
         return 1
     except SweepInterrupted as interrupt:
+        if reporter is not None:
+            reporter.close()
         partial = interrupt.partial
         done = len(partial.points) if partial is not None else 0
         journal_path = args.resume or args.journal
@@ -353,6 +479,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
             print("no journal was kept (pass --journal PATH to make "
                   "sweeps resumable)", file=sys.stderr)
         return 130
+    if reporter is not None:
+        reporter.close()
     if args.pivot:
         rows_axis, columns_axis, value = args.pivot
         pivot(result, rows_axis, columns_axis, value,
@@ -382,6 +510,26 @@ def _command_sweep(args: argparse.Namespace) -> int:
         for failure in result.failures:
             print(f"  point {failure.index} ({failure.attempts} attempts): "
                   f"{failure.error}", file=sys.stderr)
+    if collect_telemetry and result.telemetry is not None:
+        spans = sum(
+            entry.get("count", 0)
+            for names in result.telemetry.get("spans", {}).values()
+            for entry in names.values()
+        )
+        print(f"merged telemetry from {len(result.points)} point(s): "
+              f"{len(result.telemetry.get('counters', {}))} counters, "
+              f"{len(result.telemetry.get('histograms', {}))} histograms, "
+              f"{spans:.0f} spans")
+    if args.prometheus and result.telemetry is not None:
+        from repro.observability import (
+            registry_from_summary,
+            write_prometheus,
+        )
+
+        path = write_prometheus(
+            registry_from_summary(result.telemetry), args.prometheus
+        )
+        print(f"wrote Prometheus exposition to {path}")
     if args.output:
         path = save_sweep(result, args.output)
         print(f"wrote sweep results to {path}")
@@ -484,6 +632,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("experiment", help="experiment id (e.g. F1, C1)")
 
+    profile = subparsers.add_parser(
+        "profile",
+        help="run an experiment under the wall-clock profiler and report "
+             "where host time went",
+    )
+    profile.add_argument("experiment", help="experiment id (e.g. F1, C16)")
+    profile.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override a profile parameter, e.g. --set max_jobs=50 "
+             "(repeatable)",
+    )
+    profile.add_argument(
+        "--output", default=None,
+        help="repro.profile/v1 report JSON path "
+             "(default: profile_<id>.json)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=10,
+        help="how many event types / frames to print and keep in the report",
+    )
+    profile.add_argument(
+        "--sample", action="store_true",
+        help="also run the sampling stack profiler alongside the phase "
+             "profiler",
+    )
+    profile.add_argument(
+        "--sample-interval", type=float, default=0.005, metavar="SECONDS",
+        help="stack sampling interval (default 5 ms)",
+    )
+    profile.add_argument(
+        "--collapsed", default=None, metavar="PATH",
+        help="write collapsed stacks (flamegraph.pl input) here; "
+             "implies --sample",
+    )
+    profile.add_argument(
+        "--chrome", default=None, metavar="PATH",
+        help="write a wall-clock Chrome trace of profiled phase scopes here",
+    )
+    profile.add_argument(
+        "--prometheus", default=None, metavar="PATH",
+        help="write the run's metrics as Prometheus text exposition here",
+    )
+
     sweep = subparsers.add_parser(
         "sweep", help="run a scenario sweep over a worker pool"
     )
@@ -550,6 +741,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="raise on the first exhausted point instead of returning a "
              "partial result with an error ledger",
     )
+    sweep.add_argument(
+        "--progress", action="store_true",
+        help="show a live progress line (TTY-aware; includes supervisor "
+             "retry/crash/timeout counters)",
+    )
+    sweep.add_argument(
+        "--telemetry", action="store_true",
+        help="merge every point's telemetry summary into the result "
+             "(deterministic at any worker count; stored with --output)",
+    )
+    sweep.add_argument(
+        "--prometheus", default=None, metavar="PATH",
+        help="write the merged sweep telemetry as Prometheus text "
+             "exposition here (implies --telemetry)",
+    )
 
     faults = subparsers.add_parser(
         "faults",
@@ -608,6 +814,7 @@ _HANDLERS = {
     "report": _command_report,
     "trace": _command_trace,
     "metrics": _command_metrics,
+    "profile": _command_profile,
     "sweep": _command_sweep,
     "faults": _command_faults,
     "validate": _command_validate,

@@ -73,6 +73,13 @@ class SimulationHooks:
     def on_schedule(self, simulation: "Simulation", event: Event) -> None:
         """Called after ``event`` is pushed onto the queue."""
 
+    def on_fire_start(self, simulation: "Simulation", event: Event) -> None:
+        """Called just before ``event``'s callback runs (clock is at the event).
+
+        Paired with :meth:`on_fire`; the wall-clock profiler brackets the
+        callback between the two to attribute dispatch latency per event.
+        """
+
     def on_fire(self, simulation: "Simulation", event: Event) -> None:
         """Called after ``event``'s callback ran (clock is at the event)."""
 
@@ -181,6 +188,8 @@ class Simulation:
                 self._live -= 1
             self._now = event.time
             self._processed += 1
+            if self._hooks is not None:
+                self._hooks.on_fire_start(self, event)
             event.callback()
             if self._hooks is not None:
                 self._hooks.on_fire(self, event)

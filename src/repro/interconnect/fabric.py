@@ -21,6 +21,7 @@ benchmark harnesses compute mean/p99 FCT, goodput and slowdown.
 from __future__ import annotations
 
 import itertools
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -43,6 +44,11 @@ from repro.observability.probes import (
     CATEGORY_FAULT,
     CATEGORY_FLOW,
     Telemetry,
+)
+from repro.observability.profiler import (
+    PHASE_CONGESTION,
+    PHASE_ROUTING,
+    PHASE_TELEMETRY,
 )
 
 #: Bucket bounds (seconds) for the flow-completion-time histogram:
@@ -232,6 +238,13 @@ class FabricSimulator:
         self.reroute_adaptively = config["reroute_adaptively"]
         self.rng = config["rng"] or RandomSource(seed=11, name="fabric")
         self.telemetry = config["telemetry"]
+        # Wall-clock phase attribution: None unless the run's telemetry
+        # carries an *enabled* PhaseProfiler, so the hot paths pay one
+        # `is not None` test when profiling is off.
+        profiler = getattr(self.telemetry, "profiler", None)
+        self._profiler = (
+            profiler if profiler is not None and profiler.enabled else None
+        )
         self.cache_routes = cache_routes
         self._route_cache: Optional[RouteCache] = (
             route_cache_for(topology) if cache_routes else None
@@ -254,6 +267,15 @@ class FabricSimulator:
         return capacities
 
     def _route(self, flow: Flow) -> Path:
+        if self._profiler is None:
+            return self._route_impl(flow)
+        start = time.perf_counter()
+        try:
+            return self._route_impl(flow)
+        finally:
+            self._profiler.add(PHASE_ROUTING, time.perf_counter() - start)
+
+    def _route_impl(self, flow: Flow) -> Path:
         if self.routing == "minimal":
             if self._route_cache is not None:
                 return self._route_cache.minimal_route(flow.source, flow.destination)
@@ -355,6 +377,20 @@ class FabricSimulator:
         return hot
 
     def _adjusted_rates(
+        self,
+        paths: Dict[int, Path],
+        flow_links: Dict[int, List[Tuple[str, str]]],
+        remaining_bytes: Optional[Dict[int, float]] = None,
+    ) -> Tuple[Dict[int, float], Dict[int, int], Set[Tuple[str, str]]]:
+        if self._profiler is None:
+            return self._adjusted_rates_impl(paths, flow_links, remaining_bytes)
+        start = time.perf_counter()
+        try:
+            return self._adjusted_rates_impl(paths, flow_links, remaining_bytes)
+        finally:
+            self._profiler.add(PHASE_CONGESTION, time.perf_counter() - start)
+
+    def _adjusted_rates_impl(
         self,
         paths: Dict[int, Path],
         flow_links: Dict[int, List[Tuple[str, str]]],
@@ -665,6 +701,15 @@ class FabricSimulator:
 
     def _account_link_bytes(self, path: Path, moved: float) -> None:
         """Spread one interval's bytes over every link the flow traverses."""
+        if self._profiler is None:
+            return self._account_link_bytes_impl(path, moved)
+        start = time.perf_counter()
+        try:
+            return self._account_link_bytes_impl(path, moved)
+        finally:
+            self._profiler.add(PHASE_TELEMETRY, time.perf_counter() - start)
+
+    def _account_link_bytes_impl(self, path: Path, moved: float) -> None:
         link_bytes = self.telemetry.counter(
             "fabric.link_bytes", "bytes carried per directed link"
         )
@@ -672,6 +717,25 @@ class FabricSimulator:
             link_bytes.inc(moved, link=f"{u}->{v}")
 
     def _record_congestion(
+        self,
+        now: float,
+        saturated: Set[Tuple[str, str]],
+        congested_before: Set[Tuple[str, str]],
+        active: Dict[int, Flow],
+    ) -> Set[Tuple[str, str]]:
+        if self._profiler is None:
+            return self._record_congestion_impl(
+                now, saturated, congested_before, active
+            )
+        start = time.perf_counter()
+        try:
+            return self._record_congestion_impl(
+                now, saturated, congested_before, active
+            )
+        finally:
+            self._profiler.add(PHASE_TELEMETRY, time.perf_counter() - start)
+
+    def _record_congestion_impl(
         self,
         now: float,
         saturated: Set[Tuple[str, str]],

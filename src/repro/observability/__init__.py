@@ -1,7 +1,8 @@
-"""Simulation telemetry: tracing, metrics and export for instrumented runs.
+"""Simulation telemetry: tracing, metrics, profiling and export.
 
 The observability layer answers "where do simulated time, bytes and
-dollars go?" for any run of the framework:
+dollars go?" — and, since the second layer, "where does *wall-clock*
+time go?" — for any run of the framework:
 
 * :mod:`~repro.observability.tracer` — spans/instants/counter samples on
   the simulation clock,
@@ -9,8 +10,17 @@ dollars go?" for any run of the framework:
   fixed-bucket histograms with label support, plus sim-clock samplers,
 * :mod:`~repro.observability.probes` — the :class:`Telemetry` facade the
   instrumented subsystems accept, kernel hooks and sampler attachments,
-* :mod:`~repro.observability.export` — Chrome ``trace_event`` JSON, JSONL
-  round-trip and top-N time-sink summaries.
+* :mod:`~repro.observability.profiler` — wall-clock phase attribution
+  (:class:`PhaseProfiler`), a sampling stack profiler
+  (:class:`StackSampler`), collapsed-stack/flamegraph and wall-clock
+  Chrome-trace exports, and the ``repro.profile/v1`` report,
+* :mod:`~repro.observability.summary` — picklable telemetry summaries
+  that merge deterministically across sweep worker processes,
+* :mod:`~repro.observability.progress` — the TTY-aware live sweep
+  progress line,
+* :mod:`~repro.observability.export` — Chrome ``trace_event`` JSON,
+  JSONL round-trip, top-N time-sink summaries and Prometheus
+  text-format exposition.
 
 Overhead contract: everything is **off by default**. A subsystem built
 without a :class:`Telemetry` object performs one ``is not None`` test per
@@ -26,9 +36,12 @@ from repro.observability.export import (
     histogram_rows,
     jsonl_lines,
     load_jsonl,
+    parse_prometheus,
+    prometheus_lines,
     top_time_sinks,
     write_chrome_trace,
     write_jsonl,
+    write_prometheus,
 )
 from repro.observability.metrics import (
     Counter,
@@ -40,9 +53,35 @@ from repro.observability.metrics import (
 )
 from repro.observability.probes import (
     KernelProbe,
+    ProfilingKernelProbe,
     Telemetry,
     attach_cluster_sampler,
     attach_kernel_sampler,
+)
+from repro.observability.profiler import (
+    NULL_PROFILER,
+    PHASE_CONGESTION,
+    PHASE_DISPATCH,
+    PHASE_ROUTING,
+    PHASE_RUN,
+    PHASE_TELEMETRY,
+    PhaseProfiler,
+    StackSampler,
+    callback_label,
+    collapsed_stack_lines,
+    parse_collapsed,
+    profile_report,
+    profiler_chrome_trace,
+    write_collapsed,
+    write_profiler_chrome_trace,
+)
+from repro.observability.progress import SweepProgressReporter
+from repro.observability.summary import (
+    merge_summaries,
+    parse_label_string,
+    registry_from_summary,
+    summarize_telemetry,
+    summary_totals,
 )
 from repro.observability.tracer import (
     NULL_TRACER,
@@ -60,20 +99,45 @@ __all__ = [
     "InstantRecord",
     "KernelProbe",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "PHASE_CONGESTION",
+    "PHASE_DISPATCH",
+    "PHASE_ROUTING",
+    "PHASE_RUN",
+    "PHASE_TELEMETRY",
     "PeriodicSampler",
+    "PhaseProfiler",
+    "ProfilingKernelProbe",
     "SpanRecord",
+    "StackSampler",
+    "SweepProgressReporter",
     "Telemetry",
     "Tracer",
     "attach_cluster_sampler",
     "attach_kernel_sampler",
+    "callback_label",
     "chrome_trace",
+    "collapsed_stack_lines",
     "counter_rows",
     "exponential_buckets",
     "histogram_rows",
     "jsonl_lines",
     "load_jsonl",
+    "merge_summaries",
+    "parse_collapsed",
+    "parse_label_string",
+    "parse_prometheus",
+    "profile_report",
+    "profiler_chrome_trace",
+    "prometheus_lines",
+    "registry_from_summary",
+    "summarize_telemetry",
+    "summary_totals",
     "top_time_sinks",
     "write_chrome_trace",
+    "write_collapsed",
     "write_jsonl",
+    "write_profiler_chrome_trace",
+    "write_prometheus",
 ]

@@ -16,10 +16,18 @@ instrumented layers (cluster queues, fabric links, federation WAN).
 
 from __future__ import annotations
 
+import time
+from bisect import bisect_left
 from typing import Callable, Optional
 
 from repro.core.events import Event, Simulation, SimulationHooks
 from repro.observability.metrics import MetricsRegistry, PeriodicSampler
+from repro.observability.profiler import (
+    PHASE_DISPATCH,
+    PHASE_TELEMETRY,
+    PhaseProfiler,
+    callback_label,
+)
 from repro.observability.tracer import Tracer
 
 #: Span categories used by the built-in instrumentation.
@@ -42,6 +50,13 @@ class Telemetry:
         :class:`KernelProbe` is attached to the kernel's hooks.
     tracer / metrics:
         Pre-built components to share; fresh ones are created by default.
+    profiler:
+        An optional :class:`~repro.observability.profiler.PhaseProfiler`.
+        When given, the kernel probe also brackets every event callback
+        with ``time.perf_counter`` and charges the wall latency to the
+        profiler's dispatch phase, keyed by the callback's qualified
+        name; periodic samplers started through :meth:`sample_every`
+        charge their own cost to the ``telemetry`` phase.
     """
 
     def __init__(
@@ -49,6 +64,7 @@ class Telemetry:
         simulation: Optional[Simulation] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        profiler: Optional[PhaseProfiler] = None,
     ) -> None:
         clock = (lambda: simulation.now) if simulation is not None else None
         # `or` would discard an empty tracer/registry (both define __len__).
@@ -56,10 +72,16 @@ class Telemetry:
         if tracer is not None and tracer.clock is None and clock is not None:
             tracer.clock = clock
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = profiler
         self.simulation = simulation
         self._samplers: list[PeriodicSampler] = []
         if simulation is not None:
-            simulation.set_hooks(KernelProbe(self))
+            simulation.set_hooks(self._make_probe())
+
+    def _make_probe(self) -> "KernelProbe":
+        if self.profiler is not None and self.profiler.enabled:
+            return ProfilingKernelProbe(self)
+        return KernelProbe(self)
 
     def bind_simulation(self, simulation: Simulation) -> None:
         """Late-bind a simulation: sets the tracer clock and kernel hooks.
@@ -72,7 +94,7 @@ class Telemetry:
         self.simulation = simulation
         if self.tracer.clock is None:
             self.tracer.clock = lambda: simulation.now
-        simulation.set_hooks(KernelProbe(self))
+        simulation.set_hooks(self._make_probe())
 
     # --- convenience pass-throughs ---------------------------------------------
 
@@ -96,7 +118,25 @@ class Telemetry:
         keepalive: bool = False,
         delay: Optional[float] = None,
     ) -> PeriodicSampler:
-        """Start (and track) a :class:`PeriodicSampler` on ``simulation``."""
+        """Start (and track) a :class:`PeriodicSampler` on ``simulation``.
+
+        When a profiler is attached, the sampler's own wall cost is
+        charged to the ``telemetry`` phase so self-observation shows up
+        in the profile instead of polluting the dispatch numbers.
+        """
+        profiler = self.profiler
+        if profiler is not None and profiler.enabled:
+            inner = fn
+
+            def fn(now: float, _inner=inner, _profiler=profiler) -> None:
+                start = time.perf_counter()
+                try:
+                    _inner(now)
+                finally:
+                    _profiler.add(
+                        PHASE_TELEMETRY, time.perf_counter() - start
+                    )
+
         sampler = PeriodicSampler(simulation, period, fn, keepalive=keepalive)
         sampler.start(delay=delay)
         self._samplers.append(sampler)
@@ -132,6 +172,65 @@ class KernelProbe(SimulationHooks):
 
     def on_cancel(self, simulation: Simulation, event: Event) -> None:
         self._cancelled.inc()
+
+
+class ProfilingKernelProbe(KernelProbe):
+    """A :class:`KernelProbe` that also times every event callback.
+
+    :meth:`on_fire_start` captures ``time.perf_counter`` just before the
+    kernel runs the callback; :meth:`on_fire` measures the elapsed wall
+    time *first* (so label computation never inflates the interval), then
+    charges it to the profiler's dispatch phase under the callback's
+    qualified name and falls through to the counting probe.
+
+    Accumulator slots are cached by the callback's code object — the
+    thousand distinct lambdas a run schedules share one code object per
+    source lambda, so :func:`~repro.observability.profiler.callback_label`
+    and the profiler's dict lookups (the expensive parts of the probe) run
+    once per call *site*; the per-event path is two ``perf_counter`` calls,
+    two list updates and a bisect.  ``bench_kernel.py`` gates the result.
+    """
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        super().__init__(telemetry)
+        if telemetry.profiler is None:
+            raise ValueError("ProfilingKernelProbe requires telemetry.profiler")
+        self._profiler = telemetry.profiler
+        self._start = 0.0
+        self._clock = time.perf_counter
+        self._bounds = self._profiler.latency_buckets
+        self._slots: dict = {}
+        self._generation = self._profiler.generation
+
+    def on_fire_start(self, simulation: Simulation, event: Event) -> None:
+        self._start = self._clock()
+
+    def on_fire(self, simulation: Simulation, event: Event) -> None:
+        elapsed = self._clock() - self._start
+        profiler = self._profiler
+        if profiler.generation != self._generation:
+            # The profiler was cleared; drop the stale slot references.
+            self._slots.clear()
+            self._generation = profiler.generation
+        callback = event.callback
+        try:
+            key = callback.__code__
+        except AttributeError:
+            inner = getattr(callback, "func", None)  # functools.partial
+            key = (
+                getattr(inner, "__code__", None) if inner is not None else None
+            ) or type(callback)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = self._slots[key] = profiler.event_slot(
+                callback_label(callback)
+            )
+        slot[0] += elapsed
+        slot[1] += 1
+        slot[2 + bisect_left(self._bounds, elapsed)] += 1
+        if profiler.detail:
+            profiler._record(PHASE_DISPATCH, elapsed)
+        self._fired.inc()
 
 
 def attach_cluster_sampler(

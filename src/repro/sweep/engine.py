@@ -44,6 +44,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 from repro.core.errors import ConfigurationError
 from repro.core.rng import RandomSource
 from repro.observability import Telemetry, write_jsonl
+from repro.observability.summary import merge_summaries, summarize_telemetry
 from repro.sweep.grid import ParameterGrid, ScenarioPoint
 from repro.sweep.supervisor import (
     ChaosSpec,
@@ -86,13 +87,21 @@ class SweepSpec:
 
 @dataclass
 class PointResult:
-    """Outcome of one scenario point."""
+    """Outcome of one scenario point.
+
+    ``telemetry`` is the point's full telemetry summary
+    (:func:`repro.observability.summary.summarize_telemetry`) when the
+    sweep ran with ``collect_telemetry=True``; ``None`` otherwise.  It
+    never enters :meth:`SweepResult.fingerprint` — the summary's counter
+    totals duplicate ``counters``, which already does.
+    """
 
     index: int
     params: Dict[str, object]
     metrics: Dict[str, float]
     counters: Dict[str, float] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    telemetry: Optional[Dict[str, object]] = None
 
     def record(self) -> Dict[str, object]:
         """Flat ``params + metrics`` dict — one table row per point."""
@@ -119,6 +128,9 @@ class SweepResult:
     wall_seconds: float = 0.0
     failures: List[PointFailure] = field(default_factory=list)
     harness: Dict[str, float] = field(default_factory=dict)
+    #: Merged telemetry summary (point-index fold order — bit-identical
+    #: at any worker count) when the sweep collected telemetry.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -155,8 +167,14 @@ class SweepResult:
 
 
 def _run_point(args) -> PointResult:
-    """Worker body: run one scenario point (module-level for pickling)."""
-    target_name, sweep_name, seed, index, params, trace_dir = args
+    """Worker body: run one scenario point (module-level for pickling).
+
+    ``args`` is ``(target, sweep, seed, index, params, trace_dir)`` with
+    an optional trailing ``collect_telemetry`` flag — optional so callers
+    built against the six-element form keep working.
+    """
+    target_name, sweep_name, seed, index, params, trace_dir, *rest = args
+    collect_telemetry = bool(rest[0]) if rest else False
     target = resolve_target(target_name)
     rng = RandomSource(seed, name=f"sweep/{sweep_name}").spawn(index)
     telemetry = Telemetry()
@@ -185,6 +203,7 @@ def _run_point(args) -> PointResult:
         metrics={k: float(v) for k, v in metrics.items()},
         counters=counters,
         wall_seconds=wall,
+        telemetry=summarize_telemetry(telemetry) if collect_telemetry else None,
     )
 
 
@@ -214,16 +233,27 @@ def _assemble(
     failures: List[PointFailure],
     wall: float,
     harness: Optional[Dict[str, float]] = None,
+    collect_telemetry: bool = False,
 ) -> SweepResult:
+    points = [completed[index] for index in sorted(completed)]
+    # Merge strictly in point-index order: float addition is order
+    # dependent, and index order is the only order every worker count
+    # (and every resume) reproduces.
+    merged = (
+        merge_summaries(point.telemetry for point in points)
+        if collect_telemetry
+        else None
+    )
     return SweepResult(
         name=spec.name,
         target=spec.target,
         seed=spec.seed,
         workers=workers,
-        points=[completed[index] for index in sorted(completed)],
+        points=points,
         wall_seconds=wall,
         failures=sorted(failures, key=lambda failure: failure.index),
         harness=dict(harness or {}),
+        telemetry=merged,
     )
 
 
@@ -242,6 +272,7 @@ def _run_supervised(
     telemetry: Optional[Telemetry],
     start_method: Optional[str],
     started: float,
+    collect_telemetry: bool,
 ) -> SweepResult:
     from repro.sweep.journal import RunJournal, load_journal
 
@@ -273,6 +304,7 @@ def _run_supervised(
     supervisor = Supervisor(
         spec, config, trace_dir=trace_dir,
         metrics=telemetry.metrics if telemetry is not None else None,
+        collect_telemetry=collect_telemetry,
     )
     if completed:
         supervisor.bump("resumed", float(len(completed)))
@@ -303,6 +335,7 @@ def _run_supervised(
         interrupt.partial = _assemble(
             spec, workers, completed, failures,
             time.perf_counter() - started, supervisor.counters,
+            collect_telemetry=collect_telemetry,
         )
         raise
     finally:
@@ -311,6 +344,7 @@ def _run_supervised(
     return _assemble(
         spec, workers, completed, failures,
         time.perf_counter() - started, harness,
+        collect_telemetry=collect_telemetry,
     )
 
 
@@ -330,6 +364,7 @@ def run_sweep(
     telemetry: Optional[Telemetry] = None,
     supervised: Optional[bool] = None,
     start_method: Optional[str] = None,
+    collect_telemetry: bool = False,
 ) -> SweepResult:
     """Run every point of ``spec`` and return the assembled result.
 
@@ -368,6 +403,12 @@ def run_sweep(
     supervised:
         Force (``True``) or forbid (``False``) the supervised executor;
         default auto-enables it when any fault-tolerance option is set.
+    collect_telemetry:
+        When True each point also returns its full telemetry summary
+        (``PointResult.telemetry``), the summaries cross the worker
+        pipes, and the parent merges them in point-index order into
+        ``SweepResult.telemetry`` — bit-identical at any worker count,
+        and journalled so a resumed run reconstructs the same aggregate.
 
     The target is resolved once up front so an unknown name fails fast,
     then again by name inside each worker.
@@ -402,10 +443,12 @@ def run_sweep(
         return _run_supervised(
             spec, workers, trace_dir, progress, timeout, retries, backoff,
             chaos, journal, resume, strict, telemetry, start_method, started,
+            collect_telemetry,
         )
 
     jobs = [
-        (spec.target, spec.name, spec.seed, point.index, point.params, trace_dir)
+        (spec.target, spec.name, spec.seed, point.index, point.params,
+         trace_dir, collect_telemetry)
         for point in spec.points()
     ]
     completed: Dict[int, PointResult] = {}
@@ -418,6 +461,7 @@ def run_sweep(
             partial=_assemble(
                 spec, workers, completed, failures,
                 time.perf_counter() - started,
+                collect_telemetry=collect_telemetry,
             ),
         )
 
@@ -472,5 +516,6 @@ def run_sweep(
                 pool.terminate()
                 raise interrupted() from None
     return _assemble(
-        spec, workers, completed, failures, time.perf_counter() - started
+        spec, workers, completed, failures, time.perf_counter() - started,
+        collect_telemetry=collect_telemetry,
     )

@@ -85,7 +85,7 @@ class JournalState:
 
 
 def _point_record(result: PointResult, attempts: int) -> Dict[str, object]:
-    return {
+    record = {
         "kind": "point",
         "index": result.index,
         "params": result.params,
@@ -94,6 +94,11 @@ def _point_record(result: PointResult, attempts: int) -> Dict[str, object]:
         "wall_seconds": result.wall_seconds,
         "attempts": attempts,
     }
+    if result.telemetry is not None:
+        # Telemetry-collecting runs journal each point's summary so a
+        # resumed run merges the same aggregate as an uninterrupted one.
+        record["telemetry"] = result.telemetry
+    return record
 
 
 def load_journal(path: Union[str, pathlib.Path]) -> JournalState:
@@ -153,6 +158,7 @@ def load_journal(path: Union[str, pathlib.Path]) -> JournalState:
                     counters={k: float(v)
                               for k, v in record.get("counters", {}).items()},
                     wall_seconds=float(record.get("wall_seconds", 0.0)),
+                    telemetry=record.get("telemetry"),
                 )
             except (KeyError, TypeError, ValueError) as error:
                 raise ValueError(

@@ -55,6 +55,11 @@ def sweep_document(result: SweepResult) -> dict:
                 "metrics": point.metrics,
                 "counters": point.counters,
                 "wall_seconds": point.wall_seconds,
+                **(
+                    {"telemetry": point.telemetry}
+                    if point.telemetry is not None
+                    else {}
+                ),
             }
             for point in result.points
         ],
@@ -65,6 +70,8 @@ def sweep_document(result: SweepResult) -> dict:
         ]
     if result.harness:
         document["harness"] = dict(result.harness)
+    if result.telemetry is not None:
+        document["telemetry"] = result.telemetry
     return document
 
 
@@ -151,6 +158,7 @@ def load_sweep(path: Union[str, pathlib.Path]) -> SweepResult:
                     f"points[{position}].counters",
                 ),
                 wall_seconds=float(entry.get("wall_seconds", 0.0)),
+                telemetry=entry.get("telemetry"),
             )
         )
     failures = []
@@ -191,4 +199,5 @@ def load_sweep(path: Union[str, pathlib.Path]) -> SweepResult:
         harness={
             k: float(v) for k, v in document.get("harness", {}).items()
         },
+        telemetry=document.get("telemetry"),
     )

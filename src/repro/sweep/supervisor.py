@@ -219,7 +219,7 @@ def _supervised_worker(conn, common: Tuple) -> None:
     """
     from repro.sweep.engine import _run_point
 
-    target_name, sweep_name, seed, trace_dir, chaos = common
+    target_name, sweep_name, seed, trace_dir, chaos, collect_telemetry = common
     try:
         # Ready handshake: interpreter boot + imports are done (the bulk
         # of spawn-method startup).  The parent starts the first point's
@@ -253,7 +253,8 @@ def _supervised_worker(conn, common: Tuple) -> None:
                 time.sleep(chaos.hang_seconds)
         try:
             result = _run_point(
-                (target_name, sweep_name, seed, index, params, trace_dir)
+                (target_name, sweep_name, seed, index, params, trace_dir,
+                 collect_telemetry)
             )
             message = ("ok", index, attempt, result)
         except KeyboardInterrupt:
@@ -311,11 +312,13 @@ class Supervisor:
         config: SupervisorConfig,
         trace_dir: Optional[str] = None,
         metrics=None,
+        collect_telemetry: bool = False,
     ) -> None:
         self.spec = spec
         self.config = config
         self.trace_dir = trace_dir
         self.metrics = metrics
+        self.collect_telemetry = collect_telemetry
         self.counters: Dict[str, float] = {name: 0.0 for name in COUNTERS}
         if config.start_method is not None:
             self._context = multiprocessing.get_context(config.start_method)
@@ -324,7 +327,8 @@ class Supervisor:
 
             self._context = _pool_context()
         self._common = (
-            spec.target, spec.name, spec.seed, trace_dir, config.chaos
+            spec.target, spec.name, spec.seed, trace_dir, config.chaos,
+            collect_telemetry,
         )
         self._workers: List[_Worker] = []
         self._pending: List[_Task] = []

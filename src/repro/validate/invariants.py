@@ -102,6 +102,12 @@ class KernelInvariantHooks(SimulationHooks):
         if self.inner is not None:
             self.inner.on_schedule(simulation, event)
 
+    def on_fire_start(self, simulation: Simulation, event: Event) -> None:
+        # No invariant to check pre-callback, but the wrapped probe may be
+        # a wall-clock profiler that times the callback — keep delegating.
+        if self.inner is not None:
+            self.inner.on_fire_start(simulation, event)
+
     def on_fire(self, simulation: Simulation, event: Event) -> None:
         self.fired += 1
         now = simulation.now

@@ -10,9 +10,12 @@ from repro.observability.export import (
     histogram_rows,
     jsonl_lines,
     load_jsonl,
+    parse_prometheus,
+    prometheus_lines,
     top_time_sinks,
     write_chrome_trace,
     write_jsonl,
+    write_prometheus,
 )
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.tracer import Tracer
@@ -115,3 +118,106 @@ class TestMetricRows:
         rows = histogram_rows(registry)
         buckets = [(bucket, count) for _, _, bucket, count, _ in rows]
         assert buckets == [("<= 1", 1), ("<= 10", 0), ("+inf", 1)]
+
+
+class TestTopTimeSinksEdges:
+    def test_empty_tracer_yields_no_rows(self):
+        assert top_time_sinks(Tracer()) == []
+
+
+class TestLoadJsonlHardening:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(text)
+        return path
+
+    def test_malformed_json_names_path_and_line(self, tmp_path):
+        path = self._write(tmp_path, '{"kind": "span"\n')
+        with pytest.raises(ValueError, match="corrupt trace line 1") as info:
+            load_jsonl(path)
+        assert str(path) in str(info.value)
+
+    def test_non_object_record_raises(self, tmp_path):
+        path = self._write(tmp_path, "[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="line 1 is not an object"):
+            load_jsonl(path)
+
+    def test_unknown_kind_names_the_kind(self, tmp_path):
+        path = self._write(tmp_path, '{"kind": "mystery"}\n')
+        with pytest.raises(ValueError, match="unknown record kind 'mystery'"):
+            load_jsonl(path)
+
+    def test_missing_field_names_the_field(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            '{"kind": "span", "name": "x", "category": "c", "start": 0.0}\n',
+        )
+        with pytest.raises(
+            ValueError, match="missing\\s+required field 'end'"
+        ) as info:
+            load_jsonl(path)
+        assert str(path) in str(info.value)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            '\n{"kind": "instant", "name": "x", "category": "c",'
+            ' "time": 1.0}\n\n',
+        )
+        assert len(load_jsonl(path).instants) == 1
+
+
+class TestPrometheus:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("sweep.points", "completed points").inc(
+            3.0, status="ok"
+        )
+        registry.counter("sweep.points").inc(1.0, status="fail")
+        registry.gauge("queue.depth").set(7.0)
+        registry.histogram("fct.seconds", buckets=[0.1, 1.0]).observe(0.05)
+        registry.histogram("fct.seconds", buckets=[0.1, 1.0]).observe(5.0)
+        return registry
+
+    def test_lines_round_trip_through_the_parser(self):
+        lines = prometheus_lines(self._registry())
+        parsed = parse_prometheus("\n".join(lines) + "\n")
+        assert parsed[("sweep_points", 'status="ok"')] == 3.0
+        assert parsed[("sweep_points", 'status="fail"')] == 1.0
+        assert parsed[("queue_depth", "")] == 7.0
+        assert parsed[("fct_seconds_bucket", 'le="0.1"')] == 1.0
+        assert parsed[("fct_seconds_bucket", 'le="+Inf"')] == 2.0
+        assert parsed[("fct_seconds_count", "")] == 2.0
+        assert parsed[("fct_seconds_sum", "")] == pytest.approx(5.05)
+
+    def test_help_and_type_comments_are_emitted(self):
+        lines = prometheus_lines(self._registry())
+        assert "# HELP sweep_points completed points" in lines
+        assert "# TYPE sweep_points counter" in lines
+        assert "# TYPE fct_seconds histogram" in lines
+
+    def test_names_and_label_values_are_sanitised(self):
+        registry = MetricsRegistry()
+        registry.counter("9bad.name").inc(1.0, site='a"b\\c')
+        lines = prometheus_lines(registry)
+        sample = [l for l in lines if not l.startswith("#")][0]
+        assert sample.startswith("_9bad_name{")
+        assert '\\"' in sample and "\\\\" in sample
+        parsed = parse_prometheus(sample)
+        assert list(parsed.values()) == [1.0]
+
+    def test_write_prometheus_round_trips(self, tmp_path):
+        path = write_prometheus(self._registry(), tmp_path / "metrics.prom")
+        parsed = parse_prometheus(path.read_text())
+        assert parsed[("queue_depth", "")] == 7.0
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="unterminated label set"):
+            parse_prometheus('name{le="0.1" 1.0\n')
+        with pytest.raises(ValueError, match="not `name value`"):
+            parse_prometheus("loneword\n")
+        with pytest.raises(ValueError, match="non-numeric value"):
+            parse_prometheus("name nope\n")
+
+    def test_parse_skips_comments_and_blanks(self):
+        assert parse_prometheus("# HELP x y\n\nx 1.0\n") == {("x", ""): 1.0}

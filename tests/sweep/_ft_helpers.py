@@ -98,3 +98,29 @@ def slow_spec(n=8, seed=101, sleep_s=0.05):
         grid={"x": list(range(n)), "sleep_s": [sleep_s]},
         seed=seed,
     )
+
+
+@register_target("ft-telemetry")
+def ft_telemetry(params, telemetry, rng):
+    """Deterministic labelled counter + histogram traffic per point.
+
+    Exercises the cross-process telemetry merge: every point contributes
+    to a shared counter, a labelled series and a histogram, so the merged
+    aggregate is sensitive to lost, duplicated or re-ordered summaries.
+    """
+    time.sleep(float(params.get("sleep_s", 0.0)))
+    x = float(params["x"])
+    telemetry.metrics.counter("ft.runs").inc()
+    telemetry.metrics.counter("ft.value").inc(x + 0.25, parity=int(x) % 2)
+    telemetry.metrics.histogram("ft.size", buckets=[1.0, 4.0, 16.0]).observe(x)
+    telemetry.metrics.gauge("ft.last_x").set(x)
+    return {"value": 2.0 * x + rng.uniform()}
+
+
+def telemetry_spec(n=8, seed=11, sleep_s=0.0):
+    return SweepSpec(
+        name="ft-telemetry",
+        target="ft-telemetry",
+        grid={"x": list(range(n)), "sleep_s": [sleep_s]},
+        seed=seed,
+    )
