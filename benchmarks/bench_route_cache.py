@@ -1,10 +1,16 @@
-"""Route-cache micro-benchmark: repeated fabric runs, cached vs uncached.
+"""Fabric micro-benchmarks: route cache and rate-solver speedups.
 
-Reproduces the congestion-study usage pattern — one topology, the same
-mice-heavy trace run under every congestion policy, repeated — and times
-it with the shared :class:`~repro.interconnect.routecache.RouteCache`
-enabled versus disabled.  Writes the measurement as ``BENCH_fabric.json``
-so CI can track the speedup over time.
+Two measurements, both written to ``BENCH_fabric.json`` so CI can track
+them over time:
+
+* **Route cache** — the congestion-study usage pattern (one topology, the
+  same mice-heavy trace run under every congestion policy, repeated) with
+  the shared :class:`~repro.interconnect.routecache.RouteCache` enabled
+  versus disabled.
+* **Rate solver** — the synchronized-burst point (:mod:`fabric_burst`):
+  hundreds of concurrent flows where the vectorised incremental
+  ``"numpy"`` solver is measured against the ``"reference"``
+  water-filling baseline; results must be bit-identical.
 
 Run from the repo root::
 
@@ -18,6 +24,8 @@ import json
 import os
 import pathlib
 import time
+
+import fabric_burst
 
 from repro.core.rng import RandomSource
 from repro.interconnect.congestion import congestion_policy
@@ -95,6 +103,12 @@ def main() -> int:
     stats = route_cache_for(topology).stats()
     speedup = uncached / cached if cached else float("inf")
 
+    burst = fabric_burst.measure_burst(
+        fabric_burst.BURST_FLOWS_QUICK if args.quick
+        else fabric_burst.BURST_FLOWS,
+        reps=2,
+    )
+
     document = {
         "schema": "repro.bench/v1",
         "benchmark": "route_cache",
@@ -109,6 +123,7 @@ def main() -> int:
         "cached_seconds": cached,
         "speedup": speedup,
         "cache_stats": stats,
+        "fabric_burst": burst,
         "cpu_count": os.cpu_count(),
     }
     path = pathlib.Path(args.output)
@@ -116,7 +131,13 @@ def main() -> int:
     print(f"uncached {uncached:.3f}s  cached {cached:.3f}s  "
           f"speedup {speedup:.2f}x  (hits {stats['hits']}, "
           f"misses {stats['misses']})")
+    print(f"burst ({burst['flows']} flows): solver speedup "
+          f"{burst['speedup']:.2f}x, identical={burst['identical']}")
     print(f"wrote {path}")
+    if not burst["identical"]:
+        print("ERROR: numpy and reference solvers disagree on the burst "
+              "FlowStats")
+        return 1
     return 0
 
 

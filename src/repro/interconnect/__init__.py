@@ -31,6 +31,15 @@ from repro.interconnect.congestion import (
     congestion_policy,
 )
 from repro.interconnect.fabric import FabricSimulator, Flow, FlowStats, LinkEvent
+from repro.interconnect.ratesolver import (
+    NumpySolver,
+    RateSolver,
+    ReferenceSolver,
+    default_solver_name,
+    get_solver,
+    register_solver,
+    set_default_solver,
+)
 from repro.interconnect.failures import (
     ConnectivityCurve,
     DegradedFabric,
@@ -106,7 +115,10 @@ __all__ = [
     "MemoryPool",
     "MemoryTier",
     "NoCongestionControl",
+    "NumpySolver",
     "PhotonicsCostModel",
+    "RateSolver",
+    "ReferenceSolver",
     "RouteCache",
     "SlicedFabric",
     "SwitchGeneration",
@@ -122,12 +134,16 @@ __all__ = [
     "build_topology",
     "build_torus",
     "build_two_tier",
+    "default_solver_name",
     "electrical_reach",
     "encryption_overhead",
+    "get_solver",
     "invalidate_route_cache",
     "minimal_route",
     "normalize_topology_kind",
+    "register_solver",
     "route_cache_for",
+    "set_default_solver",
     "training_step_communication",
     "valiant_route",
 ]

@@ -31,6 +31,12 @@ import networkx as nx
 from repro.core.errors import ConfigurationError, SimulationError
 from repro.core.rng import RandomSource
 from repro.interconnect.congestion import CongestionManager, NoCongestionControl
+from repro.interconnect.ratesolver import (
+    CONGESTION_BACKLOG_THRESHOLD,
+    MIN_CONTENDERS_FOR_CONGESTION,
+    RateSolver,
+    resolve_solver,
+)
 from repro.interconnect.routecache import (
     RouteCache,
     invalidate_route_cache,
@@ -57,16 +63,9 @@ FCT_BUCKETS = exponential_buckets(1e-6, 10.0, 9)
 
 _flow_ids = itertools.count()
 
-#: Minimum number of flows contending for a link before it can count as
-#: congested. In max-min fairness *every* flow is bottlenecked somewhere, so
-#: full utilisation alone does not indicate congestion.
-MIN_CONTENDERS_FOR_CONGESTION = 3
-
-#: Minimum sustained backlog (seconds of traffic at line rate queued behind a
-#: link) before the link counts as congested. Short mice sharing a link drain
-#: in microseconds and never build a standing queue; incast of elephants
-#: sustains the backlog for milliseconds.
-CONGESTION_BACKLOG_THRESHOLD = 1e-3
+# MIN_CONTENDERS_FOR_CONGESTION and CONGESTION_BACKLOG_THRESHOLD moved to
+# :mod:`repro.interconnect.ratesolver` with the water-filling algorithm; the
+# imports above re-export them here for backwards compatibility.
 
 
 @dataclass
@@ -181,6 +180,16 @@ class FabricSimulator:
         for minimal routes, link decompositions, propagation delays and the
         link-capacity map. Caching is behaviour-preserving (results are
         bit-identical); disable it only to measure its effect.
+    solver:
+        The max-min rate solver: a registry name (``"reference"``,
+        ``"numpy"``), a :class:`~repro.interconnect.ratesolver.RateSolver`
+        instance, or ``None`` for the process default (see
+        :func:`~repro.interconnect.ratesolver.set_default_solver`).  All
+        registered solvers are bit-identical; ``"numpy"`` is the fast
+        vectorised-incremental implementation (see ``docs/performance.md``).
+        Overriding ``_max_min_rates``/``_adjusted_rates_impl`` in a
+        subclass still works but is deprecated in favour of registering a
+        solver.
     """
 
     def __init__(
@@ -193,6 +202,7 @@ class FabricSimulator:
         rng: object = _UNSET,
         telemetry: object = _UNSET,
         cache_routes: bool = True,
+        solver: object = None,
     ) -> None:
         config = {
             "congestion": congestion,
@@ -253,6 +263,28 @@ class FabricSimulator:
             self._capacities = self._route_cache.link_capacities()
         else:
             self._capacities = self._link_capacities()
+        self.solver: RateSolver = resolve_solver(solver)
+        self.solver.bind(self._capacities)
+        self._pending_link_bytes: Dict[Tuple[str, str], float] = {}
+        # Legacy private-method override path: subclasses that replaced the
+        # water-filling loop (or the adjustment around it) keep working —
+        # the internal epoch path routes through their override — but the
+        # hook is deprecated in favour of registering a RateSolver.
+        self._legacy_maxmin = (
+            type(self)._max_min_rates is not FabricSimulator._max_min_rates
+        )
+        self._legacy_adjusted = (
+            type(self)._adjusted_rates_impl
+            is not FabricSimulator._adjusted_rates_impl
+        )
+        if self._legacy_maxmin or self._legacy_adjusted:
+            warnings.warn(
+                "overriding FabricSimulator._max_min_rates/_adjusted_rates_impl "
+                "is deprecated; register a RateSolver instead (see "
+                "repro.interconnect.ratesolver.register_solver)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
 
     # --- static helpers -------------------------------------------------------
 
@@ -280,7 +312,10 @@ class FabricSimulator:
             if self._route_cache is not None:
                 return self._route_cache.minimal_route(flow.source, flow.destination)
             return minimal_route(self.topology, flow.source, flow.destination)
-        return valiant_route(self.topology, flow.source, flow.destination, rng=self.rng)
+        return valiant_route(
+            self.topology, flow.source, flow.destination, rng=self.rng,
+            cache=self._route_cache,
+        )
 
     @staticmethod
     def _links_of(path: Path) -> List[Tuple[str, str]]:
@@ -307,64 +342,29 @@ class FabricSimulator:
         flow_links: Dict[int, List[Tuple[str, str]]],
         remaining_bytes: Optional[Dict[int, float]] = None,
     ) -> Tuple[Dict[int, float], Set[Tuple[str, str]]]:
-        """Water-filling max-min fair allocation.
+        """Deprecated: delegate to :attr:`solver` (``self.solver.solve``).
 
-        ``flow_links`` maps each flow to its directed-link decomposition
-        (computed once per flow at admission, not per rate round).
-
-        Returns per-flow rates and the set of *congested* bottleneck links:
-        links with at least :data:`MIN_CONTENDERS_FOR_CONGESTION` contending
-        flows whose aggregate backlog (``remaining_bytes``) would take at
-        least :data:`CONGESTION_BACKLOG_THRESHOLD` seconds to drain at line
-        rate. Without ``remaining_bytes`` the backlog test is skipped.
+        The water-filling loop lives in
+        :class:`~repro.interconnect.ratesolver.ReferenceSolver` now; this
+        thin shim keeps external callers and ``super()`` chains working.
         """
-        remaining_capacity = dict(self._capacities)
-        unfixed: Dict[int, List[Tuple[str, str]]] = dict(flow_links)
-        rates: Dict[int, float] = {}
-        saturated: Set[Tuple[str, str]] = set()
+        warnings.warn(
+            "FabricSimulator._max_min_rates is deprecated; call "
+            "simulator.solver.solve(...) (repro.interconnect.ratesolver)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.solver.solve(flow_links, remaining_bytes)
 
-        while unfixed:
-            # Count unfixed flows per link.
-            link_users: Dict[Tuple[str, str], int] = {}
-            for links in unfixed.values():
-                for link in links:
-                    link_users[link] = link_users.get(link, 0) + 1
-            # Bottleneck link: minimal fair share.
-            bottleneck = None
-            bottleneck_share = float("inf")
-            for link, users in link_users.items():
-                share = remaining_capacity[link] / users
-                if share < bottleneck_share:
-                    bottleneck_share = share
-                    bottleneck = link
-            if bottleneck is None:  # flows with zero-length paths only
-                for flow_id in unfixed:
-                    rates[flow_id] = float("inf")
-                break
-            if link_users[bottleneck] >= MIN_CONTENDERS_FOR_CONGESTION:
-                if remaining_bytes is None:
-                    saturated.add(bottleneck)
-                else:
-                    backlog = sum(
-                        remaining_bytes.get(flow_id, 0.0)
-                        for flow_id, links in unfixed.items()
-                        if bottleneck in links
-                    )
-                    drain_time = backlog / self._capacities[bottleneck]
-                    if drain_time >= CONGESTION_BACKLOG_THRESHOLD:
-                        saturated.add(bottleneck)
-            # Fix every flow crossing the bottleneck at the fair share.
-            fixed_now = [
-                flow_id for flow_id, links in unfixed.items() if bottleneck in links
-            ]
-            for flow_id in fixed_now:
-                rates[flow_id] = bottleneck_share
-                for link in unfixed[flow_id]:
-                    remaining_capacity[link] = max(
-                        0.0, remaining_capacity[link] - bottleneck_share
-                    )
-                del unfixed[flow_id]
-        return rates, saturated
+    def _solve_rates(
+        self,
+        flow_links: Dict[int, List[Tuple[str, str]]],
+        remaining_bytes: Optional[Dict[int, float]] = None,
+    ) -> Tuple[Dict[int, float], Set[Tuple[str, str]]]:
+        """Internal epoch dispatch: the bound solver, or a legacy override."""
+        if self._legacy_maxmin:
+            return self._max_min_rates(flow_links, remaining_bytes)
+        return self.solver.solve(flow_links, remaining_bytes)
 
     def _hot_switches(self, saturated: Set[Tuple[str, str]]) -> Set[str]:
         """Switches adjacent to a saturated link (where buffers fill)."""
@@ -382,15 +382,35 @@ class FabricSimulator:
         flow_links: Dict[int, List[Tuple[str, str]]],
         remaining_bytes: Optional[Dict[int, float]] = None,
     ) -> Tuple[Dict[int, float], Dict[int, int], Set[Tuple[str, str]]]:
+        inner = (
+            self._adjusted_rates_impl
+            if self._legacy_adjusted
+            else self._policy_adjusted_rates
+        )
         if self._profiler is None:
-            return self._adjusted_rates_impl(paths, flow_links, remaining_bytes)
+            return inner(paths, flow_links, remaining_bytes)
         start = time.perf_counter()
         try:
-            return self._adjusted_rates_impl(paths, flow_links, remaining_bytes)
+            return inner(paths, flow_links, remaining_bytes)
         finally:
             self._profiler.add(PHASE_CONGESTION, time.perf_counter() - start)
 
     def _adjusted_rates_impl(
+        self,
+        paths: Dict[int, Path],
+        flow_links: Dict[int, List[Tuple[str, str]]],
+        remaining_bytes: Optional[Dict[int, float]] = None,
+    ) -> Tuple[Dict[int, float], Dict[int, int], Set[Tuple[str, str]]]:
+        """Deprecated alias for the policy-adjustment step (see below)."""
+        warnings.warn(
+            "FabricSimulator._adjusted_rates_impl is deprecated; override "
+            "via a registered RateSolver, or use _policy_adjusted_rates",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._policy_adjusted_rates(paths, flow_links, remaining_bytes)
+
+    def _policy_adjusted_rates(
         self,
         paths: Dict[int, Path],
         flow_links: Dict[int, List[Tuple[str, str]]],
@@ -402,17 +422,23 @@ class FabricSimulator:
         (used for extra queueing accounting), and the congested link set
         (used by telemetry to mark congestion onsets).
         """
-        rates, saturated = self._max_min_rates(flow_links, remaining_bytes)
+        rates, saturated = self._solve_rates(flow_links, remaining_bytes)
         hot_switches = self._hot_switches(saturated)
         hot_exposure: Dict[int, int] = {}
+        if not saturated and not hot_switches:
+            # Nothing saturated: no aggressor clamps, no victim exposure.
+            return rates, hot_exposure, saturated
+        contains_hot = hot_switches.__contains__
         for flow_id, path in paths.items():
-            crosses_saturated = saturated and any(
-                link in saturated for link in flow_links[flow_id]
+            crosses_saturated = saturated and not saturated.isdisjoint(
+                flow_links[flow_id]
             )
             if crosses_saturated:
                 rates[flow_id] *= self.congestion.aggressor_rate_factor()
-            else:
-                exposure = sum(1 for node in path if node in hot_switches)
+            elif hot_switches:
+                # sum-of-bools keeps per-node multiplicity, unlike a set
+                # intersection (Valiant detours may revisit a switch).
+                exposure = sum(map(contains_hot, path))
                 if exposure:
                     rates[flow_id] *= self.congestion.victim_rate_factor(exposure)
                     hot_exposure[flow_id] = exposure
@@ -437,6 +463,7 @@ class FabricSimulator:
         """
         if not flows:
             return []
+        self._pending_link_bytes = {}
         pending = sorted(flows, key=lambda f: f.start_time)
         arrivals = list(pending)
         now = arrivals[0].start_time
@@ -574,7 +601,12 @@ class FabricSimulator:
                 paths, flow_links, remaining
             )
             if self.reroute_adaptively:
-                rerouted = self._reroute_hot_flows(paths, flow_links, remaining)
+                # Reuse the epoch's saturated set: the solve above ran on
+                # exactly these flow_links/remaining, so re-solving inside
+                # the reroute would reproduce it bit-for-bit at double cost.
+                rerouted = self._reroute_hot_flows(
+                    paths, flow_links, remaining, saturated=saturated
+                )
                 if rerouted:
                     rates, hot_exposure, saturated = self._adjusted_rates(
                         paths, flow_links, remaining
@@ -609,6 +641,7 @@ class FabricSimulator:
             )
             step = min(next_completion, next_arrival, next_link_event)
             if step == float("inf"):
+                self._flush_link_bytes()
                 raise SimulationError("fabric deadlock: no progress possible")
             step = max(step, 0.0)
 
@@ -644,7 +677,9 @@ class FabricSimulator:
                     self._record_flow(stats)
                 del remaining[flow_id]
         else:
+            self._flush_link_bytes()
             raise SimulationError("fabric simulation exceeded max_iterations")
+        self._flush_link_bytes()
 
         if down_links:
             # The workload drained before every link came back; undo the
@@ -663,6 +698,9 @@ class FabricSimulator:
             self._capacities = self._route_cache.link_capacities()
         else:
             self._capacities = self._link_capacities()
+        # The solver's incremental state indexes the old link set — rebind
+        # invalidates it the same way the route cache was just invalidated.
+        self.solver.bind(self._capacities)
 
     # --- telemetry --------------------------------------------------------------
 
@@ -710,11 +748,28 @@ class FabricSimulator:
             self._profiler.add(PHASE_TELEMETRY, time.perf_counter() - start)
 
     def _account_link_bytes_impl(self, path: Path, moved: float) -> None:
+        # Accumulate per directed link in a plain dict and flush once per
+        # run: per-label totals are added in the same chronological order,
+        # and a counter starting at 0.0 satisfies 0.0 + x == x, so the
+        # flushed values are bit-identical to per-epoch increments — while
+        # skipping the per-increment label formatting on the hot path.
+        pending = self._pending_link_bytes
+        for pair in zip(path, path[1:]):
+            pending[pair] = pending.get(pair, 0.0) + moved
+
+    def _flush_link_bytes(self) -> None:
+        """Publish the accumulated per-link byte totals to telemetry."""
+        if not self._pending_link_bytes or self.telemetry is None:
+            return
+        start = time.perf_counter() if self._profiler is not None else 0.0
         link_bytes = self.telemetry.counter(
             "fabric.link_bytes", "bytes carried per directed link"
         )
-        for u, v in zip(path, path[1:]):
-            link_bytes.inc(moved, link=f"{u}->{v}")
+        for (u, v), total in self._pending_link_bytes.items():
+            link_bytes.inc(total, link=f"{u}->{v}")
+        self._pending_link_bytes = {}
+        if self._profiler is not None:
+            self._profiler.add(PHASE_TELEMETRY, time.perf_counter() - start)
 
     def _record_congestion(
         self,
@@ -765,14 +820,25 @@ class FabricSimulator:
         paths: Dict[int, Path],
         flow_links: Dict[int, List[Tuple[str, str]]],
         remaining_bytes: Optional[Dict[int, float]],
+        saturated: Optional[Set[Tuple[str, str]]] = None,
     ) -> bool:
-        """Detour the slowest congested flows via Valiant paths (in place)."""
-        _, saturated = self._max_min_rates(flow_links, remaining_bytes)
+        """Detour the slowest congested flows via Valiant paths (in place).
+
+        ``saturated`` is the congested-link set from the epoch's rate solve;
+        when omitted it is recomputed (same inputs — identical result).
+        """
+        if saturated is None:
+            _, saturated = self._solve_rates(flow_links, remaining_bytes)
+        if not saturated:
+            return False
         rerouted = False
         for flow_id, path in list(paths.items()):
-            if any(link in saturated for link in flow_links[flow_id]):
+            if not saturated.isdisjoint(flow_links[flow_id]):
                 source, destination = path[0], path[-1]
-                detour = valiant_route(self.topology, source, destination, rng=self.rng)
+                detour = valiant_route(
+                    self.topology, source, destination, rng=self.rng,
+                    cache=self._route_cache,
+                )
                 if detour != path:
                     paths[flow_id] = detour
                     flow_links[flow_id] = self._links_of(detour)

@@ -41,19 +41,30 @@ def valiant_route(
     source: str,
     destination: str,
     rng: Optional[RandomSource] = None,
+    cache: Optional[object] = None,
 ) -> Path:
     """Valiant routing: minimal to a random intermediate switch, then minimal on.
 
     The intermediate is drawn uniformly over switches distinct from the
-    endpoints' attachment points.
+    endpoints' attachment points.  ``cache`` may be the topology's
+    :class:`~repro.interconnect.routecache.RouteCache`: the two legs are
+    then served from the memoised shortest paths — bit-identical results
+    (the cache stores exactly ``nx.shortest_path``), the intermediate draw
+    consumes the same single ``rng.choice``.
     """
     rng = rng or RandomSource(seed=0, name="valiant")
     candidates = [s for s in topology.switches if s not in (source, destination)]
     if not candidates:
+        if cache is not None:
+            return cache.minimal_route(source, destination)
         return minimal_route(topology, source, destination)
     intermediate = rng.choice(candidates)
-    first_leg = nx.shortest_path(topology.graph, source, intermediate)
-    second_leg = nx.shortest_path(topology.graph, intermediate, destination)
+    if cache is not None:
+        first_leg = cache.minimal_route(source, intermediate)
+        second_leg = cache.minimal_route(intermediate, destination)
+    else:
+        first_leg = nx.shortest_path(topology.graph, source, intermediate)
+        second_leg = nx.shortest_path(topology.graph, intermediate, destination)
     return first_leg + second_leg[1:]
 
 

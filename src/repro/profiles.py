@@ -271,8 +271,10 @@ def _profile_f3(
 
         return place
 
-    for job in sorted(trace, key=lambda j: j.arrival_time):
-        simulation.schedule_at(job.arrival_time, placer(job))
+    simulation.schedule_many(
+        (job.arrival_time, placer(job))
+        for job in sorted(trace, key=lambda j: j.arrival_time)
+    )
     simulation.run()
     records = local.records + remote.records
     return ProfileResult(
@@ -410,6 +412,7 @@ def _profile_c1(
     routers_per_group: int = 4,
     terminals: int = 4,
     congestion: str = "flow",
+    solver: object = None,
 ) -> ProfileResult:
     """C1: elephant incast vs latency-sensitive mice under flow-based CM."""
     topology = build_topology(
@@ -417,7 +420,8 @@ def _profile_c1(
         terminals=terminals,
     )
     fabric = FabricSimulator(
-        topology, congestion=congestion_policy(congestion), telemetry=telemetry
+        topology, congestion=congestion_policy(congestion),
+        telemetry=telemetry, solver=solver,
     )
     stats = fabric.run(_incast_flows(topology, aggressors=aggressors))
     victims = sorted(
@@ -444,6 +448,7 @@ def _profile_c2(
     flows: int = 120,
     flow_size: float = 4e6,
     seed: int = 17,
+    solver: object = None,
 ) -> ProfileResult:
     """C2: uniform random traffic over a low-diameter dragonfly."""
     topology = build_topology(
@@ -460,7 +465,7 @@ def _profile_c2(
                 start_time=index * 2e-4,
             )
         )
-    fabric = FabricSimulator(topology, telemetry=telemetry)
+    fabric = FabricSimulator(topology, telemetry=telemetry, solver=solver)
     stats = fabric.run(trace)
     fct = telemetry.metrics.get("fabric.fct_seconds")
     return ProfileResult(

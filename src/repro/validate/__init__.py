@@ -32,6 +32,7 @@ from repro.validate.differential import (
     check_collectives,
     check_resume,
     check_routes,
+    check_solvers,
     check_sweep,
     run_differential_checks,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "check_collectives",
     "check_resume",
     "check_routes",
+    "check_solvers",
     "check_sweep",
     "compare_fingerprints",
     "profile_fingerprint",

@@ -19,6 +19,12 @@ and an independent (slower, simpler) reference — and demands agreement:
   truncated to a prefix, with a deliberately torn trailing line) and
   resumed via ``run_sweep(..., resume=...)`` vs the uninterrupted run:
   fingerprints must be bit-identical.
+* :func:`check_solvers` — the vectorised incremental ``"numpy"`` rate
+  solver vs the ``"reference"`` water-filling loop on randomised
+  topologies and evolving flow sets (arrivals, completions, reroutes,
+  zero-length paths), plus one end-to-end fabric run per topology family:
+  rates and completion times agree within tolerance, saturated-link sets
+  agree *exactly*.
 
 All checks are deterministic (seeded sampling only) and fast enough for
 tier-1; :func:`run_differential_checks` bundles them for the CLI.
@@ -406,6 +412,141 @@ def check_resume(keep_points: int = 3) -> DifferentialResult:
     )
 
 
+# --- rate solvers ---------------------------------------------------------------
+
+
+def check_solvers(
+    trials: int = 5, epochs: int = 12, seed: int = 8192, rtol: float = 1e-9
+) -> DifferentialResult:
+    """Vectorised incremental rate solver vs the reference loop.
+
+    Each trial builds a random small topology, then drives both solvers
+    through ``epochs`` evolving flow-set epochs — arrivals, completions,
+    re-routes and the occasional zero-length path — exactly the epoch
+    stream the incremental incidence must survive.  Per epoch the
+    saturated-link sets must agree **exactly** and every rate within
+    ``rtol`` (``inf`` must match ``inf``).  One end-to-end
+    :class:`~repro.interconnect.fabric.FabricSimulator` run per trial then
+    compares completion times over identical traces.
+    """
+    from repro.core.errors import ConfigurationError
+    from repro.interconnect.congestion import congestion_policy
+    from repro.interconnect.fabric import FabricSimulator, Flow
+    from repro.interconnect.ratesolver import get_solver
+    from repro.interconnect.topology import build_topology
+
+    try:
+        get_solver("numpy")
+    except ConfigurationError:
+        return DifferentialResult(
+            "solvers", True, 0, "numpy unavailable; vectorised solver skipped"
+        )
+
+    specs = [
+        ("dragonfly", {"groups": 4, "routers_per_group": 3, "terminals": 2}),
+        ("two-tier", {"leaves": 4, "spines": 2, "terminals_per_leaf": 4}),
+        ("fat-tree", {"k": 4}),
+        ("hyperx", {"dims": (3, 3), "terminals": 2}),
+        ("torus", {"dims": (3, 3), "terminals": 1}),
+    ]
+    rng = RandomSource(seed=seed, name="validate/solvers")
+    comparisons = 0
+    failures: List[str] = []
+    for trial in range(trials):
+        kind, kwargs = specs[trial % len(specs)]
+        topology = build_topology(kind, **kwargs)
+        simulator = FabricSimulator(topology)
+        terminals = list(topology.terminals)
+        reference = get_solver("reference")
+        vectorised = get_solver("numpy")
+        reference.bind(simulator._capacities)
+        vectorised.bind(simulator._capacities)
+        flow_links: dict = {}
+        next_id = trial * 10_000
+        for epoch in range(epochs):
+            for _ in range(rng.integer(1, 6)):
+                if rng.uniform(0.0, 1.0) < 0.1:
+                    flow_links[next_id] = []  # zero-length path
+                else:
+                    source, destination = rng.sample(terminals, 2)
+                    path = simulator._route(
+                        Flow(source=source, destination=destination,
+                             size=1e6, flow_id=next_id)
+                    )
+                    flow_links[next_id] = simulator._links_of(path)
+                next_id += 1
+            if flow_links and rng.uniform(0.0, 1.0) < 0.5:
+                for flow_id in rng.sample(
+                    list(flow_links), min(2, len(flow_links))
+                ):
+                    del flow_links[flow_id]
+            if flow_links and rng.uniform(0.0, 1.0) < 0.3:
+                victim = rng.choice(list(flow_links))
+                flow_links[victim] = list(flow_links[victim])  # re-route
+            remaining = None
+            if rng.uniform(0.0, 1.0) < 0.6:
+                remaining = {
+                    flow_id: rng.uniform(0.0, 5e8) for flow_id in flow_links
+                }
+            epoch_links = dict(flow_links)
+            ref_rates, ref_saturated = reference.solve(epoch_links, remaining)
+            vec_rates, vec_saturated = vectorised.solve(epoch_links, remaining)
+            comparisons += 1
+            if ref_saturated != vec_saturated:
+                failures.append(
+                    f"{kind} epoch {epoch}: saturated sets differ "
+                    f"({sorted(ref_saturated ^ vec_saturated)[:2]}...)"
+                )
+                continue
+            if ref_rates.keys() != vec_rates.keys():
+                failures.append(f"{kind} epoch {epoch}: rate keys differ")
+                continue
+            for flow_id, expected in ref_rates.items():
+                if not math.isclose(
+                    vec_rates[flow_id], expected, rel_tol=rtol
+                ):
+                    failures.append(
+                        f"{kind} epoch {epoch} flow {flow_id}: "
+                        f"{vec_rates[flow_id]} != {expected}"
+                    )
+                    break
+        # End-to-end: one fabric run per trial under each solver.
+        trace_seed = rng.integer(0, 2**31 - 1)
+        results = []
+        for solver_name in ("reference", "numpy"):
+            trace_rng = RandomSource(seed=trace_seed, name="validate/trace")
+            trace = []
+            for index in range(24):
+                source, destination = trace_rng.sample(terminals, 2)
+                trace.append(Flow(
+                    source=source, destination=destination, size=1e6,
+                    start_time=index * 1e-5, flow_id=900_000 + index,
+                ))
+            fabric = FabricSimulator(
+                topology, congestion=congestion_policy("flow"),
+                solver=solver_name,
+            )
+            results.append(fabric.run(trace))
+        comparisons += len(results[0])
+        for ref_stat, vec_stat in zip(*results):
+            if ref_stat.flow_id != vec_stat.flow_id or not math.isclose(
+                ref_stat.completion_time, vec_stat.completion_time,
+                rel_tol=rtol,
+            ):
+                failures.append(
+                    f"{kind}: flow {ref_stat.flow_id} completion "
+                    f"{vec_stat.completion_time} != {ref_stat.completion_time}"
+                )
+                break
+    detail = (
+        f"{trials} topologies x {epochs} incremental epochs + fabric runs "
+        "agree (saturated sets exact)"
+        if not failures
+        else "; ".join(failures[:3])
+    )
+    return DifferentialResult("solvers", not failures, comparisons, detail)
+
+
 def run_differential_checks(
     sweep_workers: int = 2,
 ) -> List[DifferentialResult]:
@@ -416,4 +557,5 @@ def run_differential_checks(
         check_checkpointing(),
         check_sweep(workers=sweep_workers),
         check_resume(),
+        check_solvers(),
     ]

@@ -254,3 +254,162 @@ class TestHooks:
         sim.run()
         sim.cancel(event)
         assert len(cancels) == 1
+
+
+class TestEventFastPath:
+    """The __slots__ Event must keep dataclass(order=True) semantics."""
+
+    def test_slots_no_instance_dict(self):
+        from repro.core.events import Event
+
+        event = Event(time=1.0, sequence=0, callback=lambda: None)
+        assert not hasattr(event, "__dict__")
+        with pytest.raises(AttributeError):
+            event.extra = 1
+
+    def test_ordering_by_time_then_sequence(self):
+        from repro.core.events import Event
+
+        callback = lambda: None  # noqa: E731
+        early = Event(time=1.0, sequence=5, callback=callback)
+        late = Event(time=2.0, sequence=0, callback=callback)
+        tied = Event(time=1.0, sequence=6, callback=callback)
+        assert early < late and late > early
+        assert early < tied and early <= tied and tied >= early
+        assert early == Event(time=1.0, sequence=5, callback=lambda: None)
+        assert early != tied
+        assert early.__eq__(object()) is NotImplemented
+
+    def test_unhashable_like_ordered_dataclass(self):
+        from repro.core.events import Event
+
+        event = Event(time=1.0, sequence=0, callback=lambda: None)
+        with pytest.raises(TypeError):
+            hash(event)
+
+    def test_repr_round_trips_fields(self):
+        from repro.core.events import Event
+
+        event = Event(time=1.5, sequence=3, callback=None, daemon=True)
+        assert "time=1.5" in repr(event) and "daemon=True" in repr(event)
+
+
+class TestScheduleMany:
+    def test_fifo_matches_schedule_at(self):
+        entries = [(0.5, "b"), (0.25, "a"), (0.5, "c"), (0.0, "z")]
+
+        def run(batched):
+            sim = Simulation()
+            fired = []
+            pairs = [
+                (time, (lambda t=tag: fired.append(t)))
+                for time, tag in entries
+            ]
+            if batched:
+                sim.schedule_many(pairs)
+            else:
+                for time, callback in pairs:
+                    sim.schedule_at(time, callback)
+            sim.run()
+            return fired
+
+        assert run(batched=True) == run(batched=False) == ["z", "a", "b", "c"]
+
+    def test_large_batch_heapifies_in_order(self):
+        # Large enough relative to the queue to take the heapify branch.
+        sim = Simulation()
+        fired = []
+        count = 500
+        sim.schedule_many(
+            ((count - i) * 1e-3, (lambda i=i: fired.append(i)))
+            for i in range(count)
+        )
+        sim.run()
+        assert fired == list(range(count - 1, -1, -1))
+        assert sim.processed == count
+
+    def test_small_batch_onto_big_queue_pushes(self):
+        # A tiny batch over a deep queue takes the push branch; ordering and
+        # FIFO tie-breaks against pre-existing events must hold either way.
+        sim = Simulation()
+        fired = []
+        for i in range(256):
+            sim.schedule_at(1.0, lambda i=i: fired.append(("old", i)))
+        sim.schedule_many([(1.0, lambda: fired.append(("new", 0)))])
+        sim.run()
+        assert fired[-1] == ("new", 0)
+        assert fired[:3] == [("old", 0), ("old", 1), ("old", 2)]
+
+    def test_validation_is_all_or_nothing(self):
+        sim = Simulation()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0
+        with pytest.raises(SimulationError):
+            sim.schedule_many([(2.0, lambda: None), (0.5, lambda: None)])
+        assert sim.pending == 0  # nothing from the bad batch was queued
+
+    def test_empty_batch(self):
+        sim = Simulation()
+        assert sim.schedule_many([]) == []
+        assert sim.pending == 0
+
+    def test_daemon_batches_do_not_keep_the_run_alive(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule_many(
+            [(t, lambda t=t: fired.append(t)) for t in (1.0, 2.0)], daemon=True
+        )
+        sim.schedule_at(1.5, lambda: fired.append("work"))
+        assert sim.pending == 1
+        sim.run()
+        assert fired == [1.0, "work"]  # stops once only daemons remain
+
+    def test_hooks_observe_each_batched_event(self):
+        from repro.core.events import SimulationHooks
+
+        seen = []
+
+        class Recorder(SimulationHooks):
+            def on_schedule(self, simulation, event):
+                seen.append(event.time)
+
+        sim = Simulation()
+        sim.set_hooks(Recorder())
+        sim.schedule_many([(1.0, lambda: None), (2.0, lambda: None)])
+        assert seen == [1.0, 2.0]
+
+    def test_returned_events_are_cancellable(self):
+        sim = Simulation()
+        fired = []
+        events = sim.schedule_many(
+            [(1.0, lambda: fired.append(1)), (2.0, lambda: fired.append(2))]
+        )
+        sim.cancel(events[1])
+        sim.run()
+        assert fired == [1]
+
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=0, max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_batched_equals_sequential(self, times):
+        def run(batched):
+            sim = Simulation()
+            order = []
+            pairs = [
+                (time, (lambda k=k: order.append(k)))
+                for k, time in enumerate(times)
+            ]
+            if batched:
+                sim.schedule_many(pairs)
+            else:
+                for time, callback in pairs:
+                    sim.schedule_at(time, callback)
+            sim.run()
+            return order
+
+        assert run(batched=True) == run(batched=False)

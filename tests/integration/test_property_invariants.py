@@ -57,7 +57,7 @@ class TestFabricInvariants:
         links = {
             flow_id: simulator._links_of(path) for flow_id, path in paths.items()
         }
-        rates, _ = simulator._max_min_rates(links)
+        rates, _ = simulator.solver.solve(links)
         link_totals = {}
         for flow_id, path in paths.items():
             for link in simulator._links_of(path):

@@ -1,0 +1,87 @@
+"""Property tests: the numpy rate solver is bit-identical to the reference.
+
+The randomised differential in ``repro.validate`` drives whole fabrics;
+this suite attacks the solver layer directly with adversarial epoch
+streams — arbitrary capacities, zero-length paths, repeated links
+(multiplicity), partial ``remaining_bytes`` maps, and add/remove churn
+across epochs so the numpy solver's incremental incidence is exercised,
+not just its first solve.  Equality is ``==`` on the full result tuple:
+bit-identical rates and identical saturated sets, never approx.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.ratesolver import get_solver
+
+pytest.importorskip("numpy")
+
+#: A small directed-link population: a square of switches with a chord and
+#: two terminal attachments, enough for shared bottlenecks and detours.
+LINKS = (
+    ("s0", "s1"), ("s1", "s2"), ("s2", "s3"), ("s3", "s0"),
+    ("s0", "s2"), ("t0", "s0"), ("s3", "t1"),
+)
+
+
+@st.composite
+def epoch_streams(draw):
+    """A capacity map plus a stream of evolving flow-set epochs."""
+    capacities = {
+        link: draw(st.floats(min_value=1.0, max_value=100.0))
+        for link in LINKS
+    }
+    epochs = []
+    flow_links = {}
+    next_id = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        for flow_id in list(flow_links):  # completions
+            if draw(st.integers(min_value=0, max_value=3)) == 0:
+                del flow_links[flow_id]
+        for _ in range(draw(st.integers(min_value=0, max_value=4))):
+            length = draw(st.integers(min_value=0, max_value=4))
+            flow_links[next_id] = [
+                draw(st.sampled_from(LINKS)) for _ in range(length)
+            ]
+            next_id += 1
+        remaining = None
+        if draw(st.booleans()):
+            remaining = {
+                flow_id: draw(st.floats(min_value=0.0, max_value=1e7))
+                for flow_id in flow_links
+                if draw(st.booleans())
+            }
+        epochs.append((dict(flow_links), remaining))
+    return capacities, epochs
+
+
+@given(stream=epoch_streams())
+@settings(max_examples=60, deadline=None)
+def test_solvers_bit_identical_over_epoch_streams(stream):
+    capacities, epochs = stream
+    reference = get_solver("reference")
+    vectorised = get_solver("numpy")
+    reference.bind(dict(capacities))
+    vectorised.bind(dict(capacities))
+    for flow_links, remaining in epochs:
+        assert reference.solve(dict(flow_links), remaining) == vectorised.solve(
+            dict(flow_links), remaining
+        )
+
+
+@given(stream=epoch_streams())
+@settings(max_examples=20, deadline=None)
+def test_rebind_mid_stream_is_transparent(stream):
+    capacities, epochs = stream
+    reference = get_solver("reference")
+    vectorised = get_solver("numpy")
+    reference.bind(dict(capacities))
+    vectorised.bind(dict(capacities))
+    for flow_links, remaining in epochs:
+        # Rebinding (what the fabric does on topology mutations) drops the
+        # incidence; results must be unchanged, only slower.
+        vectorised.bind(dict(capacities))
+        assert reference.solve(dict(flow_links), remaining) == vectorised.solve(
+            dict(flow_links), remaining
+        )

@@ -5,6 +5,7 @@ from repro.validate import (
     check_collectives,
     check_resume,
     check_routes,
+    check_solvers,
     check_sweep,
     run_differential_checks,
 )
@@ -59,12 +60,24 @@ class TestResumeDifferential:
         assert check_resume(keep_points=1).passed
 
 
+class TestSolverDifferential:
+    def test_numpy_solver_matches_reference(self):
+        result = check_solvers()
+        assert result.passed, result.detail
+        assert result.comparisons > 0
+
+    def test_trial_count_is_configurable(self):
+        small = check_solvers(trials=1, epochs=4)
+        assert small.passed, small.detail
+        assert small.comparisons < check_solvers().comparisons
+
+
 class TestBundle:
-    def test_run_differential_checks_covers_all_five(self):
+    def test_run_differential_checks_covers_all_six(self):
         results = run_differential_checks()
         assert [r.name for r in results] == [
             "routes", "collectives", "checkpointing", "sweep-pool",
-            "sweep-resume",
+            "sweep-resume", "solvers",
         ]
         assert all(r.passed for r in results), [str(r) for r in results]
 
