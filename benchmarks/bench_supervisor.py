@@ -1,15 +1,20 @@
-"""Supervisor overhead benchmark: supervised vs bare-pool execution.
+"""Supervisor overhead benchmark: supervised, bare-pool and tcp fleet.
 
-Runs the same sweep through the bare ``multiprocessing`` pool and through
-the fault-tolerant supervisor (same worker count, no faults injected),
-checks the two runs are bit-identical, and writes ``BENCH_supervisor.json``
-with the relative overhead.  The supervision tax — pipes, per-point
-dispatch, journal-free bookkeeping — must stay **under 5%** on the
-congestion-style sweeps whose per-point cost it exists to protect; CI
-gates on ``overhead_pct``.
+Runs the same sweep through the bare ``multiprocessing`` pool, through
+the fault-tolerant supervisor (same worker count, no faults injected)
+and through the ``tcp`` backend sharding over loopback worker hosts,
+checks all runs are bit-identical, and writes ``BENCH_supervisor.json``
+with the relative overheads.  The supervision tax — pipes, per-point
+dispatch, journal-free bookkeeping — must stay **under 5%** over the
+bare pool, and the coordinator tax — socket frames, heartbeats,
+host-side scheduling — **under 5%** over the supervised pool, on the
+congestion-style sweeps whose per-point cost they exist to protect; CI
+gates on ``overhead_pct`` and ``tcp_overhead_pct``.
 
-Each mode runs ``--reps`` times and the best (minimum) wall time is kept,
-so a scheduler hiccup in either mode cannot fake an overhead regression.
+The modes are *interleaved*: each repetition runs bare, then supervised,
+then tcp, and the best (minimum) wall time per mode is kept — a slow
+system phase lands on every mode instead of biasing whichever one a
+block-sequential schedule happened to run through it.
 
 Run from the repo root::
 
@@ -20,23 +25,93 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import pathlib
 
-from repro.sweep import named_sweep, run_sweep
+from repro.sweep import FleetConfig, named_sweep, run_sweep
 
-#: CI gate: supervised wall time may exceed the bare pool's by this much.
+#: CI gate: supervised wall time may exceed the bare pool's by this
+#: much, and the tcp coordinator's the supervised pool's by the same.
 MAX_OVERHEAD_PCT = 5.0
 
+#: Loopback worker hosts the tcp mode shards over (when the local
+#: worker count divides across them; otherwise one host takes every
+#: slot so total slots always equal the local modes' worker count).
+TCP_HOSTS = 2
 
-def best_wall(spec, workers: int, reps: int, supervised: bool):
-    """Best-of-``reps`` (result, wall_seconds) for one execution mode."""
-    best = None
-    for _ in range(reps):
-        result = run_sweep(spec, workers=workers, supervised=supervised)
-        if best is None or result.wall_seconds < best.wall_seconds:
-            best = result
-    return best
+
+def _worker_main(port: int, name: str, slots: int) -> None:
+    """A long-lived loopback worker host: serve sweeps until killed.
+
+    Mirrors a production ``repro sweep-worker`` daemon — ``run_worker``
+    returns 0 after each orderly shutdown frame and the host dials the
+    (fixed) coordinator port again for the next repetition.
+    """
+    from repro.sweep.remote_worker import run_worker
+
+    while run_worker(
+        f"127.0.0.1:{port}", slots=slots, name=name, connect_timeout=60.0
+    ) == 0:
+        pass
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class _TcpFleet:
+    """Long-lived loopback worker hosts reused across repetitions.
+
+    Total fleet slots match the local modes' worker count so the
+    comparison isolates coordination overhead, not parallelism.  The
+    worker-host processes boot once and reconnect for each repetition:
+    hosts are long-lived daemons in production, so their boot cost is
+    deployment latency, not the per-sweep coordination tax this gate
+    protects.
+    """
+
+    def __init__(self, workers: int) -> None:
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        self.hosts = (
+            TCP_HOSTS
+            if workers >= TCP_HOSTS and workers % TCP_HOSTS == 0
+            else 1
+        )
+        slots = workers // self.hosts
+        self.port = _free_port()
+        self.processes = [
+            context.Process(
+                target=_worker_main, args=(self.port, f"bench{rank}", slots)
+            )
+            for rank in range(self.hosts)
+        ]
+        for process in self.processes:
+            process.start()
+
+    def run(self, spec):
+        return run_sweep(
+            spec, backend="tcp", timeout=600.0,
+            fleet=FleetConfig(
+                listen=f"127.0.0.1:{self.port}",
+                min_hosts=self.hosts, wait_for_hosts=60.0,
+            ),
+        )
+
+    def stop(self) -> None:
+        for process in self.processes:
+            process.terminate()
+        for process in self.processes:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.kill()
 
 
 def main() -> int:
@@ -52,6 +127,8 @@ def main() -> int:
                         help="2 reps per mode — the CI configuration "
                              "(the sweep stays full-size: the gate needs "
                              "real per-point cost, not spawn latency)")
+    parser.add_argument("--skip-tcp", action="store_true",
+                        help="skip the tcp-fleet mode (local modes only)")
     parser.add_argument("--output", default="BENCH_supervisor.json")
     args = parser.parse_args()
     if args.quick:
@@ -59,8 +136,29 @@ def main() -> int:
     workers = args.workers or min(4, os.cpu_count() or 1)
 
     spec = named_sweep(args.sweep)
-    bare = best_wall(spec, workers, args.reps, supervised=False)
-    supervised = best_wall(spec, workers, args.reps, supervised=True)
+    best = {}
+
+    def keep(mode, result):
+        if (
+            mode not in best
+            or result.wall_seconds < best[mode].wall_seconds
+        ):
+            best[mode] = result
+
+    fleet = None if args.skip_tcp else _TcpFleet(workers)
+    try:
+        for _ in range(args.reps):
+            keep("bare", run_sweep(spec, workers=workers, supervised=False))
+            keep("supervised",
+                 run_sweep(spec, workers=workers, supervised=True))
+            if fleet is not None:
+                keep("tcp", fleet.run(spec))
+    finally:
+        if fleet is not None:
+            fleet.stop()
+    bare = best["bare"]
+    supervised = best["supervised"]
+    tcp = best.get("tcp")
     identical = bare.fingerprint() == supervised.fingerprint()
     overhead_pct = (
         (supervised.wall_seconds - bare.wall_seconds)
@@ -84,12 +182,30 @@ def main() -> int:
         "harness": supervised.harness,
         "cpu_count": os.cpu_count(),
     }
+    if tcp is not None:
+        tcp_identical = tcp.fingerprint() == bare.fingerprint()
+        tcp_overhead_pct = (
+            (tcp.wall_seconds - supervised.wall_seconds)
+            / supervised.wall_seconds * 100.0
+            if supervised.wall_seconds else float("inf")
+        )
+        document.update({
+            "tcp_seconds": tcp.wall_seconds,
+            "tcp_overhead_pct": tcp_overhead_pct,
+            "tcp_hosts": fleet.hosts,
+            "tcp_bit_identical": tcp_identical,
+        })
     path = pathlib.Path(args.output)
     path.write_text(json.dumps(document, indent=2) + "\n")
     print(f"{len(bare.points)} points x {workers} workers: "
           f"bare {bare.wall_seconds:.2f}s, "
           f"supervised {supervised.wall_seconds:.2f}s "
           f"(overhead {overhead_pct:+.1f}%, bit-identical: {identical})")
+    if tcp is not None:
+        print(f"tcp over {fleet.hosts} loopback host(s): "
+              f"{tcp.wall_seconds:.2f}s "
+              f"(overhead {tcp_overhead_pct:+.1f}% vs supervised, "
+              f"bit-identical: {tcp_identical})")
     print(f"wrote {path}")
     if not identical:
         print("ERROR: supervised run diverged from the bare pool")
@@ -98,6 +214,14 @@ def main() -> int:
         print(f"ERROR: supervision overhead {overhead_pct:.1f}% exceeds "
               f"the {MAX_OVERHEAD_PCT:.0f}% budget")
         return 1
+    if tcp is not None:
+        if not tcp_identical:
+            print("ERROR: tcp fleet run diverged from the bare pool")
+            return 1
+        if tcp_overhead_pct > MAX_OVERHEAD_PCT:
+            print(f"ERROR: tcp coordination overhead {tcp_overhead_pct:.1f}% "
+                  f"exceeds the {MAX_OVERHEAD_PCT:.0f}% budget")
+            return 1
     return 0
 
 

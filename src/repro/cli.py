@@ -10,7 +10,9 @@ Run as ``python -m repro <command>``:
 * ``metrics``    — run a profiled experiment, print its counter tables,
 * ``profile``    — run an experiment under the wall-clock profiler and
   report where host time went (phases, event types, top frames),
-* ``sweep``      — fan a scenario sweep over worker processes,
+* ``sweep``      — fan a scenario sweep over worker processes (or, with
+  ``--backend tcp``, over a fleet of worker hosts),
+* ``sweep-worker`` — serve one worker host for a tcp-backend sweep,
 * ``faults``     — run the fault-injection profile (C16) and report
   goodput, retries and conservation,
 * ``validate``   — run invariants, differential checks and golden-
@@ -395,6 +397,42 @@ def _command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resume_command(args: argparse.Namespace, journal_path: str) -> str:
+    """The exact ``repro sweep`` invocation that finishes this sweep.
+
+    Printed in the Ctrl-C hint so resuming is one copy-paste: the same
+    spec-defining and policy flags the interrupted run had, plus
+    ``--resume`` pointing at the flushed journal.
+    """
+    import shlex
+
+    parts = ["repro", "sweep", shlex.quote(args.name)]
+    if args.target:
+        parts += ["--target", shlex.quote(args.target)]
+        for axis in args.axis:
+            parts += ["--axis", shlex.quote(axis)]
+    if args.seed is not None:
+        parts += ["--seed", str(args.seed)]
+    if args.solver is not None:
+        parts += ["--solver", shlex.quote(args.solver)]
+    if args.workers != 1:
+        parts += ["--workers", str(args.workers)]
+    if args.timeout is not None:
+        parts += ["--timeout", f"{args.timeout:g}"]
+    if args.retries is not None:
+        parts += ["--retries", str(args.retries)]
+    if args.jitter:
+        parts += ["--jitter", f"{args.jitter:g}"]
+    if args.chaos:
+        parts += ["--chaos", shlex.quote(args.chaos)]
+    if args.strict:
+        parts.append("--strict")
+    if args.backend is not None:
+        parts += ["--backend", args.backend]
+    parts += ["--resume", shlex.quote(str(journal_path))]
+    return " ".join(parts)
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     """Run a scenario sweep; print its table and optionally store JSON.
 
@@ -406,6 +444,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     from repro.core.errors import ConfigurationError
     from repro.sweep import (
         NAMED_SWEEPS,
+        FleetError,
         SweepInterrupted,
         SweepPointError,
         SweepSpec,
@@ -480,17 +519,40 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
         reporter = SweepProgressReporter(total, telemetry=parent_telemetry)
 
+    fleet = None
+    if args.backend == "tcp":
+        from repro.sweep import FleetConfig
+
+        def announce(host: str, port: int) -> None:
+            print(f"fleet coordinator listening on {host}:{port}",
+                  flush=True)
+
+        try:
+            fleet = FleetConfig(
+                listen=args.listen,
+                min_hosts=args.min_hosts,
+                heartbeat_interval=args.heartbeat_interval,
+                heartbeat_timeout=args.heartbeat_timeout,
+                steal=not args.no_steal,
+                wait_for_hosts=args.wait_for_hosts,
+                on_listen=announce,
+            )
+        except ConfigurationError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     try:
         result = run_sweep(
             spec, workers=args.workers, trace_dir=args.trace_dir,
             progress=reporter if reporter is not None
             else (report if args.verbose else None),
             timeout=args.timeout, retries=args.retries,
+            jitter=args.jitter,
             chaos=args.chaos, journal=args.journal, resume=args.resume,
             strict=args.strict,
             telemetry=parent_telemetry,
             supervised=True if args.supervised else None,
             collect_telemetry=collect_telemetry,
+            backend=args.backend, fleet=fleet,
         )
     except ConfigurationError as error:
         if reporter is not None:
@@ -502,17 +564,26 @@ def _command_sweep(args: argparse.Namespace) -> int:
             reporter.close()
         print(str(error), file=sys.stderr)
         return 1
+    except FleetError as error:
+        if reporter is not None:
+            reporter.close()
+        print(str(error), file=sys.stderr)
+        return 1
     except SweepInterrupted as interrupt:
         if reporter is not None:
             reporter.close()
         partial = interrupt.partial
         done = len(partial.points) if partial is not None else 0
-        journal_path = args.resume or args.journal
+        remaining = total - done
+        journal_path = args.resume[0] if args.resume else args.journal
         print(f"\ninterrupted: {done}/{total} point(s) completed "
-              "before Ctrl-C", file=sys.stderr)
+              f"before Ctrl-C; {remaining} remaining", file=sys.stderr)
         if journal_path:
-            print(f"journal flushed to {journal_path}; continue with "
-                  f"--resume {journal_path}", file=sys.stderr)
+            print(f"journal flushed to {journal_path}; finish the "
+                  f"remaining {remaining} point(s) with:",
+                  file=sys.stderr)
+            print(f"  {_resume_command(args, journal_path)}",
+                  file=sys.stderr)
         else:
             print("no journal was kept (pass --journal PATH to make "
                   "sweeps resumable)", file=sys.stderr)
@@ -548,6 +619,19 @@ def _command_sweep(args: argparse.Namespace) -> int:
         for failure in result.failures:
             print(f"  point {failure.index} ({failure.attempts} attempts): "
                   f"{failure.error}", file=sys.stderr)
+    if args.backend == "tcp" and parent_telemetry is not None:
+        from repro.observability import host_breakdown, summarize_telemetry
+
+        per_host = host_breakdown(summarize_telemetry(parent_telemetry))
+        if per_host:
+            events = sorted({e for ev in per_host.values() for e in ev})
+            fleet_table = Table("Fleet hosts", ["host"] + events)
+            for host_name, values in per_host.items():
+                fleet_table.add_row(
+                    host_name,
+                    *(f"{values.get(event, 0.0):g}" for event in events),
+                )
+            fleet_table.print()
     if collect_telemetry and result.telemetry is not None:
         spans = sum(
             entry.get("count", 0)
@@ -572,6 +656,39 @@ def _command_sweep(args: argparse.Namespace) -> int:
         path = save_sweep(result, args.output)
         print(f"wrote sweep results to {path}")
     return 0 if result.ok else 1
+
+
+def _command_sweep_worker(args: argparse.Namespace) -> int:
+    """Serve one sweep worker host until its coordinator releases it.
+
+    Exit codes: 0 orderly shutdown, 1 coordinator connection lost
+    mid-sweep, 2 bad arguments or unreachable coordinator.
+    """
+    import importlib
+
+    from repro.sweep import FleetError
+    from repro.sweep.remote_worker import run_worker
+
+    for module in args.preload:
+        try:
+            importlib.import_module(module)
+        except ImportError as error:
+            print(f"cannot preload {module!r}: {error}", file=sys.stderr)
+            return 2
+    try:
+        return run_worker(
+            args.connect,
+            slots=args.slots,
+            name=args.name,
+            journal=args.journal,
+            trace_dir=args.trace_dir,
+            connect_timeout=args.connect_timeout,
+        )
+    except (FleetError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
 
 
 def _command_faults(args: argparse.Namespace) -> int:
@@ -774,9 +891,11 @@ def build_parser() -> argparse.ArgumentParser:
              "JSONL file",
     )
     sweep.add_argument(
-        "--resume", default=None, metavar="PATH",
+        "--resume", action="append", default=None, metavar="PATH",
         help="resume from a journal: skip its completed points, append "
-             "new ones (fingerprint matches an uninterrupted run)",
+             "new ones (fingerprint matches an uninterrupted run); "
+             "repeatable — extra paths (worker-host journals of an "
+             "interrupted fleet run) are merged into the first",
     )
     sweep.add_argument(
         "--chaos", default=None, metavar="SPEC",
@@ -807,6 +926,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--solver", default=None, metavar="NAME",
         help="add a single-value solver axis (reference, numpy) to the "
              "grid; rides into every point and the sweep fingerprint",
+    )
+    sweep.add_argument(
+        "--jitter", type=float, default=0.0, metavar="FRACTION",
+        help="stretch each retry backoff by up to this fraction, drawn "
+             "deterministically per (seed, sweep, point, attempt)",
+    )
+    sweep.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="executor backend: local (default), local-fork, local-spawn "
+             "or tcp (shard over `repro sweep-worker` hosts)",
+    )
+    sweep.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="tcp backend: coordinator listen address (port 0 = "
+             "ephemeral; the bound address is printed)",
+    )
+    sweep.add_argument(
+        "--min-hosts", type=int, default=1, metavar="N",
+        help="tcp backend: wait for N connected worker hosts before "
+             "dispatching any point",
+    )
+    sweep.add_argument(
+        "--heartbeat-interval", type=float, default=0.5, metavar="SECONDS",
+        help="tcp backend: expected worker heartbeat cadence",
+    )
+    sweep.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="SECONDS",
+        help="tcp backend: declare a silent host dead after this long "
+             "(default 10x the heartbeat interval)",
+    )
+    sweep.add_argument(
+        "--wait-for-hosts", type=float, default=60.0, metavar="SECONDS",
+        help="tcp backend: give up (FleetError) after this long with "
+             "zero usable hosts",
+    )
+    sweep.add_argument(
+        "--no-steal", action="store_true",
+        help="tcp backend: disable work stealing (idle hosts reclaiming "
+             "unstarted points from loaded ones)",
+    )
+
+    worker = subparsers.add_parser(
+        "sweep-worker",
+        help="serve one sweep worker host for a tcp-backend coordinator",
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the coordinator's address (as printed by "
+             "`repro sweep --backend tcp`)",
+    )
+    worker.add_argument(
+        "--slots", type=int, default=1, metavar="N",
+        help="points this host runs concurrently (one child process each)",
+    )
+    worker.add_argument(
+        "--name", default=None,
+        help="host label in fleet telemetry (default hostname:pid)",
+    )
+    worker.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="journal completed points locally before sending them — "
+             "mergeable into a resume via `repro sweep --resume`",
+    )
+    worker.add_argument(
+        "--trace-dir", default=None,
+        help="write one telemetry JSONL per point under this directory",
+    )
+    worker.add_argument(
+        "--preload", action="append", default=[], metavar="MODULE",
+        help="import MODULE before serving (registers custom sweep "
+             "targets; repeatable)",
+    )
+    worker.add_argument(
+        "--connect-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="keep retrying the initial dial this long (the coordinator "
+             "may boot late)",
     )
 
     faults = subparsers.add_parser(
@@ -877,6 +1072,7 @@ _HANDLERS = {
     "metrics": _command_metrics,
     "profile": _command_profile,
     "sweep": _command_sweep,
+    "sweep-worker": _command_sweep_worker,
     "faults": _command_faults,
     "validate": _command_validate,
 }

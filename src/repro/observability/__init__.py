@@ -77,6 +77,7 @@ from repro.observability.profiler import (
 )
 from repro.observability.progress import SweepProgressReporter
 from repro.observability.summary import (
+    host_breakdown,
     merge_summaries,
     parse_label_string,
     registry_from_summary,
@@ -122,6 +123,7 @@ __all__ = [
     "counter_rows",
     "exponential_buckets",
     "histogram_rows",
+    "host_breakdown",
     "jsonl_lines",
     "load_jsonl",
     "merge_summaries",

@@ -29,6 +29,13 @@ _HARNESS_COUNTERS = (
     ("failed", "fail"),
 )
 
+#: Fleet counters (tcp backend) worth surfacing on the same line.
+_FLEET_COUNTERS = (
+    ("hosts_seen", "hosts"),
+    ("hosts_lost", "lost"),
+    ("stolen", "stolen"),
+)
+
 
 class SweepProgressReporter:
     """Renders sweep progress as results arrive.
@@ -98,6 +105,24 @@ class SweepProgressReporter:
                 value = registry.get(name).total()
                 if value:
                     parts.append(f"{label}={value:g}")
+        # Fleet counters only exist under the tcp backend; ``hosts``
+        # shows live connected hosts (seen minus lost), so an operator
+        # watching the line sees the fleet shrink and recover.
+        for counter, label in _FLEET_COUNTERS:
+            name = f"sweep.supervisor.{counter}"
+            if name not in registry:
+                continue
+            value = registry.get(name).total()
+            if counter == "hosts_seen":
+                lost_name = "sweep.supervisor.hosts_lost"
+                lost = (
+                    registry.get(lost_name).total()
+                    if lost_name in registry else 0.0
+                )
+                if value:
+                    parts.append(f"{label}={value - lost:g}/{value:g}")
+            elif value:
+                parts.append(f"{label}={value:g}")
         return f" [{' '.join(parts)}]" if parts else ""
 
     def line(self, now: Optional[float] = None) -> str:

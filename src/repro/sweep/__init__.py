@@ -25,6 +25,16 @@ completed point to a crash-consistent JSONL file
 ``run_sweep(spec, resume=path)`` — with a fingerprint bit-identical to
 an uninterrupted run.
 
+Distribution generalises the executor behind pluggable backends
+(:mod:`repro.sweep.backends`): ``run_sweep(spec, backend="tcp",
+fleet=FleetConfig(...))`` shards the grid over TCP worker hosts
+(``repro sweep-worker``) with heartbeats, dead-host requeue and
+work-stealing (:mod:`repro.sweep.coordinator`,
+:mod:`repro.sweep.remote_worker`); killing any subset of hosts and
+resuming from the merged journals
+(:func:`~repro.sweep.journal.merge_journals`) still reproduces the
+single-process fingerprint.
+
 Quickstart
 ----------
 >>> from repro.sweep import SweepSpec, run_sweep
@@ -35,6 +45,15 @@ Quickstart
 >>> result = run_sweep(spec, workers=2)   # doctest: +SKIP
 """
 
+from repro.sweep.backends import (
+    BACKEND_NAMES,
+    BaseExecutor,
+    FleetConfig,
+    FleetError,
+    backoff_delay,
+    create_executor,
+    register_backend,
+)
 from repro.sweep.engine import (
     PointResult,
     SweepResult,
@@ -42,7 +61,13 @@ from repro.sweep.engine import (
     run_sweep,
 )
 from repro.sweep.grid import ParameterGrid, ScenarioPoint
-from repro.sweep.journal import RunJournal, load_journal
+from repro.sweep.journal import (
+    RunJournal,
+    load_journal,
+    merge_journals,
+    point_payload_digest,
+)
+from repro.sweep.remote_worker import run_worker
 from repro.sweep.store import SCHEMA, load_sweep, save_sweep, sweep_document
 from repro.sweep.supervisor import (
     ChaosSpec,
@@ -62,8 +87,12 @@ from repro.sweep.targets import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "BaseExecutor",
     "ChaosSpec",
     "FABRIC_CONGESTION_VARIANTS",
+    "FleetConfig",
+    "FleetError",
     "NAMED_SWEEPS",
     "ParameterGrid",
     "PointFailure",
@@ -77,13 +106,19 @@ __all__ = [
     "SweepResult",
     "SweepSpec",
     "TARGETS",
+    "backoff_delay",
+    "create_executor",
     "load_journal",
     "load_sweep",
+    "merge_journals",
     "named_sweep",
     "parse_chaos",
+    "point_payload_digest",
+    "register_backend",
     "register_target",
     "resolve_target",
     "run_sweep",
+    "run_worker",
     "save_sweep",
     "sweep_document",
 ]

@@ -45,6 +45,7 @@ from repro.core.errors import ConfigurationError
 from repro.core.rng import RandomSource
 from repro.observability import Telemetry, write_jsonl
 from repro.observability.summary import merge_summaries, summarize_telemetry
+from repro.sweep.backends import FleetConfig, create_executor
 from repro.sweep.grid import ParameterGrid, ScenarioPoint
 from repro.sweep.supervisor import (
     ChaosSpec,
@@ -267,44 +268,61 @@ def _run_supervised(
     backoff: float,
     chaos: Optional[ChaosSpec],
     journal: Optional[str],
-    resume: Optional[str],
+    resume: Optional[List[str]],
     strict: bool,
     telemetry: Optional[Telemetry],
     start_method: Optional[str],
     started: float,
     collect_telemetry: bool,
+    backend: Optional[str] = None,
+    fleet: Optional[FleetConfig] = None,
+    jitter: float = 0.0,
 ) -> SweepResult:
-    from repro.sweep.journal import RunJournal, load_journal
+    from repro.sweep.journal import RunJournal, merge_journals
 
     completed: Dict[int, PointResult] = {}
-    journal_path = resume if resume is not None else journal
-    if resume is not None:
-        state = load_journal(resume)
+    foreign: Dict[int, int] = {}
+    journal_path = resume[0] if resume else journal
+    if resume:
+        state = merge_journals(resume)
         mismatch = state.matches(spec)
         if mismatch is not None:
             raise ConfigurationError(
-                f"cannot resume sweep {spec.name!r} from {resume}: {mismatch}"
+                f"cannot resume sweep {spec.name!r} from {resume[0]}: "
+                f"{mismatch}"
             )
         completed.update(state.completed)
+        # Records merged in from secondary journals (worker hosts of an
+        # interrupted fleet run) get copied into the primary below, so
+        # the primary is self-contained for any later resume.
+        foreign = {
+            index: state.attempts.get(index, 1)
+            for index in state.completed
+            if state.origin.get(index) != str(pathlib.Path(resume[0]))
+        }
     run_journal = (
         RunJournal(
             journal_path, spec,
-            mode="resume" if resume is not None else "fresh",
+            mode="resume" if resume else "fresh",
         )
         if journal_path is not None else None
     )
+    if run_journal is not None:
+        for index in sorted(foreign):
+            run_journal.record_point(completed[index], foreign[index])
     config = SupervisorConfig(
         workers=workers,
         timeout=timeout,
         retries=2 if retries is None else retries,
         backoff=backoff,
+        jitter=jitter,
         chaos=chaos,
         start_method=start_method,
     )
-    supervisor = Supervisor(
-        spec, config, trace_dir=trace_dir,
+    supervisor = create_executor(
+        backend, spec, config, trace_dir=trace_dir,
         metrics=telemetry.metrics if telemetry is not None else None,
-        collect_telemetry=collect_telemetry,
+        collect_telemetry=collect_telemetry, fleet=fleet,
     )
     if completed:
         supervisor.bump("resumed", float(len(completed)))
@@ -357,14 +375,18 @@ def run_sweep(
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
     backoff: float = 0.05,
+    jitter: float = 0.0,
     chaos: Union[ChaosSpec, str, None] = None,
     journal: Union[str, pathlib.Path, None] = None,
-    resume: Union[str, pathlib.Path, None] = None,
+    resume: Union[str, pathlib.Path, Sequence[Union[str, pathlib.Path]],
+                  None] = None,
     strict: bool = False,
     telemetry: Optional[Telemetry] = None,
     supervised: Optional[bool] = None,
     start_method: Optional[str] = None,
     collect_telemetry: bool = False,
+    backend: Optional[str] = None,
+    fleet: Optional[FleetConfig] = None,
 ) -> SweepResult:
     """Run every point of ``spec`` and return the assembled result.
 
@@ -391,8 +413,13 @@ def run_sweep(
     journal / resume:
         ``journal=path`` starts a fresh crash-consistent run journal at
         ``path``; ``resume=path`` loads one, skips its completed points
-        and appends to it.  The resumed result is bit-identical to an
-        uninterrupted run.
+        and appends to it.  ``resume`` also accepts a *sequence* of
+        paths — an interrupted fleet run's coordinator journal plus its
+        worker-host journals — which are merged
+        (:func:`repro.sweep.journal.merge_journals`) with the
+        first-listed path becoming the journal the resumed run appends
+        to (foreign records are copied in, so it ends self-contained).
+        The resumed result is bit-identical to an uninterrupted run.
     strict:
         ``False`` (default) collects failing points into
         ``result.failures`` and returns the partial result; ``True``
@@ -409,6 +436,15 @@ def run_sweep(
         pipes, and the parent merges them in point-index order into
         ``SweepResult.telemetry`` — bit-identical at any worker count,
         and journalled so a resumed run reconstructs the same aggregate.
+    backend / fleet:
+        ``backend`` picks the executor substrate (``local`` —
+        the default — ``local-fork``, ``local-spawn`` or ``tcp``; see
+        :mod:`repro.sweep.backends`); ``fleet`` carries the ``tcp``
+        backend's :class:`~repro.sweep.backends.FleetConfig` (listen
+        address, heartbeats, work stealing).
+    jitter:
+        Deterministic retry-backoff jitter fraction (see
+        :func:`repro.sweep.backends.backoff_delay`).
 
     The target is resolved once up front so an unknown name fails fast,
     then again by name inside each worker.
@@ -418,32 +454,42 @@ def run_sweep(
     resolve_target(spec.target)
     if isinstance(chaos, str):
         chaos = parse_chaos(chaos)
-    if resume is not None and journal is not None and (
-        pathlib.Path(resume) != pathlib.Path(journal)
+    if isinstance(resume, (str, pathlib.Path)):
+        resume = [str(resume)]
+    elif resume is not None:
+        resume = [str(path) for path in resume]
+        if not resume:
+            resume = None
+    if resume and journal is not None and (
+        pathlib.Path(resume[0]) != pathlib.Path(journal)
     ):
         raise ConfigurationError(
             "pass either journal= (fresh) or resume= (continue), not two "
             "different paths"
         )
     journal = None if journal is None else str(journal)
-    resume = None if resume is None else str(resume)
+    if backend != "tcp" and fleet is not None:
+        raise ConfigurationError(
+            "fleet= is only meaningful with backend='tcp'"
+        )
     wants_supervision = any(
         option is not None
-        for option in (timeout, retries, chaos, journal, resume, start_method)
+        for option in (timeout, retries, chaos, journal, resume,
+                       start_method, backend)
     )
     if supervised is None:
         supervised = wants_supervision
     elif not supervised and wants_supervision:
         raise ConfigurationError(
-            "timeout/retries/chaos/journal/resume/start_method require the "
-            "supervised executor; drop supervised=False"
+            "timeout/retries/chaos/journal/resume/start_method/backend "
+            "require the supervised executor; drop supervised=False"
         )
     started = time.perf_counter()
     if supervised:
         return _run_supervised(
             spec, workers, trace_dir, progress, timeout, retries, backoff,
             chaos, journal, resume, strict, telemetry, start_method, started,
-            collect_telemetry,
+            collect_telemetry, backend=backend, fleet=fleet, jitter=jitter,
         )
 
     jobs = [

@@ -1,0 +1,122 @@
+"""Length-prefixed JSON socket frames for the distributed sweep fleet.
+
+The coordinator (:mod:`repro.sweep.coordinator`) and its worker hosts
+(:mod:`repro.sweep.remote_worker`) speak a deliberately boring wire
+protocol: every message is one UTF-8 JSON object preceded by a 4-byte
+big-endian length.  JSON keeps frames inspectable with ``tcpdump`` and
+identical to what the run journal stores; the length prefix makes torn
+reads detectable — a peer that dies mid-frame leaves a short read, which
+:func:`recv_frame` surfaces as :class:`FrameError` so the other side can
+treat the connection as dead instead of parsing garbage.
+
+Blocking semantics: both sides run single-threaded event loops that
+``wait()`` on sockets for readability and then pull exactly one frame.
+Raw ``recv`` loops (no userspace buffering) keep the readiness semantics
+honest: a buffered file object could hold a complete frame while the
+socket itself shows no new data, deadlocking the select loop.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional
+
+from repro.core.errors import ReproError
+
+#: Wire-protocol version, exchanged in the hello/welcome handshake.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's payload — a fat-fingered length prefix (or
+#: a non-fleet peer connecting by accident) must not trigger a gigabyte
+#: allocation.  Point results with full telemetry summaries are ~10 KiB.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(ReproError):
+    """A torn, oversized or non-JSON frame: the connection is unusable."""
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at offset 0.
+
+    EOF *inside* the span (a peer dying mid-frame) raises
+    :class:`FrameError` — the distinction between "peer closed between
+    frames" and "peer died mid-frame" matters for diagnostics, though
+    both end the connection.
+    """
+    chunks = []
+    received = 0
+    while received < count:
+        chunk = sock.recv(count - received)
+        if not chunk:
+            if received == 0:
+                return None
+            raise FrameError(
+                f"connection closed mid-frame ({received}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, message: Dict[str, object]) -> int:
+    """Serialise and send one frame; returns the bytes put on the wire."""
+    payload = json.dumps(message, sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    data = _HEADER.pack(len(payload)) + payload
+    sock.sendall(data)
+    return len(data)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, object]]:
+    """Receive one frame; ``None`` on clean EOF between frames.
+
+    Raises :class:`FrameError` for torn frames, oversized lengths and
+    payloads that are not a JSON object.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise FrameError("connection closed between header and payload")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError(f"undecodable frame payload: {error}") from None
+    if not isinstance(message, dict):
+        raise FrameError(
+            f"frame payload is {type(message).__name__}, expected an object"
+        )
+    return message
+
+
+def parse_address(text: str, default_host: str = "127.0.0.1") -> tuple:
+    """Parse ``host:port`` (or bare ``:port`` / ``port``) into a 2-tuple."""
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        host = host or default_host
+    else:
+        host, port_text = default_host, text
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ReproError(
+            f"bad fleet address {text!r}; expected host:port"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ReproError(f"bad fleet port {port}; expected 0..65535")
+    return host, port

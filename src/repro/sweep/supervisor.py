@@ -39,29 +39,37 @@ from dataclasses import dataclass, field
 from multiprocessing import connection
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.errors import ConfigurationError, ReproError
+from repro.core.errors import ConfigurationError
 from repro.core.rng import RandomSource
+from repro.sweep.backends import (  # re-exported for compatibility
+    COUNTERS,
+    BaseExecutor,
+    PointFailure,
+    SweepInterrupted,
+    SweepPointError,
+    _Task,
+    backoff_delay,
+)
+
+__all__ = [
+    "CHAOS_EXIT_CODE",
+    "CHAOS_HOST_EXIT_CODE",
+    "COUNTERS",
+    "ChaosSpec",
+    "PointFailure",
+    "Supervisor",
+    "SupervisorConfig",
+    "SweepInterrupted",
+    "SweepPointError",
+    "backoff_delay",
+    "parse_chaos",
+]
 
 #: Exit code chaos-injected crashes die with (visible in crash messages).
 CHAOS_EXIT_CODE = 86
 
-
-class SweepPointError(ReproError):
-    """A point exhausted its retry budget under ``strict=True``."""
-
-
-class SweepInterrupted(KeyboardInterrupt):
-    """Ctrl-C during a sweep, after orderly teardown.
-
-    Subclasses :class:`KeyboardInterrupt` so generic interrupt handling
-    still fires; carries the partial :class:`~repro.sweep.engine.SweepResult`
-    (every point completed before the interrupt, journal already flushed)
-    as ``partial`` when the engine could assemble one.
-    """
-
-    def __init__(self, message: str, partial=None) -> None:
-        super().__init__(message)
-        self.partial = partial
+#: Exit code a chaos-injected *host* crash dies with (tcp backend).
+CHAOS_HOST_EXIT_CODE = 87
 
 
 @dataclass(frozen=True)
@@ -74,14 +82,30 @@ class ChaosSpec:
     ``RandomSource(seed, name=f"chaos/{sweep}/{index}/{attempt}")`` — a
     pure function of the sweep seed, point and attempt — so chaos runs
     are reproducible and a retried attempt rolls fresh dice.
+
+    The fleet faults only fire under the ``tcp`` backend (local workers
+    have no host or network to lose) and draw from their own forks of the
+    same ``(seed, sweep, index, attempt)`` tuple, so a chaos run's fault
+    schedule is identical at any host count:
+
+    * ``host_crash`` — the whole worker *host* ``os._exit``\\ s instead of
+      dispatching the point (exercises dead-host detection + requeue);
+    * ``drop`` — the host computes the point but never sends the result
+      frame (recovered by the per-point timeout, hence requires one);
+    * ``delay`` — the result frame is delayed ``delay_seconds`` before
+      sending (exercises heartbeat/ordering tolerance).
     """
 
     crash: float = 0.0
     hang: float = 0.0
     hang_seconds: float = 3600.0
+    host_crash: float = 0.0
+    drop: float = 0.0
+    delay: float = 0.0
+    delay_seconds: float = 0.05
 
     def __post_init__(self) -> None:
-        for name in ("crash", "hang"):
+        for name in ("crash", "hang", "host_crash", "drop", "delay"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ConfigurationError(
@@ -92,10 +116,27 @@ class ChaosSpec:
                 "chaos crash + hang probabilities exceed 1 "
                 f"({self.crash} + {self.hang})"
             )
+        if self.drop + self.delay > 1.0:
+            raise ConfigurationError(
+                "chaos drop + delay probabilities exceed 1 "
+                f"({self.drop} + {self.delay})"
+            )
+        if self.delay_seconds < 0:
+            raise ConfigurationError(
+                f"chaos delay_seconds must be >= 0: {self.delay_seconds}"
+            )
 
     @property
     def active(self) -> bool:
-        return self.crash > 0.0 or self.hang > 0.0
+        return (
+            self.crash > 0.0 or self.hang > 0.0 or self.host_crash > 0.0
+            or self.drop > 0.0 or self.delay > 0.0
+        )
+
+    @property
+    def fleet_active(self) -> bool:
+        """True when any tcp-only fault (host crash, drop, delay) is armed."""
+        return self.host_crash > 0.0 or self.drop > 0.0 or self.delay > 0.0
 
     def draw(
         self, seed: int, sweep_name: str, index: int, attempt: int
@@ -111,9 +152,58 @@ class ChaosSpec:
             return "hang"
         return None
 
+    def draw_host(
+        self, seed: int, sweep_name: str, index: int, attempt: int
+    ) -> Optional[str]:
+        """``"crash"`` (whole host dies) or ``None`` for this attempt."""
+        if self.host_crash <= 0.0:
+            return None
+        rng = RandomSource(seed).fork(
+            f"chaos-host/{sweep_name}/{index}/{attempt}"
+        )
+        return "crash" if rng.uniform() < self.host_crash else None
+
+    def draw_net(
+        self, seed: int, sweep_name: str, index: int, attempt: int
+    ) -> Optional[str]:
+        """``"drop"``, ``"delay"`` or ``None`` for this result frame."""
+        if self.drop <= 0.0 and self.delay <= 0.0:
+            return None
+        rng = RandomSource(seed).fork(
+            f"chaos-net/{sweep_name}/{index}/{attempt}"
+        )
+        roll = rng.uniform()
+        if roll < self.drop:
+            return "drop"
+        if roll < self.drop + self.delay:
+            return "delay"
+        return None
+
+    def to_wire(self) -> Dict[str, float]:
+        """JSON-ready form for the coordinator's welcome frame."""
+        return {
+            "crash": self.crash, "hang": self.hang,
+            "hang_seconds": self.hang_seconds,
+            "host_crash": self.host_crash,
+            "drop": self.drop, "delay": self.delay,
+            "delay_seconds": self.delay_seconds,
+        }
+
+
+#: CLI clause name -> ChaosSpec field; starred fields are probabilities.
+_CHAOS_CLAUSES = {
+    "crash": "crash",
+    "hang": "hang",
+    "hang-seconds": "hang_seconds",
+    "host-crash": "host_crash",
+    "drop": "drop",
+    "delay": "delay",
+    "delay-seconds": "delay_seconds",
+}
+
 
 def parse_chaos(text: str) -> ChaosSpec:
-    """Parse the CLI form ``crash:0.1,hang:0.05`` into a :class:`ChaosSpec`."""
+    """Parse ``crash:0.1,hang:0.05,host-crash:0.1,drop:0.05,delay:0.1``."""
     values: Dict[str, float] = {}
     for part in text.split(","):
         part = part.strip()
@@ -121,13 +211,13 @@ def parse_chaos(text: str) -> ChaosSpec:
             continue
         name, separator, raw = part.partition(":")
         name = name.strip()
-        if not separator or name not in ("crash", "hang"):
+        if not separator or name not in _CHAOS_CLAUSES:
+            known = ", ".join(f"{clause}:<p>" for clause in _CHAOS_CLAUSES)
             raise ConfigurationError(
-                f"bad chaos clause {part!r}; expected crash:<p> and/or "
-                "hang:<p>"
+                f"bad chaos clause {part!r}; expected clauses from: {known}"
             )
         try:
-            values[name] = float(raw)
+            values[_CHAOS_CLAUSES[name]] = float(raw)
         except ValueError:
             raise ConfigurationError(
                 f"bad chaos probability in {part!r}"
@@ -135,24 +225,6 @@ def parse_chaos(text: str) -> ChaosSpec:
     if not values:
         raise ConfigurationError(f"empty chaos spec {text!r}")
     return ChaosSpec(**values)
-
-
-@dataclass
-class PointFailure:
-    """One error-ledger entry: a point that exhausted its retry budget."""
-
-    index: int
-    params: Dict[str, object]
-    error: str
-    attempts: int
-
-    def record(self) -> Dict[str, object]:
-        return {
-            "index": self.index,
-            "params": dict(self.params),
-            "error": self.error,
-            "attempts": self.attempts,
-        }
 
 
 @dataclass
@@ -167,6 +239,11 @@ class SupervisorConfig:
     #: First retry delay; each further retry multiplies by ``backoff_factor``.
     backoff: float = 0.05
     backoff_factor: float = 2.0
+    #: Deterministic backoff jitter: each retry delay is stretched by up
+    #: to this fraction of itself, drawn per ``(seed, sweep, index,
+    #: attempt)`` (see :func:`repro.sweep.backends.backoff_delay`) so
+    #: retry timelines decorrelate without losing reproducibility.
+    jitter: float = 0.0
     chaos: Optional[ChaosSpec] = None
     #: ``fork``/``spawn``/``forkserver``; ``None`` prefers ``fork``.
     start_method: Optional[str] = None
@@ -194,6 +271,8 @@ class SupervisorConfig:
             raise ConfigurationError(
                 "need backoff >= 0 and backoff_factor >= 1"
             )
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0: {self.jitter}")
         if (
             self.chaos is not None
             and self.chaos.hang > 0
@@ -275,14 +354,6 @@ def _supervised_worker(conn, common: Tuple) -> None:
 
 
 @dataclass
-class _Task:
-    index: int
-    params: Dict[str, object]
-    attempt: int  # 1-based
-    not_before: float = 0.0
-
-
-@dataclass
 class _Worker:
     process: multiprocessing.Process
     conn: connection.Connection
@@ -295,15 +366,7 @@ class _Worker:
     ready: bool = False
 
 
-#: Counter names the supervisor maintains (all also exported as
-#: ``sweep.supervisor.<name>`` observability counters).
-COUNTERS = (
-    "dispatched", "completed", "retries", "requeued", "crashes",
-    "timeouts", "errors", "failed", "workers_replaced", "resumed",
-)
-
-
-class Supervisor:
+class Supervisor(BaseExecutor):
     """Drives one sweep's points through supervised worker processes."""
 
     def __init__(
@@ -314,12 +377,9 @@ class Supervisor:
         metrics=None,
         collect_telemetry: bool = False,
     ) -> None:
-        self.spec = spec
-        self.config = config
+        super().__init__(spec, config, metrics=metrics)
         self.trace_dir = trace_dir
-        self.metrics = metrics
         self.collect_telemetry = collect_telemetry
-        self.counters: Dict[str, float] = {name: 0.0 for name in COUNTERS}
         if config.start_method is not None:
             self._context = multiprocessing.get_context(config.start_method)
         else:
@@ -331,18 +391,8 @@ class Supervisor:
             collect_telemetry,
         )
         self._workers: List[_Worker] = []
-        self._pending: List[_Task] = []
-        self._outstanding = 0
 
     # -- bookkeeping ------------------------------------------------------
-
-    def bump(self, name: str, amount: float = 1.0) -> None:
-        self.counters[name] = self.counters.get(name, 0.0) + amount
-        if self.metrics is not None:
-            self.metrics.counter(
-                f"sweep.supervisor.{name}",
-                "sweep supervisor harness event count",
-            ).inc(amount)
 
     def _spawn_worker(self) -> _Worker:
         parent_conn, child_conn = self._context.Pipe()
@@ -368,40 +418,6 @@ class Supervisor:
         worker.process.join(timeout=5.0)
         if worker in self._workers:
             self._workers.remove(worker)
-
-    def _retry_or_fail(
-        self,
-        task: _Task,
-        error: str,
-        now: float,
-        on_failure: Callable[[PointFailure], None],
-        strict: bool,
-    ) -> None:
-        if task.attempt <= self.config.retries:
-            self.bump("retries")
-            self._pending.append(
-                _Task(
-                    index=task.index,
-                    params=task.params,
-                    attempt=task.attempt + 1,
-                    not_before=now + self.config.delay_before(task.attempt + 1),
-                )
-            )
-            return
-        self._outstanding -= 1
-        self.bump("failed")
-        failure = PointFailure(
-            index=task.index,
-            params=dict(task.params),
-            error=error,
-            attempts=task.attempt,
-        )
-        on_failure(failure)
-        if strict:
-            raise SweepPointError(
-                f"sweep {self.spec.name!r} point {task.index} failed after "
-                f"{task.attempt} attempt(s): {error}"
-            )
 
     def _handle_loss(
         self,
@@ -443,11 +459,7 @@ class Supervisor:
         (completion order, not grid order); ``on_failure(point_failure)``
         fires when a point exhausts its retry budget.
         """
-        self._pending = [
-            _Task(index=index, params=dict(params), attempt=1)
-            for index, params in tasks
-        ]
-        self._outstanding = len(self._pending)
+        self._seed_tasks(tasks)
         if not self._pending:
             return dict(self.counters)
         pool_size = min(self.config.workers, len(self._pending))
@@ -497,17 +509,6 @@ class Supervisor:
                     )
                 worker.tasks.append(task)
                 self.bump("dispatched")
-
-    def _pop_ready(self, now: float) -> Optional[_Task]:
-        best = None
-        for task in self._pending:
-            if task.not_before > now:
-                continue
-            if best is None or task.index < best.index:
-                best = task
-        if best is not None:
-            self._pending.remove(best)
-        return best
 
     def _step(
         self,

@@ -18,7 +18,8 @@ This package is the regression net that catches them:
 * :func:`run_differential_checks` — fast paths pitted against independent
   references: :class:`~repro.interconnect.routecache.RouteCache` vs
   uncached shortest paths, collective closed forms vs step-by-step loops,
-  Young/Daly vs a numeric grid optimum, the sweep fork-pool vs serial.
+  Young/Daly vs a numeric grid optimum, the sweep fork-pool vs serial,
+  the tcp fleet sharded over loopback hosts vs serial.
 * :func:`validate` / ``python -m repro validate`` — the orchestrator with
   ``--record`` and ``--check`` modes that ties all three together.
 
@@ -30,6 +31,7 @@ from repro.validate.differential import (
     DifferentialResult,
     check_checkpointing,
     check_collectives,
+    check_distributed,
     check_resume,
     check_routes,
     check_solvers,
@@ -72,6 +74,7 @@ __all__ = [
     "Violation",
     "check_checkpointing",
     "check_collectives",
+    "check_distributed",
     "check_resume",
     "check_routes",
     "check_solvers",

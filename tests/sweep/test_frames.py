@@ -1,0 +1,141 @@
+"""The fleet wire protocol: framing round-trips, torn reads, bad peers."""
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.sweep.frames import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestRoundTrip:
+    def test_one_frame_survives_the_wire(self, pair):
+        left, right = pair
+        sent = {"type": "assign", "index": 3, "attempt": 1}
+        send_frame(left, sent)
+        assert recv_frame(right) == sent
+
+    def test_frames_arrive_in_order(self, pair):
+        left, right = pair
+        for index in range(5):
+            send_frame(left, {"type": "assign", "index": index})
+        received = [recv_frame(right)["index"] for _ in range(5)]
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_payload_is_sorted_key_json(self, pair):
+        """The wire form is canonical JSON — inspectable and diffable."""
+        left, right = pair
+        send_frame(left, {"zeta": 1, "alpha": 2})
+        header = right.recv(4)
+        (length,) = struct.unpack(">I", header)
+        payload = right.recv(length)
+        assert payload == json.dumps(
+            {"alpha": 2, "zeta": 1}, sort_keys=True
+        ).encode()
+
+    def test_nested_values_round_trip(self, pair):
+        left, right = pair
+        sent = {
+            "type": "welcome",
+            "axes": [["x", [0, 1, 2]], ["y", ["a", "b"]]],
+            "chaos": None,
+        }
+        send_frame(left, sent)
+        assert recv_frame(right) == sent
+
+
+class TestEofAndTorn:
+    def test_clean_close_between_frames_returns_none(self, pair):
+        left, right = pair
+        send_frame(left, {"type": "heartbeat"})
+        left.close()
+        assert recv_frame(right) == {"type": "heartbeat"}
+        assert recv_frame(right) is None
+
+    def test_death_mid_payload_raises(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", 100) + b'{"type": "resu')
+        left.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_death_mid_header_raises(self, pair):
+        left, right = pair
+        left.sendall(b"\x00\x00")  # half a length prefix
+        left.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_death_between_header_and_payload_raises(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", 10))
+        left.close()
+        with pytest.raises(FrameError, match="between header and payload"):
+            recv_frame(right)
+
+
+class TestHostileInput:
+    def test_oversized_length_prefix_is_rejected_not_allocated(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError, match="exceeds"):
+            recv_frame(right)
+
+    def test_non_json_payload_raises(self, pair):
+        left, right = pair
+        payload = b"not json at all"
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(FrameError, match="undecodable"):
+            recv_frame(right)
+
+    def test_non_object_json_raises(self, pair):
+        left, right = pair
+        payload = b"[1, 2, 3]"
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(FrameError, match="expected an object"):
+            recv_frame(right)
+
+    def test_oversized_send_is_refused_locally(self, pair):
+        left, _right = pair
+        with pytest.raises(FrameError, match="exceeds"):
+            send_frame(left, {"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+
+class TestParseAddress:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("127.0.0.1:9000", ("127.0.0.1", 9000)),
+            ("example.org:80", ("example.org", 80)),
+            (":7000", ("127.0.0.1", 7000)),
+            ("7000", ("127.0.0.1", 7000)),
+            ("0.0.0.0:0", ("0.0.0.0", 0)),
+        ],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_address(text) == expected
+
+    @pytest.mark.parametrize("text", ["host:port", "", "host:", "1:2:x"])
+    def test_malformed_addresses_are_rejected(self, text):
+        with pytest.raises(ReproError, match="host:port"):
+            parse_address(text)
+
+    def test_out_of_range_port_is_rejected(self, text="127.0.0.1:70000"):
+        with pytest.raises(ReproError, match="0..65535"):
+            parse_address(text)

@@ -1,10 +1,17 @@
-"""Crash-consistent journal: round-trips, torn tails, corruption errors."""
+"""Crash-consistent journal: round-trips, torn tails, merges, corruption."""
 
 import json
 
 import pytest
 
-from repro.sweep import PointResult, RunJournal, SweepSpec, load_journal
+from repro.sweep import (
+    PointResult,
+    RunJournal,
+    SweepSpec,
+    load_journal,
+    merge_journals,
+    point_payload_digest,
+)
 from repro.sweep.journal import SCHEMA, grid_digest, journal_header
 
 from tests.sweep import _ft_helpers as ft
@@ -197,6 +204,90 @@ class TestCorruption:
         )
         with pytest.raises(ValueError, match="unknown record kind 'banana'"):
             load_journal(path)
+
+
+class TestMergeJournals:
+    """Merging per-process journals after a kill-any-subset interruption."""
+
+    def _write(self, tmp_path, name, points, spec=None, failures=()):
+        spec = spec or ft.cheap_spec(n=6)
+        path = tmp_path / name
+        with RunJournal(path, spec) as journal:
+            for index, value, attempts in points:
+                journal.record_point(_point(index, value), attempts=attempts)
+            for index, error in failures:
+                journal.record_failure(index, error, attempts=3)
+        return path
+
+    def test_disjoint_journals_union_cleanly(self, tmp_path):
+        first = self._write(tmp_path, "a.jsonl", [(0, 1.0, 1), (2, 3.0, 2)])
+        second = self._write(tmp_path, "b.jsonl", [(1, 2.0, 1)])
+        merged = merge_journals([first, second])
+        assert sorted(merged.completed) == [0, 1, 2]
+        assert merged.attempts == {0: 1, 2: 2, 1: 1}
+        assert merged.origin == {
+            0: str(first), 2: str(first), 1: str(second),
+        }
+
+    def test_duplicate_indices_keep_the_first_listed_record(self, tmp_path):
+        first = self._write(tmp_path, "a.jsonl", [(0, 1.0, 1)])
+        second = self._write(tmp_path, "b.jsonl", [(0, 1.0, 2)])
+        merged = merge_journals([first, second])
+        assert merged.attempts[0] == 1  # first journal's record won
+        assert merged.origin[0] == str(first)
+
+    def test_conflicting_payloads_name_path_and_index(self, tmp_path):
+        first = self._write(tmp_path, "a.jsonl", [(3, 1.0, 1)])
+        second = self._write(tmp_path, "b.jsonl", [(3, 999.0, 1)])
+        with pytest.raises(
+            ValueError, match=r"b\.jsonl: conflicting record for point 3"
+        ):
+            merge_journals([first, second])
+
+    def test_header_mismatch_names_the_offending_key(self, tmp_path):
+        first = self._write(tmp_path, "a.jsonl", [(0, 1.0, 1)])
+        second = self._write(
+            tmp_path, "b.jsonl", [(1, 2.0, 1)], spec=ft.cheap_spec(seed=99)
+        )
+        with pytest.raises(ValueError, match=r"b\.jsonl: journal seed"):
+            merge_journals([first, second])
+
+    def test_failures_survive_only_for_never_completed_points(self, tmp_path):
+        first = self._write(
+            tmp_path, "a.jsonl", [(0, 1.0, 1)],
+            failures=[(4, "boom"), (5, "bust")],
+        )
+        second = self._write(tmp_path, "b.jsonl", [(4, 5.0, 2)])
+        merged = merge_journals([first, second])
+        assert sorted(merged.failed) == [5]  # point 4 completed elsewhere
+        assert 4 in merged.completed
+
+    def test_torn_tail_in_any_journal_is_reported(self, tmp_path):
+        first = self._write(tmp_path, "a.jsonl", [(0, 1.0, 1)])
+        second = self._write(tmp_path, "b.jsonl", [(1, 2.0, 1)])
+        with open(second, "a") as handle:
+            handle.write('{"kind": "point", "ind')
+        merged = merge_journals([first, second])
+        assert merged.torn_tail is True
+        assert sorted(merged.completed) == [0, 1]
+
+    def test_empty_path_list_is_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_journals([])
+
+    def test_payload_digest_tracks_the_fingerprint_fields(self):
+        assert point_payload_digest(_point(0)) == point_payload_digest(
+            _point(0)
+        )
+        assert point_payload_digest(_point(0)) != point_payload_digest(
+            _point(0, value=2.0)
+        )
+        # Wall-clock is harness noise, not part of the outcome.
+        noisy = PointResult(
+            index=0, params={"x": 0}, metrics={"value": 1.0},
+            counters={"runs": 1.0}, wall_seconds=99.0,
+        )
+        assert point_payload_digest(noisy) == point_payload_digest(_point(0))
 
 
 class TestSpecMatching:

@@ -76,6 +76,30 @@ class TestChaosSpec:
         with pytest.raises(ConfigurationError, match="timeout"):
             SupervisorConfig(chaos=ChaosSpec(hang=0.1), timeout=None)
 
+    def test_fleet_clauses_parse_and_validate(self):
+        spec = parse_chaos("host-crash:0.1,drop:0.2,delay:0.3")
+        assert spec == ChaosSpec(host_crash=0.1, drop=0.2, delay=0.3)
+        assert spec.fleet_active
+        assert parse_chaos("delay:0.5,delay-seconds:0.2").delay_seconds == 0.2
+        with pytest.raises(ConfigurationError, match="exceed 1"):
+            ChaosSpec(drop=0.6, delay=0.6)
+        with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+            ChaosSpec(host_crash=-0.1)
+
+    def test_wire_form_round_trips(self):
+        spec = ChaosSpec(crash=0.1, host_crash=0.2, drop=0.05,
+                         delay=0.1, delay_seconds=0.5)
+        assert ChaosSpec(**spec.to_wire()) == spec
+
+    def test_host_and_net_draws_are_deterministic(self):
+        spec = ChaosSpec(host_crash=0.3, drop=0.3, delay=0.3)
+        host_draws = [spec.draw_host(7, "ft", i, 1) for i in range(16)]
+        net_draws = [spec.draw_net(7, "ft", i, 1) for i in range(16)]
+        assert host_draws == [spec.draw_host(7, "ft", i, 1) for i in range(16)]
+        assert net_draws == [spec.draw_net(7, "ft", i, 1) for i in range(16)]
+        assert "crash" in host_draws and None in host_draws
+        assert {"drop", "delay"} & set(net_draws)
+
 
 class TestSupervisorConfig:
     def test_backoff_schedule_is_geometric(self):
@@ -145,6 +169,19 @@ class TestCrashRecovery:
         assert chaotic.harness["crashes"] == 5.0
         assert chaotic.harness["retries"] == 5.0
         assert chaotic.harness["completed"] == 8.0
+
+    def test_retry_jitter_never_changes_the_fingerprint(self):
+        """Jittered backoff shifts *when* retries run, never what they
+        compute: the chaotic, jittered run still matches the calm one."""
+        spec = ft.cheap_spec(n=8)
+        calm = run_sweep(spec)
+        jittered = run_sweep(
+            spec, workers=2, chaos=ChaosSpec(crash=0.45), retries=3,
+            backoff=0.02, jitter=0.5,
+        )
+        assert jittered.ok
+        assert jittered.fingerprint() == calm.fingerprint()
+        assert jittered.harness["retries"] == 5.0
 
     def test_chaos_accepts_the_cli_string_form(self):
         spec = ft.cheap_spec(n=8)

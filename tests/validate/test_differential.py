@@ -72,12 +72,21 @@ class TestSolverDifferential:
         assert small.comparisons < check_solvers().comparisons
 
 
+class TestDistributedDifferential:
+    def test_tcp_fleet_matches_serial_bit_for_bit(self):
+        from repro.validate import check_distributed
+
+        result = check_distributed(hosts=2)
+        assert result.passed, result.detail
+        assert "2 tcp hosts" in result.detail
+
+
 class TestBundle:
-    def test_run_differential_checks_covers_all_six(self):
+    def test_run_differential_checks_covers_all_seven(self):
         results = run_differential_checks()
         assert [r.name for r in results] == [
             "routes", "collectives", "checkpointing", "sweep-pool",
-            "sweep-resume", "solvers",
+            "sweep-resume", "solvers", "sweep-distributed",
         ]
         assert all(r.passed for r in results), [str(r) for r in results]
 
