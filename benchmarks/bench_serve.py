@@ -1,0 +1,184 @@
+"""Serve-path benchmark: cold vs cached vs shed request throughput.
+
+Drives an in-process :class:`repro.serve.ServiceApp` through the same
+``dispatch`` path the socket serves and measures four regimes:
+
+* **cold** — distinct C8 profile requests, each a real simulation;
+* **cached** — one request repeated, answered from the artefact cache
+  with zero simulation (asserted via ``serve.kernel_events``);
+* **shed** — a zero-rate quota rejecting everything with 429;
+* **admission overhead** — the cached hot path with the quota machinery
+  on vs off (hits are never charged, so the delta is pure bookkeeping).
+
+Writes ``BENCH_serve.json`` and exits non-zero if the caching contract
+fails its gates: cached throughput must beat cold by ``--min-speedup``
+(default 10x) and admission must cost under ``--max-admission-overhead``
+(default 5%).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.serve import QuotaPolicy, ServeConfig, ServiceApp, ServiceClient
+
+
+def profile_request(index: int) -> dict:
+    return {"profile": "C8", "params": {"max_jobs": 4 + index}}
+
+
+def requests_per_second(client, requests, *, expect) -> float:
+    started = time.perf_counter()
+    for request in requests:
+        response = client.post("/v1/profile", request)
+        if response.status != expect:
+            raise SystemExit(
+                f"expected {expect}, got {response.status}: "
+                f"{response.body[:200]!r}"
+            )
+    elapsed = time.perf_counter() - started
+    return len(requests) / elapsed if elapsed else float("inf")
+
+
+def timed_regimes(store: str, cold_n: int, cached_n: int, shed_n: int):
+    app = ServiceApp(ServeConfig(store=store, sweep_workers=1))
+    try:
+        client = ServiceClient(app)
+        cold_rps = requests_per_second(
+            client, [profile_request(i) for i in range(cold_n)], expect=200
+        )
+        events_after_cold = app.counter("serve.kernel_events").total()
+
+        hot = profile_request(0)
+        cached_rps = requests_per_second(
+            client, [hot] * cached_n, expect=200
+        )
+        if app.counter("serve.kernel_events").total() != events_after_cold:
+            raise SystemExit(
+                "cache hits moved serve.kernel_events — the cached regime "
+                "simulated"
+            )
+    finally:
+        app.close()
+
+    shed_app = ServiceApp(ServeConfig(
+        store=store + "-shed",
+        quota=QuotaPolicy(rate=0.0, burst=0.0),
+    ))
+    try:
+        shed_rps = requests_per_second(
+            ServiceClient(shed_app),
+            [profile_request(i) for i in range(shed_n)],
+            expect=429,
+        )
+    finally:
+        shed_app.close()
+    return cold_rps, cached_rps, shed_rps
+
+
+def admission_overhead(store_base: str, repeats: int, hits: int) -> float:
+    """Cost of one admission decision relative to one cached response.
+
+    Cache hits skip admission entirely, so a service-level quota-on vs
+    quota-off A/B compares *identical* code and measures only scheduler
+    noise.  The honest number is the decision's own cost — many
+    admit/release pairs timed directly — as a fraction of the cached
+    request service time it would extend if it ran there.
+    """
+    from repro.serve import AdmissionController
+
+    hot = profile_request(0)
+    app = ServiceApp(ServeConfig(store=f"{store_base}-cached"))
+    try:
+        client = ServiceClient(app)
+        client.post("/v1/profile", hot)  # warm the cache
+        batches = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            for _ in range(hits):
+                client.post("/v1/profile", hot)
+            batches.append(time.perf_counter() - started)
+    finally:
+        app.close()
+    cached_seconds = min(batches) / hits
+
+    controller = AdmissionController(
+        max_queue=4, quota=QuotaPolicy(rate=1e9, burst=1e9)
+    )
+    iterations = max(10_000, repeats * hits)
+    started = time.perf_counter()
+    for _ in range(iterations):
+        controller.admit("bench")
+        controller.release()
+    admit_seconds = (time.perf_counter() - started) / iterations
+    return admit_seconds / cached_seconds
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller request counts for CI smoke")
+    parser.add_argument("--min-speedup", type=float, default=10.0,
+                        help="required cached/cold throughput ratio")
+    parser.add_argument("--max-admission-overhead", type=float, default=0.05,
+                        help="allowed fractional cost of admission "
+                             "on the cached path")
+    parser.add_argument("--output", default="BENCH_serve.json")
+    args = parser.parse_args()
+
+    cold_n, cached_n, shed_n = (8, 200, 200) if args.quick else (20, 1000, 1000)
+    repeats, hits = (5, 50) if args.quick else (9, 200)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        cold_rps, cached_rps, shed_rps = timed_regimes(
+            os.path.join(scratch, "store"), cold_n, cached_n, shed_n
+        )
+        overhead = admission_overhead(
+            os.path.join(scratch, "admission"), repeats, hits
+        )
+
+    speedup = cached_rps / cold_rps if cold_rps else float("inf")
+    speedup_ok = speedup >= args.min_speedup
+    overhead_ok = overhead <= args.max_admission_overhead
+
+    document = {
+        "schema": "repro.bench/v1",
+        "benchmark": "serve_throughput",
+        "quick": args.quick,
+        "requests": {"cold": cold_n, "cached": cached_n, "shed": shed_n},
+        "cold_rps": cold_rps,
+        "cached_rps": cached_rps,
+        "shed_rps": shed_rps,
+        "cached_over_cold": speedup,
+        "min_speedup": args.min_speedup,
+        "admission_overhead": overhead,
+        "max_admission_overhead": args.max_admission_overhead,
+        "passed": speedup_ok and overhead_ok,
+        "cpu_count": os.cpu_count(),
+    }
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"cold {cold_rps:.1f} req/s, cached {cached_rps:.1f} req/s "
+          f"({speedup:.1f}x), shed {shed_rps:.1f} req/s, "
+          f"admission overhead {overhead * 100:+.2f}%")
+    print(f"wrote {path}")
+    if not speedup_ok:
+        print(f"ERROR: cached/cold {speedup:.1f}x is below the "
+              f"{args.min_speedup:.0f}x gate")
+    if not overhead_ok:
+        print(f"ERROR: admission overhead {overhead * 100:.2f}% exceeds "
+              f"{args.max_admission_overhead * 100:.0f}%")
+    return 0 if (speedup_ok and overhead_ok) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -691,6 +691,150 @@ def _command_sweep_worker(args: argparse.Namespace) -> int:
         return 130
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the long-running simulation service until interrupted.
+
+    Prints the bound address (port 0 picks an ephemeral port) and the
+    artefact store path, then serves forever.  Exit codes: 0 on
+    SIGINT/EOF, 2 on bad arguments.
+    """
+    import asyncio
+    import importlib
+
+    from repro.serve import QuotaPolicy, ServeConfig, ServiceApp
+
+    for module in args.preload:
+        try:
+            importlib.import_module(module)
+        except ImportError as error:
+            print(f"cannot preload {module!r}: {error}", file=sys.stderr)
+            return 2
+    quota = None
+    if args.quota is not None:
+        try:
+            quota = QuotaPolicy.parse(args.quota)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+    app = ServiceApp(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            store=args.store,
+            sweep_workers=args.sweep_workers,
+            job_workers=args.job_workers,
+            max_queue=args.max_queue,
+            quota=quota,
+        )
+    )
+
+    async def serve() -> None:
+        host, port = await app.start()
+        print(f"serving on http://{host}:{port}", flush=True)
+        print(f"artefact store at {app.cache.directory}", flush=True)
+        await app.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        app.close()
+    return 0
+
+
+def _command_serve_request(args: argparse.Namespace) -> int:
+    """One request against a running serve process (the CLI client).
+
+    Exit codes: 0 success, 1 server error, 2 bad arguments or
+    connection failure, 3 request shed (429).
+    """
+    import json
+
+    from repro.serve import http_request
+
+    kind = args.kind
+    method, target, payload = "GET", None, None
+    headers = {}
+    if args.tenant is not None:
+        headers["X-Tenant"] = args.tenant
+    if kind == "health":
+        target = "/healthz"
+    elif kind == "metrics":
+        target = "/metrics"
+    elif kind == "profile":
+        if args.id is None:
+            print("serve-request profile needs a profile id",
+                  file=sys.stderr)
+            return 2
+        params = {}
+        for clause in args.set:
+            key, separator, value = clause.partition("=")
+            if not separator:
+                print(f"bad --set {clause!r}; expected key=value",
+                      file=sys.stderr)
+                return 2
+            params[key] = _parse_axis_value(value)
+        method, target = "POST", "/v1/profile"
+        payload = {"profile": args.id, "params": params}
+    else:  # sweep
+        method, target = "POST", "/v1/sweep"
+        if args.axis:
+            axes = {}
+            for axis in args.axis:
+                name, separator, values = axis.partition("=")
+                if not separator or not values:
+                    print(f"bad --axis {axis!r}; expected name=v1,v2,...",
+                          file=sys.stderr)
+                    return 2
+                axes[name] = [
+                    _parse_axis_value(v) for v in values.split(",")
+                ]
+            if args.target is None:
+                print("--axis needs --target NAME", file=sys.stderr)
+                return 2
+            payload = {"target": args.target, "axes": axes}
+            if args.id is not None:
+                payload["name"] = args.id
+        elif args.id is not None:
+            payload = {"sweep": args.id}
+        else:
+            print("serve-request sweep needs a named sweep id or "
+                  "--target with --axis", file=sys.stderr)
+            return 2
+        if args.seed is not None:
+            payload["seed"] = args.seed
+    if args.stream and method == "POST":
+        target += "?stream=1"
+    try:
+        response = http_request(
+            args.url, method, target, payload,
+            headers=headers, timeout=args.timeout,
+        )
+    except (ConnectionError, OSError, ValueError) as error:
+        print(f"request failed: {error}", file=sys.stderr)
+        return 2
+    body = response.body.decode("utf-8", "replace")
+    sys.stdout.write(body if body.endswith("\n") or not body else body + "\n")
+    if response.status == 429:
+        print(
+            f"shed ({response.headers.get('x-reject-reason', '?')}); "
+            f"Retry-After: {response.headers.get('retry-after', '?')}s",
+            file=sys.stderr,
+        )
+        return 3
+    if response.status >= 400:
+        return 1
+    if method == "POST" and not args.stream:
+        envelope = json.loads(body)
+        print(
+            f"{envelope['kind']} {envelope['fingerprint'][:16]} "
+            f"cache={response.headers.get('x-cache', '?')}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _command_faults(args: argparse.Namespace) -> int:
     """Run the resilience profile and print the fault/recovery summary."""
     from repro.observability.export import counter_rows
@@ -1004,6 +1148,95 @@ def build_parser() -> argparse.ArgumentParser:
              "may boot late)",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-running simulation service (HTTP/JSON API "
+             "with fingerprint-keyed caching and admission control)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="listen address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="listen port; 0 (default) picks an ephemeral port and "
+             "prints it",
+    )
+    serve.add_argument(
+        "--store", default=".repro-serve", metavar="DIR",
+        help="artefact store directory — cached results and in-flight "
+             "sweep journals; point a restarted service at the same "
+             "store to resume interrupted sweeps",
+    )
+    serve.add_argument(
+        "--sweep-workers", type=int, default=2, metavar="N",
+        help="worker processes per sweep request (default 2)",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=1, metavar="N",
+        help="concurrent simulation jobs (default 1 — topology/route "
+             "caches are shared, which assumes sequential jobs)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=8, metavar="N",
+        help="in-flight cold requests before load shedding with 429 "
+             "(default 8)",
+    )
+    serve.add_argument(
+        "--quota", default=None, metavar="RATE:BURST",
+        help="per-tenant token-bucket quota, e.g. 1:8 (1 req/s, burst "
+             "8) or 0:2 (hard budget of 2); default unlimited",
+    )
+    serve.add_argument(
+        "--preload", action="append", default=[], metavar="MODULE",
+        help="import MODULE before serving (registers custom sweep "
+             "targets; repeatable)",
+    )
+
+    serve_request = subparsers.add_parser(
+        "serve-request",
+        help="send one request to a running serve process",
+    )
+    serve_request.add_argument(
+        "url", help="service base url, e.g. http://127.0.0.1:7750"
+    )
+    serve_request.add_argument(
+        "kind", choices=("profile", "sweep", "health", "metrics"),
+        help="what to request",
+    )
+    serve_request.add_argument(
+        "id", nargs="?", default=None,
+        help="profile id (C1...) or named sweep (congestion, smoke, "
+             "resilience); optional sweep name with --target",
+    )
+    serve_request.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="profile parameter override (repeatable)",
+    )
+    serve_request.add_argument(
+        "--target", default=None, metavar="NAME",
+        help="custom sweep target (with --axis)",
+    )
+    serve_request.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=V1,V2",
+        help="custom sweep axis (repeatable, with --target)",
+    )
+    serve_request.add_argument(
+        "--seed", type=int, default=None, help="sweep seed override"
+    )
+    serve_request.add_argument(
+        "--tenant", default=None,
+        help="tenant name for quota accounting (X-Tenant header)",
+    )
+    serve_request.add_argument(
+        "--stream", action="store_true",
+        help="stream NDJSON progress events instead of one JSON body",
+    )
+    serve_request.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="socket timeout (default 300)",
+    )
+
     faults = subparsers.add_parser(
         "faults",
         help="run the fault-injection profile and report goodput/recovery",
@@ -1073,6 +1306,8 @@ _HANDLERS = {
     "profile": _command_profile,
     "sweep": _command_sweep,
     "sweep-worker": _command_sweep_worker,
+    "serve": _command_serve,
+    "serve-request": _command_serve_request,
     "faults": _command_faults,
     "validate": _command_validate,
 }

@@ -87,7 +87,9 @@ from repro.interconnect.topology import (
     build_topology,
     build_torus,
     build_two_tier,
+    enable_topology_cache,
     normalize_topology_kind,
+    topology_cache_stats,
 )
 
 __all__ = [
@@ -136,6 +138,7 @@ __all__ = [
     "build_two_tier",
     "default_solver_name",
     "electrical_reach",
+    "enable_topology_cache",
     "encryption_overhead",
     "get_solver",
     "invalidate_route_cache",
@@ -144,6 +147,7 @@ __all__ = [
     "register_solver",
     "route_cache_for",
     "set_default_solver",
+    "topology_cache_stats",
     "training_step_communication",
     "valiant_route",
 ]

@@ -489,6 +489,47 @@ def _resolve_spec(kind: Union[str, TopologySpec], params: Dict[str, object]) -> 
         raise ConfigurationError(f"bad topology parameters: {error}") from None
 
 
+# Opt-in process-level build cache.  ``python -m repro serve`` enables it
+# so every request for the same canonical spec shares one built Topology
+# object — and, because :func:`repro.interconnect.routecache.route_cache_for`
+# memoises per Topology *object*, the shortest-path route cache is shared
+# for free.  Off by default: batch callers sometimes mutate topologies
+# (fault campaigns flap links mid-run), which is only safe to share when
+# runs are sequential, as they are on the serve job executor.
+_BUILD_CACHE: Dict[object, "Topology"] = {}
+_BUILD_CACHE_STATS = {"hits": 0, "misses": 0}
+_BUILD_CACHE_ENABLED = False
+
+
+def enable_topology_cache(enabled: bool = True) -> None:
+    """Turn the process-level ``build_topology`` memo on or off.
+
+    Disabling also clears the cache and its hit/miss statistics, so test
+    suites can toggle it without leaking state across cases.
+    """
+    global _BUILD_CACHE_ENABLED
+    _BUILD_CACHE_ENABLED = bool(enabled)
+    if not enabled:
+        _BUILD_CACHE.clear()
+        _BUILD_CACHE_STATS["hits"] = 0
+        _BUILD_CACHE_STATS["misses"] = 0
+
+
+def topology_cache_stats() -> Dict[str, int]:
+    """Entries/hits/misses of the build cache (all zero when disabled)."""
+    return {"entries": len(_BUILD_CACHE), **_BUILD_CACHE_STATS}
+
+
+def _cache_key(name: str, values: Dict[str, object]):
+    return (
+        name,
+        tuple(
+            (key, tuple(value) if isinstance(value, (list, tuple)) else value)
+            for key, value in sorted(values.items())
+        ),
+    )
+
+
 def build_topology(kind: Union[str, TopologySpec], **spec: object) -> Topology:
     """Build any topology family from one declarative description.
 
@@ -524,6 +565,16 @@ def build_topology(kind: Union[str, TopologySpec], **spec: object) -> Topology:
         "two-tier": _two_tier,
         "torus": _torus,
     }[name]
+    if _BUILD_CACHE_ENABLED:
+        key = _cache_key(name, values)
+        cached = _BUILD_CACHE.get(key)
+        if cached is not None:
+            _BUILD_CACHE_STATS["hits"] += 1
+            return cached
+        _BUILD_CACHE_STATS["misses"] += 1
+        built = builder(**values)
+        _BUILD_CACHE[key] = built
+        return built
     return builder(**values)
 
 

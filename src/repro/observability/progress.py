@@ -142,6 +142,34 @@ class SweepProgressReporter:
             f"{rate:.1f} pts/s eta {eta}{self._harness_suffix()}"
         )
 
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        """The current progress state as a JSON-ready dict.
+
+        This is the machine-readable twin of :meth:`line`, streamed as
+        NDJSON ``progress`` events by ``python -m repro serve``.  The
+        ``harness`` map carries the non-zero ``sweep.supervisor.*``
+        counter totals (retries, crashes, timeouts, fleet churn) so a
+        streaming client sees the same recovery story a TTY watcher
+        would.
+        """
+        now = self.clock() if now is None else now
+        elapsed = max(now - self._started, 1e-9)
+        harness = {}
+        if self.telemetry is not None:
+            registry = self.telemetry.metrics
+            for counter, _ in _HARNESS_COUNTERS + _FLEET_COUNTERS:
+                name = f"sweep.supervisor.{counter}"
+                if name in registry:
+                    value = registry.get(name).total()
+                    if value:
+                        harness[counter] = value
+        return {
+            "done": self.done,
+            "total": self.total,
+            "rate_pts_per_s": self.done / elapsed,
+            "harness": harness,
+        }
+
     def _emit(self, now: float) -> None:
         self._last_emit = now
         text = self.line(now)

@@ -1,0 +1,121 @@
+"""The fingerprint-keyed artefact cache behind ``repro serve``.
+
+Completed response bodies are stored on disk under
+``<store>/artefacts/<fingerprint>.json`` — written atomically
+(:func:`repro.core.atomicio.atomic_write_text` semantics, but for the
+exact response bytes) so a crash mid-write can never publish a torn
+artefact — and fronted by a bounded in-memory LRU so the hot path
+serves repeats without touching the filesystem.
+
+The same store owns ``<store>/journals/<fingerprint>.jsonl``: the sweep
+run journal for an in-flight request.  A serve process killed mid-sweep
+leaves the journal behind; the restarted process finds it and resumes
+(``run_sweep(resume=...)``) instead of recomputing, then deletes it once
+the artefact lands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from collections import OrderedDict
+from typing import Dict, Optional, Union
+
+
+class ResultCache:
+    """Disk-backed, memory-fronted cache of response bodies by fingerprint.
+
+    ``max_memory_entries`` bounds only the in-memory front; the disk
+    store is the durable, unbounded source of truth.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        max_memory_entries: int = 1024,
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.artefacts = self.directory / "artefacts"
+        self.journals = self.directory / "journals"
+        self.artefacts.mkdir(parents=True, exist_ok=True)
+        self.journals.mkdir(parents=True, exist_ok=True)
+        self.max_memory_entries = max(1, int(max_memory_entries))
+        self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        self.stats: Dict[str, int] = {
+            "memory_hits": 0, "disk_hits": 0, "misses": 0,
+        }
+
+    def artefact_path(self, fingerprint: str) -> pathlib.Path:
+        return self.artefacts / f"{fingerprint}.json"
+
+    def journal_path(self, fingerprint: str) -> pathlib.Path:
+        return self.journals / f"{fingerprint}.jsonl"
+
+    def get(self, fingerprint: str) -> Optional[bytes]:
+        """The cached body, or ``None``.  Corrupt artefacts raise.
+
+        Artefacts are written atomically, so a corrupt file means
+        something outside the service touched the store — surface that
+        loudly (naming the path) rather than silently recomputing over
+        it.
+        """
+        body = self._memory.get(fingerprint)
+        if body is not None:
+            self._memory.move_to_end(fingerprint)
+            self.stats["memory_hits"] += 1
+            return body
+        path = self.artefact_path(fingerprint)
+        try:
+            body = path.read_bytes()
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        try:
+            json.loads(body)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"{path}: corrupt cached artefact (invalid JSON: {error}) "
+                "— delete it to allow recomputation"
+            ) from None
+        self.stats["disk_hits"] += 1
+        self._remember(fingerprint, body)
+        return body
+
+    def put(self, fingerprint: str, body: bytes) -> pathlib.Path:
+        """Publish a completed response body atomically."""
+        path = self.artefact_path(fingerprint)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{fingerprint[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self._remember(fingerprint, body)
+        return path
+
+    def discard_journal(self, fingerprint: str) -> None:
+        """Drop the run journal once its artefact is durable."""
+        try:
+            self.journal_path(fingerprint).unlink()
+        except FileNotFoundError:
+            pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.artefacts.glob("*.json"))
+
+    def _remember(self, fingerprint: str, body: bytes) -> None:
+        self._memory[fingerprint] = body
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)

@@ -1,0 +1,56 @@
+"""A stdlib socket client for the serve API.
+
+Backs ``python -m repro serve-request`` (the CLI client the smoke tests
+and the CI job drive) and the real-socket test suites.  Uses
+``http.client`` — synchronous, dependency-free, and happy to read both
+fixed-length JSON bodies and NDJSON streams to EOF.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, Optional
+from urllib.parse import urlsplit
+
+from repro.serve.testing import ClientResponse
+
+
+def http_request(
+    url: str,
+    method: str,
+    target: str,
+    payload: Optional[dict] = None,
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 300.0,
+) -> ClientResponse:
+    """One HTTP request against a running serve process.
+
+    ``url`` is the service base (``http://127.0.0.1:7750``); ``target``
+    the path + query.  Returns the full response with the body read to
+    completion (streams included).
+    """
+    parts = urlsplit(url if "//" in url else f"//{url}")
+    if parts.scheme not in ("", "http"):
+        raise ValueError(f"unsupported scheme {parts.scheme!r} in {url!r}")
+    if not parts.hostname:
+        raise ValueError(f"no host in serve url {url!r}")
+    connection = http.client.HTTPConnection(
+        parts.hostname, parts.port or 80, timeout=timeout
+    )
+    try:
+        body = (
+            None if payload is None
+            else json.dumps(payload).encode("utf-8")
+        )
+        send_headers = {"Content-Type": "application/json"}
+        send_headers.update(headers or {})
+        connection.request(method, target, body=body, headers=send_headers)
+        response = connection.getresponse()
+        return ClientResponse(
+            status=response.status,
+            headers={k.lower(): v for k, v in response.getheaders()},
+            body=response.read(),
+        )
+    finally:
+        connection.close()

@@ -1,0 +1,90 @@
+"""Route handlers for the serve API.
+
+Four routes, dispatched by :meth:`repro.serve.app.ServiceApp.dispatch`:
+
+``GET /healthz``
+    Liveness plus the admission snapshot and cache statistics.
+``GET /metrics``
+    The ``serve.*`` counters (and everything else on the app registry)
+    in the Prometheus text exposition format
+    (:func:`repro.observability.export.prometheus_lines`).
+``POST /v1/profile`` / ``POST /v1/sweep``
+    Submit a request.  ``?stream=1`` switches the response to NDJSON
+    events (``accepted`` / ``progress`` / ``result`` / ``error``);
+    otherwise the completed envelope returns as one JSON body.
+
+Response envelopes are deterministic by construction — sorted keys, no
+wall-clock fields — which is what makes byte-identical caching possible:
+the cache stores exactly the bytes a fresh run would produce.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from repro.serve.http import ServeRequest, Response, json_response
+
+#: Response envelope schema identifier.
+SERVE_SCHEMA = "repro.serve/v1"
+
+
+def build_body(
+    canonical: Dict[str, object],
+    fingerprint: str,
+    document: Dict[str, object],
+) -> bytes:
+    """The deterministic response body for one completed request.
+
+    ``document`` is the ``repro.validate/v1`` fingerprint document of
+    the run (metrics + counters, no wall-clock), so two executions of
+    the same canonical request — cold, cached, or journal-resumed —
+    produce byte-identical bodies.
+    """
+    envelope = {
+        "schema": SERVE_SCHEMA,
+        "kind": canonical["kind"],
+        "fingerprint": fingerprint,
+        "request": canonical,
+        "result": document,
+    }
+    return (json.dumps(envelope, sort_keys=True) + "\n").encode("utf-8")
+
+
+async def handle_health(app, request: ServeRequest) -> Response:
+    return json_response(
+        {
+            "status": "ok",
+            "admission": app.admission.snapshot(),
+            "cache": dict(app.cache.stats),
+            "inflight_jobs": len(app.inflight),
+        }
+    )
+
+
+async def handle_metrics(app, request: ServeRequest) -> Response:
+    from repro.observability.export import prometheus_lines
+
+    app.refresh_gauges()
+    lines = prometheus_lines(app.telemetry.metrics)
+    body = ("\n".join(lines) + "\n" if lines else "").encode("utf-8")
+    return Response(
+        status=200, body=body, content_type="text/plain; version=0.0.4"
+    )
+
+
+async def handle_profile(app, request: ServeRequest):
+    return await app.submit(request, "profile")
+
+
+async def handle_sweep(app, request: ServeRequest):
+    return await app.submit(request, "sweep")
+
+
+#: The route table: (method, path) -> handler coroutine.
+ROUTES = {
+    ("GET", "/healthz"): handle_health,
+    ("GET", "/metrics"): handle_metrics,
+    ("POST", "/v1/profile"): handle_profile,
+    ("POST", "/v1/sweep"): handle_sweep,
+}

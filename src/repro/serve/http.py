@@ -1,0 +1,211 @@
+"""A minimal HTTP/1.1 layer for the serve API — stdlib asyncio only.
+
+The service speaks exactly the slice of HTTP it needs: request line +
+headers + ``Content-Length`` body in, fixed-length JSON or chunked-free
+NDJSON streams out.  No routing framework, no dependency — requests
+parse into a :class:`ServeRequest`, handlers return a :class:`Response`
+or :class:`NdjsonResponse`, and :func:`write_response` serialises either
+onto the socket.
+
+Anything malformed raises :class:`ProtocolError` carrying the HTTP
+status to answer with (400 for parse errors, 413 for oversized bodies),
+so the connection loop can reply instead of dying.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+#: Reason phrases for the statuses the service actually sends.
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Hard ceiling on request head size (request line + headers).
+MAX_HEAD_BYTES = 16 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed request, carrying the status code to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class ServeRequest:
+    """One parsed request: method, path, query, lowercase headers, body."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @classmethod
+    def from_target(
+        cls,
+        method: str,
+        target: str,
+        headers: Optional[Dict[str, str]] = None,
+        body: bytes = b"",
+    ) -> "ServeRequest":
+        """Build a request from a raw target like ``/v1/sweep?stream=1``."""
+        parts = urlsplit(target)
+        return cls(
+            method=method.upper(),
+            path=parts.path or "/",
+            query=dict(parse_qsl(parts.query)),
+            headers={k.lower(): v for k, v in (headers or {}).items()},
+            body=body,
+        )
+
+    def json(self) -> object:
+        """The body parsed as JSON; :class:`ProtocolError` 400 if not."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(400, f"invalid JSON body: {error}") from None
+
+
+@dataclass
+class Response:
+    """A fixed-length response; ``body`` bytes are sent verbatim."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+class NdjsonResponse:
+    """A streamed NDJSON response: one JSON document per line.
+
+    ``events`` is an async iterator of JSON-ready dicts; each is written
+    (and flushed) as its own line the moment it is produced, so clients
+    see progress while the job runs.  The connection closes at stream
+    end — the one place the service forgoes keep-alive, because without
+    a length the client needs EOF to know the stream finished.
+    """
+
+    def __init__(self, events: AsyncIterator[dict], status: int = 200) -> None:
+        self.status = status
+        self.events = events
+        self.headers: Dict[str, str] = {}
+
+
+def json_response(
+    payload: object,
+    status: int = 200,
+    headers: Optional[Dict[str, str]] = None,
+) -> Response:
+    """A sorted-key JSON response (deterministic bytes for equal payloads)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return Response(status=status, body=body, headers=dict(headers or {}))
+
+
+def error_response(
+    status: int, message: str, headers: Optional[Dict[str, str]] = None
+) -> Response:
+    """A JSON error body ``{"error", "status"}`` with the same status."""
+    return json_response(
+        {"error": message, "status": status}, status=status, headers=headers
+    )
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int
+) -> Optional[ServeRequest]:
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close between requests
+        raise ProtocolError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(400, "request head too large") from None
+    if len(head) > MAX_HEAD_BYTES:
+        raise ProtocolError(400, "request head too large")
+
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = request_line.split(" ", 2)
+    except ValueError:
+        raise ProtocolError(400, "malformed request line") from None
+    headers: Dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ProtocolError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(
+            400, f"bad Content-Length: {length_text!r}"
+        ) from None
+    if length < 0:
+        raise ProtocolError(400, f"bad Content-Length: {length_text!r}")
+    if length > max_body:
+        raise ProtocolError(
+            413, f"body of {length} bytes exceeds the {max_body} byte limit"
+        )
+    body = await reader.readexactly(length) if length else b""
+    return ServeRequest.from_target(method, target, headers, body)
+
+
+def _head_bytes(
+    status: int, headers: Dict[str, str]
+) -> bytes:
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    response,
+) -> bool:
+    """Send a response; returns True when the connection must close."""
+    if isinstance(response, NdjsonResponse):
+        headers = {
+            "Content-Type": "application/x-ndjson",
+            "Connection": "close",
+            **response.headers,
+        }
+        writer.write(_head_bytes(response.status, headers))
+        await writer.drain()
+        async for event in response.events:
+            writer.write(
+                (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+            )
+            await writer.drain()
+        return True
+    headers = {
+        "Content-Type": response.content_type,
+        "Content-Length": str(len(response.body)),
+        **response.headers,
+    }
+    writer.write(_head_bytes(response.status, headers))
+    writer.write(response.body)
+    await writer.drain()
+    return False

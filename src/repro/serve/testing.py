@@ -1,0 +1,184 @@
+"""The service-level test harness for ``repro serve``.
+
+Two entry points, both used by the tier-1 suites and the ``check_serve``
+differential:
+
+* :class:`ServiceClient` — an **in-process** client that drives
+  :meth:`~repro.serve.app.ServiceApp.dispatch` directly, no socket: the
+  full submit/cache/admission/execution path under test with none of
+  the transport flake.  NDJSON responses are drained eagerly into the
+  returned :class:`ClientResponse`.
+* :class:`ServerThread` — the **real-socket** fixture: runs an app's
+  asyncio server on a background thread, binding port 0 (never a fixed
+  port — suites must survive parallel runs), and tears down cleanly on
+  :meth:`stop` so ``pytest -x`` leaves no listener behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.http import NdjsonResponse, ServeRequest
+
+
+@dataclass
+class ClientResponse:
+    """One response as a test sees it: status, headers, raw body."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        return json.loads(self.body)
+
+    def ndjson(self) -> List[dict]:
+        """The body parsed as one JSON document per line."""
+        return [
+            json.loads(line)
+            for line in self.body.splitlines()
+            if line.strip()
+        ]
+
+
+class ServiceClient:
+    """In-process client: requests go straight to ``app.dispatch``."""
+
+    __test__ = False  # not a pytest collection target
+
+    def __init__(self, app) -> None:
+        self.app = app
+
+    def request(
+        self,
+        method: str,
+        target: str,
+        payload: Optional[dict] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> ClientResponse:
+        body = (
+            b""
+            if payload is None
+            else json.dumps(payload).encode("utf-8")
+        )
+        request = ServeRequest.from_target(method, target, headers, body)
+
+        async def run() -> ClientResponse:
+            response = await self.app.dispatch(request)
+            if isinstance(response, NdjsonResponse):
+                chunks = []
+                async for event in response.events:
+                    chunks.append(
+                        json.dumps(event, sort_keys=True) + "\n"
+                    )
+                return ClientResponse(
+                    status=response.status,
+                    headers=dict(response.headers),
+                    body="".join(chunks).encode("utf-8"),
+                )
+            return ClientResponse(
+                status=response.status,
+                headers=dict(response.headers),
+                body=response.body,
+            )
+
+        return asyncio.run(run())
+
+    def get(self, target: str) -> ClientResponse:
+        return self.request("GET", target)
+
+    def post(
+        self,
+        target: str,
+        payload: dict,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> ClientResponse:
+        return self.request("POST", target, payload, headers)
+
+
+class ServerThread:
+    """A real listening server on a background thread, port 0 only.
+
+    Usage::
+
+        server = ServerThread(app)
+        host, port = server.start()
+        ...
+        server.stop()   # closes the listener, joins the thread
+
+    ``stop`` is idempotent and does not call ``app.close()`` — the
+    owner decides when process-level resources go away.
+    """
+
+    __test__ = False
+
+    def __init__(self, app) -> None:
+        self.app = app
+        self.address: Optional[Tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 10.0) -> Tuple[str, int]:
+        if self._thread is not None:
+            raise RuntimeError("server thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-test", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("server thread failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to bind: {self._startup_error}"
+            )
+        assert self.address is not None
+        return self.address
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            self.address = loop.run_until_complete(self.app.start())
+        except BaseException as error:
+            self._startup_error = error
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.app.stop_server())
+            # Let in-flight connection tasks observe the shutdown.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - diagnostics
+            raise RuntimeError("server thread did not stop in time")
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

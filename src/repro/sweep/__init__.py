@@ -59,6 +59,7 @@ from repro.sweep.engine import (
     SweepResult,
     SweepSpec,
     run_sweep,
+    spec_from_request,
 )
 from repro.sweep.grid import ParameterGrid, ScenarioPoint
 from repro.sweep.journal import (
@@ -120,5 +121,6 @@ __all__ = [
     "run_sweep",
     "run_worker",
     "save_sweep",
+    "spec_from_request",
     "sweep_document",
 ]

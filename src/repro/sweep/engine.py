@@ -167,6 +167,31 @@ class SweepResult:
         return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def spec_from_request(request: Mapping[str, object]) -> SweepSpec:
+    """The executable :class:`SweepSpec` for a canonical serve request.
+
+    This is the in-process submission path used by ``python -m repro
+    serve``: the request is first normalised through
+    :func:`repro.validate.fingerprint.canonical_request` (idempotent for
+    already-canonical documents) and the spec is built **from the
+    canonical form** — sorted axis names included — so the cache key and
+    the executed grid can never disagree.
+    """
+    from repro.validate.fingerprint import canonical_request
+
+    canonical = canonical_request(request)
+    if canonical["kind"] != "sweep":
+        raise ConfigurationError(
+            f"expected a sweep request, got kind={canonical['kind']!r}"
+        )
+    return SweepSpec(
+        name=str(canonical["name"]),
+        target=str(canonical["target"]),
+        grid=canonical["axes"],
+        seed=int(canonical["seed"]),
+    )
+
+
 def _run_point(args) -> PointResult:
     """Worker body: run one scenario point (module-level for pickling).
 

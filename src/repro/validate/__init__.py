@@ -34,16 +34,21 @@ from repro.validate.differential import (
     check_distributed,
     check_resume,
     check_routes,
+    check_serve,
     check_solvers,
     check_sweep,
     run_differential_checks,
 )
 from repro.validate.fingerprint import (
     DEFAULT_RTOL,
+    REQUEST_SCHEMA,
     SCHEMA,
     GoldenStore,
+    canonical_request,
     compare_fingerprints,
+    profile_defaults,
     profile_fingerprint,
+    request_fingerprint,
     sweep_fingerprint,
 )
 from repro.validate.invariants import (
@@ -63,6 +68,7 @@ from repro.validate.runner import (
 __all__ = [
     "DEFAULT_GOLDEN_DIR",
     "DEFAULT_RTOL",
+    "REQUEST_SCHEMA",
     "SCHEMA",
     "DifferentialResult",
     "GoldenStore",
@@ -78,9 +84,13 @@ __all__ = [
     "check_resume",
     "check_routes",
     "check_solvers",
+    "check_serve",
     "check_sweep",
+    "canonical_request",
     "compare_fingerprints",
+    "profile_defaults",
     "profile_fingerprint",
+    "request_fingerprint",
     "run_differential_checks",
     "run_validated",
     "sweep_fingerprint",

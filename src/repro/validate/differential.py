@@ -635,6 +635,129 @@ def check_distributed(hosts: int = 2) -> DifferentialResult:
     )
 
 
+# --- the serve cache ------------------------------------------------------------
+
+
+def check_serve() -> DifferentialResult:
+    """Cached serve responses vs fresh cold runs of the same request.
+
+    Drives the full in-process service stack (``repro.serve``) and
+    asserts the caching contract three ways:
+
+    * a cached response is **byte-identical** to the cold run that
+      produced it *and* to a cold run on a second, empty-store service —
+      the cache stores exactly what a fresh run would say;
+    * requests differing only in spelling — shuffled key order, ``8.0``
+      for ``8``, defaults explicit vs omitted, lowercase profile id —
+      hit the same cache entry;
+    * cache hits perform **zero simulation**: the ``serve.kernel_events``
+      counter stands still across hits.
+    """
+    import tempfile
+
+    from repro.serve import ServeConfig, ServiceApp, ServiceClient
+
+    failures: List[str] = []
+    comparisons = 0
+    # C8 is event-driven (the discrete-event cluster kernel), so the
+    # zero-simulation assertion below has teeth: cold runs move the
+    # ``serve.kernel_events`` counter, cache hits must not.
+    profile_request = {"profile": "C8", "params": {"max_jobs": 8}}
+    respelled = {
+        "profile": "c8",
+        "params": {
+            "seed": 55.0,  # the default, spelled out
+            "max_jobs": 8.0,
+            "duration": 10000,
+        },
+    }
+    sweep_request = {
+        "target": "fabric-congestion",
+        "axes": {"topology": ["dragonfly"], "load": [0.5, 0.9],
+                 "flows": [12]},
+        "seed": 11,
+        "name": "serve-differential",
+    }
+    sweep_respelled = {
+        "seed": 11.0,
+        "name": "serve-differential",
+        "axes": {"flows": [12.0], "load": [0.5, 0.9],
+                 "topology": ["dragonfly"]},
+        "target": "fabric-congestion",
+    }
+
+    with tempfile.TemporaryDirectory() as first_store, \
+            tempfile.TemporaryDirectory() as second_store:
+        app = ServiceApp(ServeConfig(store=first_store, sweep_workers=1))
+        fresh = ServiceApp(ServeConfig(store=second_store, sweep_workers=1))
+        try:
+            client = ServiceClient(app)
+            fresh_client = ServiceClient(fresh)
+            for endpoint, cold_payload, hit_payload in (
+                ("/v1/profile", profile_request, respelled),
+                ("/v1/sweep", sweep_request, sweep_respelled),
+            ):
+                cold = client.post(endpoint, cold_payload)
+                comparisons += 1
+                if cold.status != 200 or cold.headers.get("X-Cache") != "miss":
+                    failures.append(
+                        f"{endpoint}: cold run answered "
+                        f"{cold.status}/{cold.headers.get('X-Cache')}"
+                    )
+                    continue
+                events_before = app.counter("serve.kernel_events").total()
+                if endpoint == "/v1/profile" and events_before <= 0:
+                    failures.append(
+                        f"{endpoint}: cold run fired no kernel events — "
+                        "the zero-simulation check would be vacuous"
+                    )
+                cached = client.post(endpoint, hit_payload)
+                comparisons += 1
+                if cached.headers.get("X-Cache") != "hit":
+                    failures.append(
+                        f"{endpoint}: respelled request missed the cache "
+                        f"({cached.headers.get('X-Cache')})"
+                    )
+                if cached.body != cold.body:
+                    failures.append(
+                        f"{endpoint}: cached body differs from the cold run"
+                    )
+                moved = (
+                    app.counter("serve.kernel_events").total()
+                    - events_before
+                )
+                if moved:
+                    failures.append(
+                        f"{endpoint}: cache hit simulated "
+                        f"{moved:g} kernel events (expected 0)"
+                    )
+                # A second service with an empty store must reproduce the
+                # exact bytes cold — the cache never invents anything.
+                recomputed = fresh_client.post(endpoint, hit_payload)
+                comparisons += 1
+                if recomputed.headers.get("X-Cache") != "miss":
+                    failures.append(
+                        f"{endpoint}: fresh store unexpectedly "
+                        f"{recomputed.headers.get('X-Cache')}"
+                    )
+                if recomputed.body != cold.body:
+                    failures.append(
+                        f"{endpoint}: fresh cold run bytes differ from "
+                        "the cached response"
+                    )
+        finally:
+            app.close()
+            fresh.close()
+    detail = (
+        "cached profile and sweep responses byte-identical to fresh cold "
+        "runs; respelled requests share cache entries; hits fire 0 kernel "
+        "events"
+        if not failures
+        else "; ".join(failures[:3])
+    )
+    return DifferentialResult("serve", not failures, comparisons, detail)
+
+
 def run_differential_checks(
     sweep_workers: int = 2,
 ) -> List[DifferentialResult]:
@@ -647,4 +770,5 @@ def run_differential_checks(
         check_resume(),
         check_solvers(),
         check_distributed(),
+        check_serve(),
     ]

@@ -20,15 +20,20 @@ sweep. Fingerprints recorded from a known-good build live in
 
 from __future__ import annotations
 
+import hashlib
+import inspect
 import json
 import math
 import pathlib
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 from repro.core.atomicio import atomic_write_text
 
 #: Fingerprint document schema identifier.
 SCHEMA = "repro.validate/v1"
+
+#: Canonical serve-request schema identifier (the cache-key form).
+REQUEST_SCHEMA = "repro.serve.request/v1"
 
 #: Default relative tolerance for numeric comparisons. Runs are seeded and
 #: deterministic, so this only needs to absorb cross-platform libm and
@@ -311,3 +316,249 @@ class GoldenStore:
                 "`python -m repro validate --record` on a known-good build"
             ]
         return compare_fingerprints(golden, document, rtol=rtol)
+
+
+# ---------------------------------------------------------------------------
+# Canonical serve requests (``repro.serve.request/v1``)
+# ---------------------------------------------------------------------------
+#
+# ``python -m repro serve`` caches completed artefacts keyed by a hash of
+# the *request*, so two requests that mean the same thing must hash the
+# same: ``{"aggressors": 8}`` vs ``{"aggressors": 8.0}``, shuffled key
+# order, defaults spelled out vs omitted. ``canonical_request`` maps every
+# equivalent spelling onto one normal form, and — critically — the service
+# *executes* from that same normal form, so the hash can never disagree
+# with what actually ran.
+
+#: Top-level request keys that carry transport concerns, not meaning.
+#: They never influence the fingerprint.
+_TRANSPORT_KEYS = frozenset({"schema", "kind", "tenant", "stream"})
+
+#: Largest integer exactly representable as a float; integral floats
+#: beyond it are left as floats rather than silently rounded.
+_MAX_SAFE_INT = 2 ** 53
+
+_PROFILE_DEFAULTS_CACHE: Dict[str, Dict[str, object]] = {}
+
+
+def profile_defaults(profile_id: str) -> Dict[str, object]:
+    """The requestable parameters of a profile, with their defaults.
+
+    A parameter is requestable iff it has a default in the profile's
+    signature (positional infrastructure arguments such as ``telemetry``
+    are wired by the runner, never by a request). Signatures are memoised
+    so the serve hot path does not pay ``inspect`` per request.
+    """
+    key = str(profile_id).upper()
+    cached = _PROFILE_DEFAULTS_CACHE.get(key)
+    if cached is None:
+        from repro import profiles
+
+        try:
+            function = profiles.PROFILES[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown profile {profile_id!r}; choose from "
+                f"{', '.join(sorted(profiles.PROFILES))}"
+            ) from None
+        cached = {
+            name: parameter.default
+            for name, parameter in inspect.signature(
+                function
+            ).parameters.items()
+            if parameter.default is not inspect.Parameter.empty
+        }
+        _PROFILE_DEFAULTS_CACHE[key] = cached
+    return dict(cached)
+
+
+def _canonical_value(value: object, where: str) -> object:
+    """One JSON-native normal form for a parameter value.
+
+    Integral floats collapse to int (``8.0`` -> ``8``) so JSON float
+    formatting cannot split the cache; bools stay bools (checked before
+    int — ``True`` must not become ``1``); non-finite floats are rejected
+    because they cannot round-trip through JSON.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(f"{where}: non-finite float {value!r}")
+        if value.is_integer() and abs(value) <= _MAX_SAFE_INT:
+            return int(value)
+        return value
+    if isinstance(value, (list, tuple)):
+        return [
+            _canonical_value(item, f"{where}[{index}]")
+            for index, item in enumerate(value)
+        ]
+    if isinstance(value, Mapping):
+        return {
+            str(key): _canonical_value(value[key], f"{where}[{key!r}]")
+            for key in sorted(value, key=str)
+        }
+    raise ValueError(
+        f"{where}: unsupported value type {type(value).__name__!r} "
+        f"({value!r}) — requests are JSON documents"
+    )
+
+
+def _reject_unknown_keys(payload: Mapping, allowed: frozenset) -> None:
+    unknown = sorted(set(map(str, payload)) - allowed - _TRANSPORT_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown request field(s): {', '.join(unknown)} "
+            f"(allowed: {', '.join(sorted(allowed))})"
+        )
+
+
+def _canonical_profile_request(payload: Mapping) -> Dict[str, object]:
+    _reject_unknown_keys(payload, frozenset({"profile", "params"}))
+    profile_id = str(payload["profile"]).upper()
+    defaults = profile_defaults(profile_id)
+
+    raw_params = payload.get("params") or {}
+    if not isinstance(raw_params, Mapping):
+        raise ValueError(
+            f"params: expected an object, found "
+            f"{type(raw_params).__name__}"
+        )
+    unknown = sorted(set(map(str, raw_params)) - set(defaults))
+    if unknown:
+        raise ValueError(
+            f"profile {profile_id} has no parameter(s) "
+            f"{', '.join(unknown)} (requestable: "
+            f"{', '.join(sorted(defaults))})"
+        )
+    # Resolve *every* parameter — explicit or defaulted — through the
+    # same normalisation, so "default spelled out" and "default omitted"
+    # are literally the same document.
+    params = {
+        name: _canonical_value(
+            raw_params.get(name, default), f"params[{name}]"
+        )
+        for name, default in defaults.items()
+    }
+    return {
+        "schema": REQUEST_SCHEMA,
+        "kind": "profile",
+        "profile": profile_id,
+        "params": {name: params[name] for name in sorted(params)},
+    }
+
+
+def _canonical_sweep_request(payload: Mapping) -> Dict[str, object]:
+    if "sweep" in payload:
+        _reject_unknown_keys(payload, frozenset({"sweep", "seed"}))
+        from repro.sweep import named_sweep
+
+        seed = payload.get("seed")
+        try:
+            spec = named_sweep(
+                str(payload["sweep"]),
+                seed=None if seed is None else int(seed),
+            )
+        except KeyError as error:
+            raise ValueError(str(error.args[0])) from None
+        name, target, seed = spec.name, spec.target, spec.seed
+        axes = spec.grid.axes
+    else:
+        _reject_unknown_keys(
+            payload, frozenset({"target", "axes", "seed", "name"})
+        )
+        target = str(payload["target"])
+        axes = payload.get("axes")
+        if not isinstance(axes, Mapping) or not axes:
+            raise ValueError(
+                "axes: expected a non-empty object of "
+                "axis name -> list of values"
+            )
+        name = str(payload.get("name") or target)
+        seed = int(payload.get("seed", 0))
+
+    from repro.sweep import resolve_target
+
+    try:
+        resolve_target(target)
+    except KeyError as error:
+        raise ValueError(str(error.args[0])) from None
+
+    canonical_axes: Dict[str, List[object]] = {}
+    for axis in sorted(map(str, axes)):
+        values = axes[axis]
+        if isinstance(values, (str, bytes)) or not hasattr(
+            values, "__iter__"
+        ):
+            raise ValueError(
+                f"axes[{axis!r}]: expected a list of values, found "
+                f"{values!r}"
+            )
+        values = list(values)
+        if not values:
+            raise ValueError(f"axes[{axis!r}]: empty axis")
+        # Value order stays significant (it fixes the enumeration order
+        # and therefore point identity); only axis *names* are sorted.
+        canonical_axes[axis] = [
+            _canonical_value(value, f"axes[{axis!r}][{index}]")
+            for index, value in enumerate(values)
+        ]
+    return {
+        "schema": REQUEST_SCHEMA,
+        "kind": "sweep",
+        "name": name,
+        "target": target,
+        "seed": int(seed),
+        "axes": canonical_axes,
+    }
+
+
+def canonical_request(payload: Mapping) -> Dict[str, object]:
+    """The ``repro.serve.request/v1`` normal form of a request payload.
+
+    Accepts raw client payloads and already-canonical documents alike
+    (canonicalisation is idempotent). Profile requests carry ``profile``
+    (+ optional ``params``); sweep requests carry either ``sweep`` (a
+    named sweep, + optional ``seed``) or ``target``/``axes``
+    (+ optional ``seed``/``name``). Everything invalid — unknown
+    profile, unknown parameter, empty axis, non-JSON value — raises
+    ``ValueError`` with the offending field named.
+
+    The service executes from the canonical form (see
+    ``repro.sweep.spec_from_request``), so hash and execution cannot
+    disagree.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError(
+            f"request: expected a JSON object, found "
+            f"{type(payload).__name__}"
+        )
+    has_profile = "profile" in payload
+    has_sweep = "sweep" in payload or "target" in payload
+    if has_profile and has_sweep:
+        raise ValueError(
+            "request mixes profile and sweep fields — send exactly one "
+            "of 'profile', 'sweep', or 'target'"
+        )
+    if has_profile:
+        return _canonical_profile_request(payload)
+    if has_sweep:
+        return _canonical_sweep_request(payload)
+    raise ValueError(
+        "request needs one of 'profile' (run a profile), 'sweep' "
+        "(a named sweep), or 'target' + 'axes' (a custom sweep)"
+    )
+
+
+def request_fingerprint(payload: Mapping) -> str:
+    """The cache key for a request: sha256 of its canonical form.
+
+    Every spelling of the same request — shuffled keys, ``8.0`` for
+    ``8``, defaults omitted or explicit — produces the same digest;
+    any semantic change produces a different one.
+    """
+    canonical = canonical_request(payload)
+    encoded = json.dumps(
+        canonical, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()

@@ -1,0 +1,206 @@
+"""Property tests: the serve cache key is exactly request semantics.
+
+``request_fingerprint`` is the single cache key for ``repro serve`` —
+if two spellings of the same request ever hash apart, the cache
+silently recomputes; if two *different* requests ever hash together,
+the cache silently lies.  Hypothesis attacks both directions:
+
+* **stability** — key order, int-vs-integral-float spelling, explicit
+  defaults, transport fields and repeated canonicalisation never move
+  the fingerprint;
+* **sensitivity** — any semantic edit (a parameter value, a seed, an
+  axis value or its order) always moves it.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.validate import (
+    canonical_request,
+    profile_defaults,
+    request_fingerprint,
+)
+
+PROFILE_ID = "C8"
+DEFAULTS = profile_defaults(PROFILE_ID)  # arrival_rate/duration/max_jobs/seed
+
+#: Values for the numeric C8 parameters, drawn as ints so the
+#: int-vs-float respelling below is always exact.
+param_values = st.fixed_dictionaries(
+    {},
+    optional={
+        "max_jobs": st.integers(min_value=1, max_value=500),
+        "seed": st.integers(min_value=0, max_value=2 ** 31),
+        "duration": st.integers(min_value=1, max_value=10 ** 6),
+    },
+)
+
+def canonical_key(value):
+    """Identity under canonicalisation: ``2`` and ``2.0`` are one value,
+    ``True`` and ``1`` are not."""
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, float) and value.is_integer():
+        return ("num", int(value))
+    if isinstance(value, (int, float)):
+        return ("num", value)
+    return ("str", value)
+
+
+axis_values = st.lists(
+    st.one_of(
+        st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+        st.floats(
+            allow_nan=False, allow_infinity=False,
+            min_value=-1e9, max_value=1e9,
+        ),
+        st.text(min_size=0, max_size=8),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=5,
+    unique_by=canonical_key,
+)
+
+sweep_requests = st.fixed_dictionaries(
+    {
+        "target": st.just("fabric-congestion"),
+        "axes": st.dictionaries(
+            st.sampled_from(["load", "flows", "topology", "congestion"]),
+            axis_values,
+            min_size=1,
+            max_size=4,
+        ),
+        "seed": st.integers(min_value=0, max_value=2 ** 31),
+        "name": st.text(min_size=1, max_size=12),
+    }
+)
+
+
+def shuffled(mapping: dict, order: int) -> dict:
+    """The same mapping, inserted in a different (order-derived) order."""
+    keys = sorted(mapping)
+    rotation = order % max(len(keys), 1)
+    return {key: mapping[key] for key in keys[rotation:] + keys[:rotation]}
+
+
+class TestStability:
+    @given(params=param_values, order=st.integers(min_value=0))
+    @settings(max_examples=60, deadline=None)
+    def test_key_order_and_case_never_matter(self, params, order):
+        base = {"profile": PROFILE_ID, "params": params}
+        respelled = {
+            "profile": PROFILE_ID.lower(),
+            "params": shuffled(params, order),
+        }
+        assert request_fingerprint(respelled) == request_fingerprint(base)
+
+    @given(params=param_values)
+    @settings(max_examples=60, deadline=None)
+    def test_integral_floats_equal_their_ints(self, params):
+        base = {"profile": PROFILE_ID, "params": params}
+        as_floats = {
+            "profile": PROFILE_ID,
+            "params": {name: float(value) for name, value in params.items()},
+        }
+        assert request_fingerprint(as_floats) == request_fingerprint(base)
+
+    @given(params=param_values)
+    @settings(max_examples=60, deadline=None)
+    def test_explicit_defaults_equal_omitted_defaults(self, params):
+        base = {"profile": PROFILE_ID, "params": params}
+        spelled_out = {
+            "profile": PROFILE_ID,
+            "params": {**DEFAULTS, **params},
+        }
+        assert request_fingerprint(spelled_out) == request_fingerprint(base)
+
+    @given(
+        params=param_values,
+        tenant=st.text(min_size=0, max_size=8),
+        stream=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_transport_fields_never_matter(self, params, tenant, stream):
+        base = {"profile": PROFILE_ID, "params": params}
+        dressed = {**base, "tenant": tenant, "stream": stream}
+        assert request_fingerprint(dressed) == request_fingerprint(base)
+
+    @given(request=sweep_requests, order=st.integers(min_value=0))
+    @settings(max_examples=60, deadline=None)
+    def test_sweep_axis_name_order_never_matters(self, request, order):
+        respelled = {**request, "axes": shuffled(request["axes"], order)}
+        assert request_fingerprint(respelled) == request_fingerprint(request)
+
+    @given(request=st.one_of(
+        sweep_requests,
+        param_values.map(
+            lambda params: {"profile": PROFILE_ID, "params": params}
+        ),
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_canonicalisation_is_idempotent(self, request):
+        canonical = canonical_request(request)
+        assert canonical_request(canonical) == canonical
+        assert request_fingerprint(canonical) == request_fingerprint(request)
+        # The canonical form is a plain JSON document.
+        json.dumps(canonical)
+
+
+class TestSensitivity:
+    @given(
+        params=param_values,
+        name=st.sampled_from(["max_jobs", "seed", "duration"]),
+        delta=st.integers(min_value=1, max_value=99),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_changing_any_parameter_moves_the_fingerprint(
+        self, params, name, delta
+    ):
+        base = {"profile": PROFILE_ID, "params": params}
+        edited_params = dict(params)
+        edited_params[name] = (
+            int(params.get(name, DEFAULTS[name])) + delta
+        )
+        edited = {"profile": PROFILE_ID, "params": edited_params}
+        assert request_fingerprint(edited) != request_fingerprint(base)
+
+    @given(request=sweep_requests, delta=st.integers(1, 99))
+    @settings(max_examples=40, deadline=None)
+    def test_changing_the_seed_moves_the_fingerprint(self, request, delta):
+        edited = {**request, "seed": request["seed"] + delta}
+        assert request_fingerprint(edited) != request_fingerprint(request)
+
+    @given(request=sweep_requests)
+    @settings(max_examples=60, deadline=None)
+    def test_axis_value_order_is_semantic(self, request):
+        axis, values = next(
+            (axis, values)
+            for axis, values in request["axes"].items()
+        )
+        if len(values) < 2:
+            reordered_values = values + values[:1]
+            # Duplicating a value is also a semantic change.
+        else:
+            reordered_values = list(reversed(values))
+        edited = {
+            **request,
+            "axes": {**request["axes"], axis: reordered_values},
+        }
+        assert request_fingerprint(edited) != request_fingerprint(request)
+
+    @given(request=sweep_requests, extra=st.integers(0, 2 ** 20))
+    @settings(max_examples=40, deadline=None)
+    def test_extending_an_axis_moves_the_fingerprint(self, request, extra):
+        axis = sorted(request["axes"])[0]
+        marker = f"extra-{extra}"  # a string no generated value collides with
+        edited = {
+            **request,
+            "axes": {
+                **request["axes"],
+                axis: list(request["axes"][axis]) + [marker],
+            },
+        }
+        assert request_fingerprint(edited) != request_fingerprint(request)

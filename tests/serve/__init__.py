@@ -1,0 +1,1 @@
+"""Service-level tests for ``repro serve``."""

@@ -1,0 +1,84 @@
+"""Fixtures for the serve suites: apps on temp stores, leak policing.
+
+Every test in ``tests/serve`` runs under the autouse ``leak_check``
+fixture: after the test body, no multiprocessing children (sweep
+workers) and no serve-owned threads may survive.  This extends the
+fault-tolerance work's parent-sentinel guarantee to the service layer —
+a suite that passes here cannot orphan workers under ``pytest -x``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.serve import ServeConfig, ServiceApp, ServiceClient
+
+#: A deliberately small C1 so cold profile requests stay sub-second.
+SMALL_PROFILE = {
+    "profile": "C1",
+    "params": {"aggressors": 4, "groups": 5, "routers_per_group": 3},
+}
+
+#: An event-driven profile (C8 runs the discrete-event cluster kernel),
+#: so ``serve.kernel_events`` moves on cold runs — the zero-simulation
+#: proof needs a workload that actually fires kernel events.
+EVENT_PROFILE = {"profile": "C8", "params": {"max_jobs": 5}}
+
+#: A two-point custom sweep over the congestion target.
+SMALL_SWEEP = {
+    "target": "fabric-congestion",
+    "axes": {"topology": ["dragonfly"], "load": [0.5, 0.9], "flows": [8]},
+    "seed": 11,
+    "name": "serve-test",
+}
+
+
+@pytest.fixture(autouse=True)
+def leak_check():
+    """Fail any test that leaks worker processes or serve threads."""
+    preexisting = {t.ident for t in threading.enumerate()}
+    yield
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        children = multiprocessing.active_children()  # also reaps
+        stray = [
+            t for t in threading.enumerate()
+            if t.ident not in preexisting
+            and t.name.startswith("repro-serve")
+        ]
+        if not children and not stray:
+            return
+        time.sleep(0.05)
+    assert not children, f"leaked worker processes: {children}"
+    assert not stray, f"leaked serve threads: {[t.name for t in stray]}"
+
+
+@pytest.fixture
+def make_app(tmp_path):
+    """A factory for apps on isolated temp stores, closed on teardown."""
+    apps = []
+
+    def factory(**overrides):
+        overrides.setdefault("store", str(tmp_path / f"store{len(apps)}"))
+        overrides.setdefault("sweep_workers", 1)
+        application = ServiceApp(ServeConfig(**overrides))
+        apps.append(application)
+        return application
+
+    yield factory
+    for application in apps:
+        application.close()
+
+
+@pytest.fixture
+def app(make_app):
+    return make_app()
+
+
+@pytest.fixture
+def client(app):
+    return ServiceClient(app)

@@ -1,0 +1,62 @@
+"""The ResultCache: LRU front, durable disk store, journal lifecycle."""
+
+import json
+
+import pytest
+
+from repro.serve import ResultCache
+
+BODY = json.dumps({"hello": "world"}).encode() + b"\n"
+
+
+class TestResultCache:
+    def test_put_then_get_is_a_memory_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("fp1", BODY)
+        assert cache.get("fp1") == BODY
+        assert cache.stats == {
+            "memory_hits": 1, "disk_hits": 0, "misses": 0,
+        }
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("absent") is None
+        assert cache.stats["misses"] == 1
+
+    def test_new_instance_reads_from_disk(self, tmp_path):
+        ResultCache(tmp_path).put("fp1", BODY)
+        fresh = ResultCache(tmp_path)
+        assert fresh.get("fp1") == BODY
+        assert fresh.stats["disk_hits"] == 1
+        # Second read is served from the memory front.
+        assert fresh.get("fp1") == BODY
+        assert fresh.stats["memory_hits"] == 1
+
+    def test_memory_front_is_bounded_lru(self, tmp_path):
+        cache = ResultCache(tmp_path, max_memory_entries=2)
+        for name in ("a", "b", "c"):
+            cache.put(name, BODY)
+        assert cache.get("a") == BODY  # evicted from memory, on disk
+        assert cache.stats["disk_hits"] == 1
+        assert len(cache) == 3
+
+    def test_corrupt_artefact_raises_naming_the_path(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.artefact_path("fp1")
+        path.write_bytes(b"{not json")
+        with pytest.raises(ValueError, match=str(path)):
+            cache.get("fp1")
+
+    def test_no_tmp_files_survive_a_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("fp1", BODY)
+        assert list(cache.artefacts.glob("*.tmp")) == []
+
+    def test_journal_lifecycle(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        journal = cache.journal_path("fp1")
+        assert journal.parent == cache.journals
+        journal.write_text("{}\n")
+        cache.discard_journal("fp1")
+        assert not journal.exists()
+        cache.discard_journal("fp1")  # idempotent

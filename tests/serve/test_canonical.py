@@ -1,0 +1,126 @@
+"""Canonical request form and fingerprinting: the cache-key contract.
+
+Every spelling of the same request must hash identically; every
+semantic change must not.  The property-based attack on the same
+surface lives in ``tests/proptest/test_serve_cache.py`` — this file
+pins the concrete behaviours the serve endpoints rely on.
+"""
+
+import math
+
+import pytest
+
+from repro.validate import (
+    REQUEST_SCHEMA,
+    canonical_request,
+    profile_defaults,
+    request_fingerprint,
+)
+
+PROFILE = {"profile": "C1", "params": {"aggressors": 6}}
+SWEEP = {
+    "target": "fabric-congestion",
+    "axes": {"topology": ["dragonfly"], "load": [0.5, 0.9], "flows": [12]},
+    "seed": 11,
+    "name": "canon-test",
+}
+
+
+class TestProfileCanonicalisation:
+    def test_canonical_form_is_idempotent(self):
+        once = canonical_request(PROFILE)
+        assert once["schema"] == REQUEST_SCHEMA
+        assert canonical_request(once) == once
+
+    def test_defaults_omitted_equals_defaults_explicit(self):
+        explicit = {
+            "profile": "C1",
+            "params": {**profile_defaults("C1"), "aggressors": 6},
+        }
+        assert request_fingerprint(explicit) == request_fingerprint(PROFILE)
+
+    def test_param_order_and_float_format_do_not_matter(self):
+        respelled = {
+            "profile": "c1",  # ids are case-insensitive
+            "params": {"groups": 6.0, "aggressors": 6.0},
+        }
+        base = {"profile": "C1", "params": {"aggressors": 6, "groups": 6}}
+        assert request_fingerprint(respelled) == request_fingerprint(base)
+
+    def test_transport_fields_do_not_matter(self):
+        dressed = {**PROFILE, "tenant": "alice", "stream": True,
+                   "schema": REQUEST_SCHEMA, "kind": "profile"}
+        assert request_fingerprint(dressed) == request_fingerprint(PROFILE)
+
+    def test_semantic_change_changes_the_fingerprint(self):
+        other = {"profile": "C1", "params": {"aggressors": 7}}
+        assert request_fingerprint(other) != request_fingerprint(PROFILE)
+
+    def test_unknown_profile_and_param_are_named(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            request_fingerprint({"profile": "Z9"})
+        with pytest.raises(ValueError, match="bananas"):
+            request_fingerprint(
+                {"profile": "C1", "params": {"bananas": 1}}
+            )
+
+    def test_bool_is_not_an_int(self):
+        true_axis = {**SWEEP, "axes": {**SWEEP["axes"], "load": [True]}}
+        one_axis = {**SWEEP, "axes": {**SWEEP["axes"], "load": [1]}}
+        assert request_fingerprint(true_axis) != request_fingerprint(one_axis)
+
+    def test_non_finite_floats_are_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            request_fingerprint(
+                {"profile": "C1", "params": {"aggressors": math.nan}}
+            )
+
+
+class TestSweepCanonicalisation:
+    def test_axis_name_order_does_not_matter(self):
+        shuffled = {
+            **SWEEP,
+            "axes": {"flows": [12], "load": [0.5, 0.9],
+                     "topology": ["dragonfly"]},
+        }
+        assert request_fingerprint(shuffled) == request_fingerprint(SWEEP)
+
+    def test_axis_value_order_is_semantic(self):
+        reordered = {
+            **SWEEP,
+            "axes": {**SWEEP["axes"], "load": [0.9, 0.5]},
+        }
+        assert request_fingerprint(reordered) != request_fingerprint(SWEEP)
+
+    def test_seed_and_name_are_semantic(self):
+        assert request_fingerprint({**SWEEP, "seed": 12}) != (
+            request_fingerprint(SWEEP)
+        )
+        assert request_fingerprint({**SWEEP, "name": "other"}) != (
+            request_fingerprint(SWEEP)
+        )
+
+    def test_named_sweep_expands_to_its_spec(self):
+        canonical = canonical_request({"sweep": "smoke", "seed": 11})
+        assert canonical["kind"] == "sweep"
+        assert canonical["target"] == "fabric-congestion"
+        assert canonical["seed"] == 11
+        assert canonical_request(canonical) == canonical
+
+    def test_unknown_target_and_empty_axis_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep target"):
+            request_fingerprint(
+                {"target": "no-such", "axes": {"x": [1]}}
+            )
+        with pytest.raises(ValueError, match="empty axis"):
+            request_fingerprint(
+                {"target": "fabric-congestion", "axes": {"load": []}}
+            )
+
+    def test_mixed_profile_and_sweep_fields_are_rejected(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            request_fingerprint({"profile": "C1", "target": "x"})
+
+    def test_unknown_top_level_field_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown request field"):
+            request_fingerprint({**PROFILE, "priority": "high"})

@@ -1,0 +1,201 @@
+"""The service survives SIGKILL: resume on restart, shed under burst.
+
+The crash test drives a real ``python -m repro serve`` subprocess —
+the same supervised sweep harness as production — kills it with
+SIGKILL mid-sweep, asserts no worker survives the parent (the PR-5
+parent-sentinel guarantee, now at the service layer), restarts on the
+same store and proves the resumed artefact is byte-identical to an
+uninterrupted run on a clean store.
+
+The load-shed test uses a zero-rate quota (a hard budget), so the
+outcome of a concurrent burst is deterministic: exactly ``burst``
+admissions, everything else a 429 — no clock in the result.
+"""
+
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.observability.export import parse_prometheus
+from repro.serve import QuotaPolicy, ServerThread, http_request
+
+import tests.sweep._ft_helpers  # noqa: F401  (registers the ft-* targets)
+from repro.validate import request_fingerprint
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: Eight slow points: plenty of wall-clock to land a SIGKILL mid-sweep.
+CRASH_SWEEP = {
+    "target": "ft-slow",
+    "axes": {"x": list(range(8)), "sleep_s": [0.3]},
+    "seed": 5,
+    "name": "crash-e2e",
+}
+
+
+def spawn_serve(store: str) -> subprocess.Popen:
+    environment = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--store", store, "--sweep-workers", "2",
+         "--preload", "tests.sweep._ft_helpers"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=environment, cwd=str(REPO_ROOT),
+    )
+
+
+def wait_for_url(process: subprocess.Popen) -> str:
+    line = process.stdout.readline()
+    match = re.search(r"http://([\d.]+):(\d+)", line)
+    assert match, f"serve did not announce its address: {line!r}"
+    return f"http://{match.group(1)}:{match.group(2)}"
+
+
+def children_of(pid: int) -> list:
+    try:
+        text = pathlib.Path(f"/proc/{pid}/task/{pid}/children").read_text()
+    except OSError:  # pragma: no cover - non-linux fallback
+        return []
+    return [int(child) for child in text.split()]
+
+
+def is_live(pid: int) -> bool:
+    try:
+        state = pathlib.Path(f"/proc/{pid}/stat").read_text().split()[2]
+    except OSError:
+        return False
+    return state != "Z"
+
+
+@pytest.mark.skipif(
+    not pathlib.Path("/proc").exists(), reason="needs /proc"
+)
+class TestCrashRestart:
+    def test_sigkill_midsweep_resumes_bit_identical(self, tmp_path):
+        store = str(tmp_path / "store")
+        fingerprint = request_fingerprint(CRASH_SWEEP)
+        journal = tmp_path / "store" / "journals" / f"{fingerprint}.jsonl"
+
+        process = spawn_serve(store)
+        try:
+            url = wait_for_url(process)
+
+            def post():
+                try:
+                    http_request(url, "POST", "/v1/sweep", CRASH_SWEEP)
+                except Exception:
+                    pass  # the server dies under us — expected
+
+            threading.Thread(target=post, daemon=True).start()
+
+            # Wait until the journal proves real progress, then SIGKILL.
+            deadline = time.monotonic() + 30
+            lines = 0
+            while time.monotonic() < deadline:
+                if journal.exists():
+                    lines = sum(1 for _ in journal.open())
+                    if lines >= 2:
+                        break
+                time.sleep(0.05)
+            assert lines >= 2, "sweep made no journalled progress"
+            assert lines < 8, "sweep finished before the kill landed"
+
+            workers = children_of(process.pid)
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+
+            # Parent sentinel: no sweep worker outlives the dead parent.
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                if not any(is_live(worker) for worker in workers):
+                    break
+                time.sleep(0.1)
+            orphans = [worker for worker in workers if is_live(worker)]
+            assert orphans == [], f"workers survived SIGKILL: {orphans}"
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait()
+
+        # Restart on the same store: the journal is found and resumed.
+        assert journal.exists(), "the crash left no journal to resume"
+        process = spawn_serve(store)
+        try:
+            url = wait_for_url(process)
+            resumed = http_request(url, "POST", "/v1/sweep", CRASH_SWEEP)
+            assert resumed.status == 200
+            assert resumed.headers["x-cache"] == "miss"
+            assert not journal.exists(), (
+                "journal must be discarded once the artefact is durable"
+            )
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+        # An uninterrupted run on a clean store says the exact same bytes.
+        process = spawn_serve(str(tmp_path / "clean"))
+        try:
+            url = wait_for_url(process)
+            clean = http_request(url, "POST", "/v1/sweep", CRASH_SWEEP)
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+        assert clean.status == 200
+        assert resumed.body == clean.body
+        assert json.loads(clean.body)["fingerprint"] == fingerprint
+
+
+class TestLoadShedUnderBurst:
+    def test_zero_rate_quota_sheds_deterministically(self, make_app):
+        budget = 2
+        app = make_app(
+            quota=QuotaPolicy(rate=0.0, burst=float(budget)), max_queue=16
+        )
+        requests = [
+            {"profile": "C8", "params": {"max_jobs": 3 + index}}
+            for index in range(6)
+        ]
+        with ServerThread(app) as server:
+            host, port = server.address
+            url = f"http://{host}:{port}"
+            results = [None] * len(requests)
+
+            def post(index: int) -> None:
+                results[index] = http_request(
+                    url, "POST", "/v1/profile", requests[index]
+                )
+
+            threads = [
+                threading.Thread(target=post, args=(index,))
+                for index in range(len(requests))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+
+            statuses = sorted(response.status for response in results)
+            assert statuses == [200] * budget + [429] * (len(requests) - budget)
+            for response in results:
+                if response.status == 429:
+                    assert response.headers["retry-after"] == "60"
+                    assert response.headers["x-reject-reason"] == "quota"
+
+            # The scrape agrees with the observed outcome, token for token.
+            scrape = http_request(url, "GET", "/metrics")
+            samples = parse_prometheus(scrape.body.decode())
+            assert samples[
+                ("serve_rejected", 'reason="quota",tenant="default"')
+            ] == float(len(requests) - budget)
+            assert samples[
+                ("serve_requests", 'cache="miss",kind="profile"')
+            ] == float(budget)
+            assert samples[("serve_inflight", "")] == 0.0

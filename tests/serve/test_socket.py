@@ -1,0 +1,93 @@
+"""The real-socket harness: ServerThread + the stdlib HTTP client.
+
+Everything here binds port 0 (the kernel picks a free port), so the
+suite survives parallel runs and never trips over a stale listener.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.serve import ServerThread, http_request
+
+from tests.serve.conftest import SMALL_PROFILE
+
+
+@pytest.fixture
+def server(app):
+    with ServerThread(app) as running:
+        yield running
+
+
+def base_url(server) -> str:
+    host, port = server.address
+    return f"http://{host}:{port}"
+
+
+class TestServerThread:
+    def test_binds_an_ephemeral_port(self, server):
+        host, port = server.address
+        assert host == "127.0.0.1"
+        assert port > 0
+
+    def test_two_servers_get_distinct_ports(self, server, make_app):
+        with ServerThread(make_app()) as second:
+            assert second.address[1] != server.address[1]
+
+    def test_cold_then_cached_over_the_wire(self, server):
+        url = base_url(server)
+        cold = http_request(url, "POST", "/v1/profile", SMALL_PROFILE)
+        assert cold.status == 200
+        assert cold.headers["x-cache"] == "miss"
+        hot = http_request(url, "POST", "/v1/profile", SMALL_PROFILE)
+        assert hot.headers["x-cache"] == "hit"
+        assert hot.body == cold.body
+
+    def test_stream_arrives_as_ndjson(self, server):
+        http_request(base_url(server), "POST", "/v1/profile", SMALL_PROFILE)
+        response = http_request(
+            base_url(server), "POST", "/v1/profile?stream=1", SMALL_PROFILE
+        )
+        assert response.status == 200
+        events = response.ndjson()
+        assert [e["event"] for e in events] == ["accepted", "result"]
+
+    def test_unknown_path_is_404_with_json_error(self, server):
+        response = http_request(base_url(server), "GET", "/nope")
+        assert response.status == 404
+        assert "error" in json.loads(response.body)
+
+    def test_keep_alive_serves_sequential_requests(self, server):
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            for _ in range(2):
+                connection.request("GET", "/healthz")
+                response = connection.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            connection.close()
+
+    def test_oversized_body_is_413(self, make_app):
+        app = make_app(max_body=64)
+        with ServerThread(app) as server:
+            response = http_request(
+                base_url(server), "POST", "/v1/profile",
+                {"profile": "C1", "params": {"aggressors": 4},
+                 "padding": "x" * 200},
+            )
+            assert response.status == 413
+
+    def test_stop_closes_the_listener(self, app):
+        server = ServerThread(app)
+        host, port = server.start()
+        server.stop()
+        with pytest.raises(OSError):
+            connection = http.client.HTTPConnection(host, port, timeout=2)
+            try:
+                connection.request("GET", "/healthz")
+                connection.getresponse()
+            finally:
+                connection.close()

@@ -81,12 +81,22 @@ class TestDistributedDifferential:
         assert "2 tcp hosts" in result.detail
 
 
+class TestServeDifferential:
+    def test_cached_responses_match_fresh_cold_runs(self):
+        from repro.validate import check_serve
+
+        result = check_serve()
+        assert result.passed, result.detail
+        assert "byte-identical" in result.detail
+        assert "0 kernel events" in result.detail
+
+
 class TestBundle:
-    def test_run_differential_checks_covers_all_seven(self):
+    def test_run_differential_checks_covers_all_eight(self):
         results = run_differential_checks()
         assert [r.name for r in results] == [
             "routes", "collectives", "checkpointing", "sweep-pool",
-            "sweep-resume", "solvers", "sweep-distributed",
+            "sweep-resume", "solvers", "sweep-distributed", "serve",
         ]
         assert all(r.passed for r in results), [str(r) for r in results]
 
