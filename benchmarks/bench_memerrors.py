@@ -1,0 +1,157 @@
+"""Memory-error injector overhead: a quiet upset process must be free.
+
+The memory-error layer piggybacks on the fault injector, so arming a
+:class:`~repro.resilience.memerrors.MemoryErrorCampaign` whose FIT rate
+is too low for any upset to land inside the horizon may not slow the
+cluster simulation down measurably (<5% wall time).  Times the same
+seeded job trace through an untouched
+:class:`~repro.scheduling.cluster.ClusterSimulator` and one carrying an
+armed memory-error injector plus the :func:`bind_memory` ECC/kill
+binding, and writes the measurement as ``BENCH_memerrors.json`` so CI
+can track it.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_memerrors.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import time
+
+from repro.core.rng import RandomSource
+from repro.federation import Site, SiteKind
+from repro.hardware import Precision, default_catalog
+from repro.resilience import (
+    FaultInjector,
+    MemoryErrorCampaign,
+    MemoryErrorSpec,
+    RetryPolicy,
+    bind_memory,
+)
+from repro.scheduling.cluster import ClusterSimulator
+from repro.scheduling.runtime import estimate_job
+from repro.workloads.base import JobClass, make_single_kernel_job
+
+SITE_NAME = "bench"
+NODES = 16
+
+#: A FIT rate so low (~one upset per 10^9 years over the pool) that no
+#: draw can land inside the horizon: armed but guaranteed upset-free.
+QUIET_FIT_PER_GIB = 1e-9
+HORIZON = 1e6
+
+
+def make_jobs(count: int, device, site, seed: int = 29):
+    """A seeded trace of single-rank compute-bound jobs, ~100 s each."""
+    probe = make_single_kernel_job(
+        name="probe", job_class=JobClass.SIMULATION, flops=1e15,
+        bytes_moved=1e6, precision=Precision.FP64,
+    )
+    scale = 1e15 / estimate_job(probe, device, site).time
+    rng = RandomSource(seed=seed, name="bench/memerrors")
+    jobs = []
+    for index in range(count):
+        job = make_single_kernel_job(
+            name=f"job{index}", job_class=JobClass.SIMULATION,
+            flops=scale * rng.uniform(60.0, 140.0),
+            bytes_moved=1e6, precision=Precision.FP64,
+        )
+        job.arrival_time = index * 5.0
+        jobs.append(job)
+    return jobs
+
+
+def run_once(jobs, device, site, with_injector: bool) -> float:
+    """Wall seconds for one full cluster run; asserts zero upsets fired."""
+    cluster = ClusterSimulator(
+        site=site, device=device,
+        retry_policy=RetryPolicy(jitter=0.0) if with_injector else None,
+    )
+    stats = None
+    if with_injector:
+        campaign = MemoryErrorCampaign(
+            horizon=HORIZON,
+            memory=(
+                MemoryErrorSpec(
+                    region=SITE_NAME,
+                    capacity_bytes=NODES * 512e9,
+                    fit_per_gib=QUIET_FIT_PER_GIB,
+                ),
+            ),
+        )
+        injector = FaultInjector(
+            cluster.simulation, campaign, RandomSource(seed=7, name="mem")
+        )
+        stats = bind_memory(
+            injector, cluster,
+            rng=RandomSource(seed=7, name="mem").fork("memvictim"),
+            region=SITE_NAME,
+        )
+        injector.install()
+    started = time.perf_counter()
+    for job in jobs:
+        cluster.submit(job)
+    cluster.run()
+    elapsed = time.perf_counter() - started
+    if stats is not None and stats.total != 0:
+        raise RuntimeError("benchmark invariant broken: an upset fired")
+    return elapsed
+
+
+def best_of(repeats: int, jobs, device, site, with_injector: bool) -> float:
+    """Minimum wall time over ``repeats`` runs (noise floor estimate)."""
+    return min(
+        run_once(jobs, device, site, with_injector) for _ in range(repeats)
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=3_000)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI sizing: 3 repeats x 1000 jobs")
+    parser.add_argument("--output", default="BENCH_memerrors.json")
+    args = parser.parse_args()
+    if args.quick:
+        args.repeats, args.jobs = 3, 1_000
+
+    device = default_catalog().get("epyc-class-cpu")
+    site = Site(name=SITE_NAME, kind=SiteKind.ON_PREMISE, devices={device: NODES})
+    jobs = make_jobs(args.jobs, device, site)
+
+    # Interleave: warm-up pass first, then alternate to share any drift.
+    run_once(jobs, device, site, with_injector=False)
+    bare = best_of(args.repeats, jobs, device, site, with_injector=False)
+    armed = best_of(args.repeats, jobs, device, site, with_injector=True)
+    overhead_pct = 100.0 * (armed - bare) / bare if bare else 0.0
+
+    document = {
+        "schema": "repro.bench/v1",
+        "benchmark": "memerror_injector_overhead",
+        "workload": {
+            "jobs": args.jobs,
+            "nodes": NODES,
+            "repeats": args.repeats,
+            "quiet_fit_per_gib": QUIET_FIT_PER_GIB,
+        },
+        "bare_seconds": bare,
+        "armed_seconds": armed,
+        "overhead_pct": overhead_pct,
+        "cpu_count": os.cpu_count(),
+    }
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"bare {bare:.3f}s  armed {armed:.3f}s  "
+          f"overhead {overhead_pct:+.2f}%")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -535,6 +535,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 heartbeat_timeout=args.heartbeat_timeout,
                 steal=not args.no_steal,
                 wait_for_hosts=args.wait_for_hosts,
+                auth_token=args.auth_token,
                 on_listen=announce,
             )
         except ConfigurationError as error:
@@ -683,6 +684,7 @@ def _command_sweep_worker(args: argparse.Namespace) -> int:
             journal=args.journal,
             trace_dir=args.trace_dir,
             connect_timeout=args.connect_timeout,
+            auth_token=args.auth_token,
         )
     except (FleetError, ValueError) as error:
         print(str(error), file=sys.stderr)
@@ -716,17 +718,22 @@ def _command_serve(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(str(error), file=sys.stderr)
             return 2
-    app = ServiceApp(
-        ServeConfig(
-            host=args.host,
-            port=args.port,
-            store=args.store,
-            sweep_workers=args.sweep_workers,
-            job_workers=args.job_workers,
-            max_queue=args.max_queue,
-            quota=quota,
+    try:
+        app = ServiceApp(
+            ServeConfig(
+                host=args.host,
+                port=args.port,
+                store=args.store,
+                sweep_workers=args.sweep_workers,
+                job_workers=args.job_workers,
+                max_queue=args.max_queue,
+                quota=quota,
+                cache_ttl=args.cache_ttl,
+            )
         )
-    )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
 
     async def serve() -> None:
         host, port = await app.start()
@@ -836,7 +843,12 @@ def _command_serve_request(args: argparse.Namespace) -> int:
 
 
 def _command_faults(args: argparse.Namespace) -> int:
-    """Run the resilience profile and print the fault/recovery summary."""
+    """Run the resilience profile and print the fault/recovery summary.
+
+    Exit codes: 0 success, 2 invalid campaign spec (the message names
+    the offending field).
+    """
+    from repro.core.errors import ConfigurationError
     from repro.observability.export import counter_rows
     from repro.profiles import run
 
@@ -853,7 +865,14 @@ def _command_faults(args: argparse.Namespace) -> int:
         overrides["max_jobs"] = args.max_jobs
     if args.seed is not None:
         overrides["seed"] = args.seed
-    result = run("C16", **overrides)
+    try:
+        result = run("C16", **overrides)
+    except (ConfigurationError, ValueError) as error:
+        # An invalid campaign spec (negative MTBF, zero nodes, ...) is a
+        # usage error, not a crash: the message already names the
+        # offending field and value.
+        print(f"invalid fault campaign: {error}", file=sys.stderr)
+        return 2
     _print_summary(result)
     counters = Table(
         "Fault and recovery counters", ["metric", "labels", "value"]
@@ -988,8 +1007,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "name",
-        help="named sweep (congestion, smoke, resilience) or a label for "
-             "--target sweeps",
+        help="named sweep (congestion, smoke, resilience, reliability) "
+             "or a label for --target sweeps",
     )
     sweep.add_argument(
         "--target", default=None,
@@ -1110,6 +1129,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="tcp backend: disable work stealing (idle hosts reclaiming "
              "unstarted points from loaded ones)",
     )
+    sweep.add_argument(
+        "--auth-token", default=None, metavar="SECRET",
+        help="tcp backend: demand this shared secret in every worker "
+             "hello (compared constant-time; mismatches are rejected "
+             "with an explicit frame)",
+    )
 
     worker = subparsers.add_parser(
         "sweep-worker",
@@ -1146,6 +1171,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--connect-timeout", type=float, default=30.0, metavar="SECONDS",
         help="keep retrying the initial dial this long (the coordinator "
              "may boot late)",
+    )
+    worker.add_argument(
+        "--auth-token", default=None, metavar="SECRET",
+        help="shared secret sent in the hello frame; must match the "
+             "coordinator's --auth-token when the fleet demands one",
     )
 
     serve = subparsers.add_parser(
@@ -1188,6 +1218,12 @@ def build_parser() -> argparse.ArgumentParser:
              "8) or 0:2 (hard budget of 2); default unlimited",
     )
     serve.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="age cached artefacts out of the store after this long "
+             "(memory entry dropped, disk file unlinked, request "
+             "recomputed); default never",
+    )
+    serve.add_argument(
         "--preload", action="append", default=[], metavar="MODULE",
         help="import MODULE before serving (registers custom sweep "
              "targets; repeatable)",
@@ -1207,7 +1243,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_request.add_argument(
         "id", nargs="?", default=None,
         help="profile id (C1...) or named sweep (congestion, smoke, "
-             "resilience); optional sweep name with --target",
+             "resilience, reliability); optional sweep name with --target",
     )
     serve_request.add_argument(
         "--set", action="append", default=[], metavar="KEY=VALUE",

@@ -7,9 +7,13 @@ sub-components" (an Open-Compute-Project-like model).
 
 :mod:`repro.economics.platform` models the combinatorial explosion of
 (silicon options x vendors) platform developments and the amortisation a
-standard board achieves.
+standard board achieves.  :mod:`repro.economics.energy` scores runs in
+joules and kg CO2e (operational via PUE and grid intensity, embodied via
+ESII-style carbon-per-GiB) so sweeps can trade reliability against
+sustainability.
 """
 
+from repro.economics.energy import EnergyCarbonModel
 from repro.economics.platform import (
     PlatformCostModel,
     SiliconOption,
@@ -17,6 +21,7 @@ from repro.economics.platform import (
 )
 
 __all__ = [
+    "EnergyCarbonModel",
     "PlatformCostModel",
     "SiliconOption",
     "standardization_savings",

@@ -1,0 +1,147 @@
+"""Energy and carbon accounting per run (§II sustainability argument).
+
+The paper's sustainability thread — denser memory, tighter power
+envelopes, facility-level PUE — only bites when runs are scored in
+joules and grams of CO2e, not just seconds.  :class:`EnergyCarbonModel`
+converts the dwell time of a run on a
+:class:`~repro.hardware.power.DatacenterPowerModel` (IT watts x
+seconds x PUE) into facility energy, then into operational carbon via a
+grid intensity, and adds an ESII-style embodied term amortised per GiB
+of provisioned memory — so reliability sweeps can trade scrub interval
+and ECC strength against gCO2e per *completed* job, the metric the
+``reliability`` named sweep optimises.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.errors import ConfigurationError
+
+JOULES_PER_KWH = 3.6e6
+GIB = 1024.0 ** 3
+
+
+@dataclass(frozen=True)
+class EnergyCarbonModel:
+    """Converts facility energy into operational + embodied carbon.
+
+    Attributes
+    ----------
+    carbon_intensity:
+        Grid operational intensity, kg CO2e per kWh (0.4 is a 2021-era
+        mixed grid; renewables-heavy grids run well under 0.1).
+    embodied_carbon_per_gib:
+        ESII-style embodied manufacturing carbon charged per GiB of
+        provisioned memory per amortisation period, kg CO2e / GiB.
+    amortization_seconds:
+        Service life the embodied carbon is spread over (default 4
+        years), so a run is charged ``dwell / amortization`` of it.
+    """
+
+    carbon_intensity: float = 0.4
+    embodied_carbon_per_gib: float = 8.0
+    amortization_seconds: float = 4 * 365.25 * 86_400.0
+
+    def __post_init__(self) -> None:
+        if self.carbon_intensity < 0:
+            raise ConfigurationError("carbon_intensity must be non-negative")
+        if self.embodied_carbon_per_gib < 0:
+            raise ConfigurationError(
+                "embodied_carbon_per_gib must be non-negative"
+            )
+        if self.amortization_seconds <= 0:
+            raise ConfigurationError("amortization_seconds must be positive")
+
+    # --- energy ---------------------------------------------------------
+
+    def facility_joules(self, it_joules: float, pue: float) -> float:
+        """IT energy grossed up to facility energy by the PUE."""
+        if it_joules < 0:
+            raise ConfigurationError("it_joules must be non-negative")
+        if pue < 1.0:
+            raise ConfigurationError(f"pue must be >= 1: {pue}")
+        return it_joules * pue
+
+    def run_joules(
+        self,
+        it_power: float,
+        pue: float,
+        dwell_seconds: float,
+        extra_it_power: float = 0.0,
+    ) -> float:
+        """Facility joules for a run dwelling ``dwell_seconds``.
+
+        ``extra_it_power`` carries standing overheads the base power
+        model does not know about — patrol-scrub reads, for instance
+        (:meth:`repro.resilience.memerrors.ScrubPolicy.scrub_power`).
+        """
+        if dwell_seconds < 0:
+            raise ConfigurationError("dwell_seconds must be non-negative")
+        if it_power < 0 or extra_it_power < 0:
+            raise ConfigurationError("power must be non-negative")
+        return self.facility_joules(
+            (it_power + extra_it_power) * dwell_seconds, pue
+        )
+
+    # --- carbon ---------------------------------------------------------
+
+    def operational_kg(self, facility_joules: float) -> float:
+        """Operational carbon of a facility energy draw, kg CO2e."""
+        if facility_joules < 0:
+            raise ConfigurationError("facility_joules must be non-negative")
+        return facility_joules / JOULES_PER_KWH * self.carbon_intensity
+
+    def embodied_kg(self, memory_bytes: float, dwell_seconds: float) -> float:
+        """Embodied carbon share of a run, kg CO2e.
+
+        The ESII framing: manufacturing carbon is a property of the
+        provisioned GiB, charged pro-rata for the fraction of the
+        amortisation life the run occupies.
+        """
+        if memory_bytes < 0 or dwell_seconds < 0:
+            raise ConfigurationError(
+                "memory_bytes and dwell_seconds must be non-negative"
+            )
+        share = dwell_seconds / self.amortization_seconds
+        return self.embodied_carbon_per_gib * (memory_bytes / GIB) * share
+
+    def carbon_per_gib(self, total_kg: float, memory_bytes: float) -> float:
+        """ESII-style score: kg CO2e per provisioned GiB (inf for 0 GiB)."""
+        if memory_bytes <= 0:
+            return math.inf
+        return total_kg / (memory_bytes / GIB)
+
+    # --- the run report -------------------------------------------------
+
+    def run_report(
+        self,
+        it_power: float,
+        pue: float,
+        dwell_seconds: float,
+        completed_jobs: int = 0,
+        memory_bytes: float = 0.0,
+        extra_it_power: float = 0.0,
+    ) -> Dict[str, float]:
+        """Flat energy/carbon metrics for one run, report-ready.
+
+        ``gco2e_per_job`` is the headline the reliability sweep trades
+        against goodput: total (operational + embodied) grams per
+        completed job, infinite when nothing completed.
+        """
+        joules = self.run_joules(it_power, pue, dwell_seconds, extra_it_power)
+        operational = self.operational_kg(joules)
+        embodied = self.embodied_kg(memory_bytes, dwell_seconds)
+        total = operational + embodied
+        per_job = (total * 1e3 / completed_jobs) if completed_jobs > 0 else math.inf
+        return {
+            "facility_joules": joules,
+            "energy_kwh": joules / JOULES_PER_KWH,
+            "operational_kg": operational,
+            "embodied_kg": embodied,
+            "total_kg": total,
+            "gco2e_per_job": per_job,
+            "carbon_per_gib": self.carbon_per_gib(total, memory_bytes),
+        }

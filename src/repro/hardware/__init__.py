@@ -30,6 +30,13 @@ from repro.hardware.power import (
 )
 from repro.hardware.precision import Precision
 from repro.hardware.processors import CPU, GPU, FPGA
+from repro.hardware.reliability import (
+    DEVICE_TECHNOLOGY,
+    TECHNOLOGIES,
+    MemoryReliabilitySpec,
+    device_upset_rate,
+    reliability_for,
+)
 from repro.hardware.roofline import RooflineModel
 from repro.hardware.systolic import SystolicArrayAccelerator
 from repro.hardware.technology import (
@@ -59,6 +66,11 @@ __all__ = [
     "FPGA",
     "GPU",
     "KernelProfile",
+    "DEVICE_TECHNOLOGY",
+    "TECHNOLOGIES",
+    "MemoryReliabilitySpec",
+    "device_upset_rate",
+    "reliability_for",
     "OpticalMVMEngine",
     "Precision",
     "RackPowerModel",

@@ -37,10 +37,16 @@ from repro.resilience import (
     FailureProcess,
     FaultCampaign,
     FaultInjector,
+    MemoryErrorCampaign,
+    MemoryErrorSpec,
     NodeFaultSpec,
     RetryPolicy,
+    ScrubPolicy,
     bind_cluster,
+    bind_memory,
     cluster_report,
+    ecc_policy,
+    memory_failure_model,
 )
 from repro.scheduling import MetaScheduler, PlacementPolicy
 from repro.scheduling.checkpointing import FailureModel, fabric_pm_target
@@ -375,6 +381,153 @@ def _profile_c16(
     )
 
 
+def _profile_c17(
+    telemetry: Telemetry,
+    *,
+    nodes: int = 8,
+    node_mtbf: float = 30_000.0,
+    repair_time: float = 600.0,
+    checkpoint_bytes: float = 2e11,
+    fit_per_gib: float = 4e6,
+    scrub_interval: float = 900.0,
+    ecc: str = "sec-ded",
+    arrival_rate: float = 0.2,
+    duration: float = 20_000.0,
+    horizon: float = 60_000.0,
+    max_jobs: int = 120,
+    seed: int = 131,
+) -> ProfileResult:
+    """C17: memory-error reliability under ECC/scrub with carbon accounting.
+
+    The C16 churn scenario with memory as a failure domain: a FIT-rate
+    upset process over the site's DRAM (``fit_per_gib`` is accelerated
+    well above field rates so a 60 ks window shows the statistics) is
+    classified by the node ECC and patrol-scrub policy; DUEs kill the
+    owning job through the same checkpoint-restart path node faults use.
+    The checkpoint interval is *derived* from the FIT rate — effective
+    node MTBF folds the memory DUE hazard into the hardware MTBF before
+    Young/Daly — and the run is scored in energy and carbon so scrub
+    aggressiveness shows up on both sides of the ledger.
+    """
+    from repro.economics import EnergyCarbonModel
+    from repro.hardware.power import (
+        CoolingTechnology,
+        DatacenterPowerModel,
+        RackPowerModel,
+    )
+
+    catalog = default_catalog()
+    cpu = catalog.get("epyc-class-cpu")
+    site = Site(name="memrel", kind=SiteKind.SUPERCOMPUTER, devices={cpu: nodes})
+    simulation = Simulation()
+    telemetry.bind_simulation(simulation)
+    rng = RandomSource(seed=seed, name="c17-profile")
+
+    footprint = cpu.spec.memory_capacity          # per-node DRAM
+    pool_capacity = footprint * nodes             # whole-site DRAM
+    mem_spec = MemoryErrorSpec(
+        device=cpu.name, region=site.name, capacity_bytes=pool_capacity,
+        fit_per_gib=fit_per_gib, ecc=ecc_policy(ecc),
+        scrub=ScrubPolicy(interval=scrub_interval),
+    )
+    # FIT -> MTBF -> Young/Daly: the plan's interval comes from the
+    # memory-error process, not a hand-set MTBF.
+    failures = memory_failure_model(
+        footprint, mem_spec, nodes=nodes, node_mtbf=node_mtbf
+    )
+    plan = CheckpointPlan.from_target(
+        fabric_pm_target(), checkpoint_bytes, failures
+    )
+    cluster = ClusterSimulator(
+        site=site, device=cpu, simulation=simulation, telemetry=telemetry,
+        retry_policy=RetryPolicy(max_retries=8, base_delay=5.0, jitter=0.0),
+        checkpoint=plan, rng=rng.fork("cluster"),
+    )
+    attach_cluster_sampler(telemetry, cluster, period=500.0)
+    trace = JobTraceGenerator(
+        TraceConfig(arrival_rate=arrival_rate, duration=duration, max_jobs=max_jobs),
+        rng=rng.fork("trace"),
+    ).generate()
+    for job in trace:
+        if job.ranks <= cluster.nominal_capacity:
+            cluster.submit(job)
+    campaign = MemoryErrorCampaign(
+        horizon=horizon,
+        memory=(mem_spec,),
+        base=FaultCampaign(
+            horizon=horizon,
+            node_faults=(
+                NodeFaultSpec(
+                    site=site.name,
+                    process=FailureProcess(
+                        mtbf=FailureModel(
+                            node_mtbf=node_mtbf, nodes=nodes
+                        ).system_mtbf
+                    ),
+                    repair_time=repair_time,
+                ),
+            ),
+        ),
+    )
+    injector = FaultInjector(
+        simulation, campaign, rng.fork("faults"), telemetry=telemetry
+    )
+    bind_cluster(injector, cluster)
+    mem_stats = bind_memory(
+        injector, cluster, rng=rng.fork("memvictim"), region=site.name
+    )
+    injector.install()
+    cluster.run()
+    report = cluster_report(cluster)
+
+    rack = RackPowerModel(
+        cooling=CoolingTechnology.DIRECT_LIQUID,
+        devices=[cpu.spec] * nodes,
+    )
+    datacenter = DatacenterPowerModel(racks=[rack])
+    carbon = EnergyCarbonModel().run_report(
+        it_power=datacenter.it_power(),
+        pue=datacenter.pue(),
+        dwell_seconds=report.makespan,
+        completed_jobs=report.completed,
+        memory_bytes=pool_capacity,
+        extra_it_power=mem_spec.scrub.scrub_power(pool_capacity),
+    )
+    return ProfileResult(
+        "C17", "memory-error reliability with ECC/scrub and carbon accounting",
+        telemetry,
+        summary=[
+            ("jobs submitted", report.submitted),
+            ("jobs finished", report.completed),
+            ("jobs dead", report.dead),
+            ("job kills", report.kills),
+            ("retries", report.retries),
+            ("faults injected", injector.injected),
+            ("mem upsets", mem_stats.total),
+            ("mem corrected", mem_stats.corrected),
+            ("mem DUE", mem_stats.due),
+            ("mem silent", mem_stats.silent),
+            ("mem kills", mem_stats.kills),
+            ("effective node MTBF (s)", failures.node_mtbf),
+            ("checkpoint interval (s)", plan.interval),
+            ("goodput", report.goodput),
+            ("utilization", report.utilization),
+            ("wasted device-seconds", report.wasted_device_seconds),
+            ("MTTI (s)", report.mtti if report.kills else "inf"),
+            ("makespan (s)", report.makespan),
+            ("energy (kWh)", carbon["energy_kwh"]),
+            ("energy cost ($)", datacenter.energy_cost(carbon["facility_joules"])),
+            ("carbon total (kg)", carbon["total_kg"]),
+            # Idle runs complete nothing; keep inf out of numeric metrics.
+            (
+                "gCO2e per job",
+                carbon["gco2e_per_job"] if report.completed else "inf",
+            ),
+            ("carbon per GiB (kg)", carbon["carbon_per_gib"]),
+        ],
+    )
+
+
 # --- fabric-family profiles ----------------------------------------------------
 
 
@@ -487,6 +640,7 @@ PROFILES: Dict[str, Callable[..., ProfileResult]] = {
     "C8": _profile_c8,
     "C9": _profile_c9,
     "C16": _profile_c16,
+    "C17": _profile_c17,
 }
 
 

@@ -25,6 +25,26 @@ from repro.resilience.faults import (
     SiteOutageSpec,
 )
 from repro.resilience.injector import FaultInjector
+from repro.resilience.memerrors import (
+    CHIPKILL,
+    ECC_NONE,
+    ECC_POLICIES,
+    NO_SCRUB,
+    SEC_DED,
+    EccPolicy,
+    MemoryErrorCampaign,
+    MemoryErrorSpec,
+    MemoryErrorStats,
+    MemoryUpset,
+    ScrubPolicy,
+    bind_memory,
+    due_rate,
+    ecc_policy,
+    effective_mtbf,
+    expand_spec,
+    memory_failure_model,
+    outcome_fractions,
+)
 from repro.resilience.metrics import (
     ResilienceReport,
     check_conservation,
@@ -48,6 +68,24 @@ __all__ = [
     "LinkFlapSpec",
     "SiteOutageSpec",
     "FaultInjector",
+    "CHIPKILL",
+    "ECC_NONE",
+    "ECC_POLICIES",
+    "NO_SCRUB",
+    "SEC_DED",
+    "EccPolicy",
+    "MemoryErrorCampaign",
+    "MemoryErrorSpec",
+    "MemoryErrorStats",
+    "MemoryUpset",
+    "ScrubPolicy",
+    "bind_memory",
+    "due_rate",
+    "ecc_policy",
+    "effective_mtbf",
+    "expand_spec",
+    "memory_failure_model",
+    "outcome_fractions",
     "RetryPolicy",
     "CheckpointPlan",
     "bind_cluster",

@@ -35,6 +35,9 @@ class FaultKind(Enum):
     NODE = "node"
     LINK = "link"
     SITE = "site"
+    #: A memory upset (see :mod:`repro.resilience.memerrors`); the target
+    #: is a region label and the event carries its ECC classification.
+    MEMORY = "memory"
 
 
 @dataclass(frozen=True)

@@ -201,6 +201,17 @@ class ClusterSimulator:
         """Devices not held by a running job."""
         return self._free
 
+    def running_jobs(self) -> List[Tuple[int, int]]:
+        """``(job_id, devices held)`` for every running job, id-sorted.
+
+        The stable, public view fault bindings use to pick kill victims
+        (e.g. memory DUEs in :func:`repro.resilience.memerrors.bind_memory`).
+        """
+        return [
+            (job_id, self._running[job_id].needed)
+            for job_id in sorted(self._running)
+        ]
+
     @property
     def pending_requeues(self) -> int:
         """Jobs scheduled to (re)enter the queue: staging in or backing off."""

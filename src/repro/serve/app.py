@@ -55,6 +55,8 @@ class ServeConfig:
     retry_after_cap: float = 60.0
     max_body: int = 1_000_000
     share_topologies: bool = True
+    #: Artefact max-age in seconds; ``None`` keeps artefacts forever.
+    cache_ttl: Optional[float] = None
     clock: Callable[[], float] = time.monotonic
 
 
@@ -73,7 +75,11 @@ class ServiceApp:
 
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
-        self.cache = ResultCache(self.config.store)
+        self.cache = ResultCache(
+            self.config.store,
+            ttl=self.config.cache_ttl,
+            clock=self.config.clock,
+        )
         self.admission = AdmissionController(
             max_queue=self.config.max_queue,
             quota=self.config.quota,

@@ -20,8 +20,9 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 from collections import OrderedDict
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 
 class ResultCache:
@@ -29,22 +30,39 @@ class ResultCache:
 
     ``max_memory_entries`` bounds only the in-memory front; the disk
     store is the durable, unbounded source of truth.
+
+    ``ttl`` (seconds, ``None`` = never expire) ages artefacts out of both
+    tiers: an entry whose age reaches the TTL is evicted — memory entry
+    dropped, disk file unlinked — and the lookup counts as a miss, so the
+    next request recomputes.  Ages are measured with the injectable
+    ``clock`` (the serve config's clock), which makes expiry
+    deterministic under test; an artefact already on disk when this
+    process first observes it is stamped fresh at that observation (disk
+    mtimes come from the wall clock and cannot be compared against an
+    injected one).  The LRU bound and hit accounting are unchanged.
     """
 
     def __init__(
         self,
         directory: Union[str, pathlib.Path],
         max_memory_entries: int = 1024,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"cache ttl must be positive, got {ttl}")
         self.directory = pathlib.Path(directory)
         self.artefacts = self.directory / "artefacts"
         self.journals = self.directory / "journals"
         self.artefacts.mkdir(parents=True, exist_ok=True)
         self.journals.mkdir(parents=True, exist_ok=True)
         self.max_memory_entries = max(1, int(max_memory_entries))
+        self.ttl = ttl
+        self.clock = clock
         self._memory: "OrderedDict[str, bytes]" = OrderedDict()
+        self._stamps: Dict[str, float] = {}
         self.stats: Dict[str, int] = {
-            "memory_hits": 0, "disk_hits": 0, "misses": 0,
+            "memory_hits": 0, "disk_hits": 0, "misses": 0, "expired": 0,
         }
 
     def artefact_path(self, fingerprint: str) -> pathlib.Path:
@@ -61,6 +79,9 @@ class ResultCache:
         loudly (naming the path) rather than silently recomputing over
         it.
         """
+        if self._expire(fingerprint):
+            self.stats["misses"] += 1
+            return None
         body = self._memory.get(fingerprint)
         if body is not None:
             self._memory.move_to_end(fingerprint)
@@ -101,6 +122,9 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.ttl is not None:
+            # A (re)publication is fresh by definition.
+            self._stamps[fingerprint] = self.clock()
         self._remember(fingerprint, body)
         return path
 
@@ -114,7 +138,40 @@ class ResultCache:
     def __len__(self) -> int:
         return sum(1 for _ in self.artefacts.glob("*.json"))
 
+    def _expire(self, fingerprint: str) -> bool:
+        """Evict the entry if its age has reached the TTL.
+
+        With no TTL this is a no-op.  Entries never stamped by this
+        process (disk artefacts from a previous run) are stamped fresh
+        on first observation rather than expired by an incomparable
+        mtime.  Returns whether the entry was evicted.
+        """
+        if self.ttl is None:
+            return False
+        stamp = self._stamps.get(fingerprint)
+        if stamp is None:
+            if (
+                fingerprint in self._memory
+                or self.artefact_path(fingerprint).exists()
+            ):
+                self._stamps[fingerprint] = self.clock()
+            return False
+        if self.clock() - stamp < self.ttl:
+            return False
+        self._memory.pop(fingerprint, None)
+        self._stamps.pop(fingerprint, None)
+        try:
+            self.artefact_path(fingerprint).unlink()
+        except FileNotFoundError:
+            pass
+        self.stats["expired"] += 1
+        return True
+
     def _remember(self, fingerprint: str, body: bytes) -> None:
+        if self.ttl is not None:
+            # Age counts from publication (or first observation), never
+            # from access: reads must not refresh a stale-bound entry.
+            self._stamps.setdefault(fingerprint, self.clock())
         self._memory[fingerprint] = body
         self._memory.move_to_end(fingerprint)
         while len(self._memory) > self.max_memory_entries:

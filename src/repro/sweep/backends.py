@@ -138,6 +138,9 @@ class FleetConfig:
     is declared dead and its points reassigned.  ``wait_for_hosts``
     bounds how long the coordinator waits with zero usable hosts before
     raising :class:`FleetError` instead of stalling forever.
+    ``auth_token`` (optional) demands a matching shared secret in every
+    worker hello, compared constant-time; a mismatch is rejected with an
+    explicit frame so the worker fails cleanly instead of hanging.
     """
 
     listen: str = "127.0.0.1:0"
@@ -150,6 +153,7 @@ class FleetConfig:
     #: Reclaim unstarted points from loaded hosts for idle ones.
     steal: bool = True
     wait_for_hosts: float = 60.0
+    auth_token: Optional[str] = None
     on_listen: Optional[Callable[[str, int], None]] = None
 
     def __post_init__(self) -> None:

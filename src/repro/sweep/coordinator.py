@@ -28,10 +28,14 @@ Wire protocol (all frames are JSON objects with a ``type`` field):
 =========== ========== ==================================================
 frame       direction  payload
 =========== ========== ==================================================
-hello       w -> c     ``protocol``, ``name``, ``slots``
+hello       w -> c     ``protocol``, ``name``, ``slots``, optional
+                       ``token`` (shared secret when the fleet
+                       demands one)
 welcome     c -> w     ``protocol``, ``target``, ``sweep``, ``seed``,
                        ``axes``, ``chaos``, ``heartbeat_interval``,
                        ``collect_telemetry``
+rejected    c -> w     ``reason`` — handshake refused (e.g. auth token
+                       mismatch); the worker raises a clean error
 assign      c -> w     ``index``, ``attempt``
 started     w -> c     ``index``, ``attempt`` — point began executing
 result      w -> c     ``index``, ``attempt``, ``point`` (journal record)
@@ -52,6 +56,7 @@ purity contract is structural, not just conventional.
 
 from __future__ import annotations
 
+import hmac
 import socket
 import time
 from dataclasses import dataclass, field
@@ -187,6 +192,24 @@ class TcpCoordinator(BaseExecutor):
         ):
             sock.close()
             return
+        if self.fleet.auth_token is not None:
+            offered = hello.get("token")
+            if not isinstance(offered, str) or not hmac.compare_digest(
+                offered, self.fleet.auth_token
+            ):
+                # An explicit rejection (not a bare close): the worker
+                # turns it into a clean FleetError naming the cause
+                # instead of reporting an opaque EOF.
+                try:
+                    send_frame(
+                        sock,
+                        {"type": "rejected", "reason": "auth token mismatch"},
+                    )
+                except OSError:
+                    pass
+                sock.close()
+                self.bump("rejected")
+                return
         name = str(hello.get("name") or f"host-{len(self._hosts)}")
         slots = max(1, int(hello.get("slots", 1)))
         try:

@@ -346,8 +346,14 @@ def run_worker(
     journal: Optional[str] = None,
     trace_dir: Optional[str] = None,
     connect_timeout: float = 30.0,
+    auth_token: Optional[str] = None,
 ) -> int:
     """Serve one worker host until the coordinator shuts it down.
+
+    ``auth_token`` is included in the hello frame when set; a fleet that
+    demands one rejects a missing or mismatched token with an explicit
+    ``rejected`` frame, which surfaces here as a clean
+    :class:`~repro.sweep.backends.FleetError` (never a hang).
 
     Returns a process exit code: ``0`` after an orderly shutdown frame,
     ``1`` when the coordinator connection was lost mid-sweep.  Raises
@@ -360,14 +366,23 @@ def run_worker(
     host_name = name or f"{socket.gethostname()}:{os.getpid()}"
     sock = _connect(connect, connect_timeout)
     try:
-        send_frame(sock, {
+        hello: Dict[str, object] = {
             "type": "hello", "protocol": PROTOCOL_VERSION,
             "name": host_name, "slots": slots,
-        })
+        }
+        if auth_token is not None:
+            hello["token"] = auth_token
+        send_frame(sock, hello)
         welcome = recv_frame(sock)
     except (FrameError, OSError) as error:
         sock.close()
         raise FleetError(f"coordinator handshake failed: {error}") from None
+    if welcome is not None and welcome.get("type") == "rejected":
+        sock.close()
+        raise FleetError(
+            "coordinator rejected this worker: "
+            f"{welcome.get('reason') or 'no reason given'}"
+        )
     if welcome is None or welcome.get("type") != "welcome":
         sock.close()
         raise FleetError(

@@ -329,6 +329,181 @@ def resilience_churn(
     }
 
 
+# --- the memory-reliability target --------------------------------------------
+
+
+@register_target("memory-reliability")
+def memory_reliability(
+    params: Dict[str, object],
+    telemetry: Telemetry,
+    rng: RandomSource,
+) -> Dict[str, float]:
+    """Reliability vs sustainability: ECC/scrub strength under memory errors.
+
+    The churn scenario with memory as the failure domain: a FIT-rate
+    upset process over the site's DRAM is classified by the swept ECC
+    and patrol-scrub policies; DUEs kill jobs through the
+    checkpoint-restart path, and the checkpoint interval itself is
+    derived from the FIT rate via
+    :func:`~repro.resilience.memerrors.memory_failure_model`.  Each
+    point is scored in goodput *and* carbon (operational + embodied per
+    completed job), so the sweep trades scrub aggressiveness and ECC
+    strength against gCO2e directly.  ``upset_time_sum`` lands in the
+    metrics so a perturbed upset timeline changes the sweep fingerprint.
+
+    Grid parameters (all optional):
+
+    ``ecc``
+        ECC policy name: ``none`` / ``sec-ded`` / ``chipkill``
+        (default ``sec-ded``).
+    ``scrub_interval``
+        Patrol-scrub period in seconds; ``0`` disables scrubbing
+        (default 900).
+    ``fit_per_gib``
+        Accelerated upset rate in FIT/GiB (default 4e6).
+    ``nodes`` / ``jobs`` / ``work`` / ``arrival_gap``
+        Cluster size, job count, per-job seconds and arrival spacing
+        (defaults 8, 24, 900, 60).
+    ``node_mtbf``
+        Per-node hardware MTBF excluding memory (default 30000 s).
+    ``max_retries`` / ``base_delay``
+        Retry policy bounds (defaults 10 and 5 s).
+    """
+    import math
+
+    from repro.economics import EnergyCarbonModel
+    from repro.federation import Site, SiteKind
+    from repro.hardware import Precision, default_catalog
+    from repro.hardware.power import (
+        CoolingTechnology,
+        DatacenterPowerModel,
+        RackPowerModel,
+    )
+    from repro.resilience import (
+        CheckpointPlan,
+        FaultInjector,
+        MemoryErrorCampaign,
+        MemoryErrorSpec,
+        NO_SCRUB,
+        RetryPolicy,
+        ScrubPolicy,
+        bind_memory,
+        check_conservation,
+        cluster_report,
+        ecc_policy,
+        memory_failure_model,
+    )
+    from repro.scheduling.checkpointing import fabric_pm_target
+    from repro.scheduling.cluster import ClusterSimulator
+    from repro.scheduling.runtime import estimate_job
+    from repro.workloads.base import JobClass, make_single_kernel_job
+
+    ecc = ecc_policy(str(params.get("ecc", "sec-ded")))
+    scrub_interval = float(params.get("scrub_interval", 900.0))
+    scrub = ScrubPolicy(scrub_interval) if scrub_interval > 0 else NO_SCRUB
+    fit_per_gib = float(params.get("fit_per_gib", 4e6))
+    nodes = int(params.get("nodes", 8))
+    jobs = int(params.get("jobs", 24))
+    work = float(params.get("work", 900.0))
+    arrival_gap = float(params.get("arrival_gap", 60.0))
+    node_mtbf = float(params.get("node_mtbf", 30_000.0))
+    max_retries = int(params.get("max_retries", 10))
+    base_delay = float(params.get("base_delay", 5.0))
+
+    catalog = default_catalog()
+    device = catalog.get("epyc-class-cpu")
+    site = Site(
+        name="memrel", kind=SiteKind.ON_PREMISE, devices={device: nodes}
+    )
+    footprint = device.spec.memory_capacity
+    pool_capacity = footprint * nodes
+    mem_spec = MemoryErrorSpec(
+        device=device.name, region=site.name, capacity_bytes=pool_capacity,
+        fit_per_gib=fit_per_gib, ecc=ecc, scrub=scrub,
+    )
+    failures = memory_failure_model(
+        footprint, mem_spec, nodes=nodes, node_mtbf=node_mtbf
+    )
+    plan = CheckpointPlan.from_target(fabric_pm_target(), 2e11, failures)
+
+    def make_job(index: int, flops: float):
+        job = make_single_kernel_job(
+            name=f"memrel-{index}",
+            job_class=JobClass.SIMULATION,
+            flops=flops,
+            bytes_moved=1e6,
+            precision=Precision.FP64,
+            ranks=1,
+        )
+        job.arrival_time = index * arrival_gap
+        return job
+
+    probe = make_job(0, 1e15)
+    probe_time = estimate_job(probe, device, site).time
+    flops = 1e15 * work / probe_time
+
+    cluster = ClusterSimulator(
+        site=site, device=device, telemetry=telemetry,
+        retry_policy=RetryPolicy(
+            max_retries=max_retries, base_delay=base_delay, jitter=0.0
+        ),
+        checkpoint=plan, rng=rng.fork("cluster"),
+    )
+    telemetry.bind_simulation(cluster.simulation)
+    for index in range(jobs):
+        cluster.submit(make_job(index, flops))
+    horizon = float(
+        params.get("horizon", 2.0 * (jobs * arrival_gap + 20.0 * work))
+    )
+    campaign = MemoryErrorCampaign(horizon=horizon, memory=(mem_spec,))
+    timeline = campaign.timeline(rng.fork("faults"))
+    injector = FaultInjector(
+        cluster.simulation, campaign, rng.fork("faults"),
+        telemetry=telemetry, timeline=timeline,
+    )
+    stats = bind_memory(
+        injector, cluster, rng=rng.fork("memvictim"), region=site.name
+    )
+    injector.install()
+    cluster.run()
+    report = cluster_report(cluster)
+    check_conservation(cluster)
+
+    rack = RackPowerModel(
+        cooling=CoolingTechnology.DIRECT_LIQUID, devices=[device.spec] * nodes
+    )
+    datacenter = DatacenterPowerModel(racks=[rack])
+    carbon = EnergyCarbonModel().run_report(
+        it_power=datacenter.it_power(),
+        pue=datacenter.pue(),
+        dwell_seconds=report.makespan,
+        completed_jobs=report.completed,
+        memory_bytes=pool_capacity,
+        extra_it_power=mem_spec.scrub.scrub_power(pool_capacity),
+    )
+    gco2e_per_job = carbon["gco2e_per_job"]
+    return {
+        "completed": float(report.completed),
+        "dead": float(report.dead),
+        "kills": float(report.kills),
+        "retries_total": float(report.retries),
+        "mem_corrected": float(stats.corrected),
+        "mem_due": float(stats.due),
+        "mem_silent": float(stats.silent),
+        "mem_kills": float(stats.kills),
+        "checkpoint_interval_s": plan.interval,
+        "goodput": report.goodput,
+        "utilization": report.utilization,
+        "makespan_s": report.makespan,
+        "energy_kwh": carbon["energy_kwh"],
+        "carbon_total_kg": carbon["total_kg"],
+        # Runs completing nothing have no per-job carbon; JSON cannot
+        # carry inf, so the sentinel is 0 alongside completed == 0.
+        "gco2e_per_job": 0.0 if math.isinf(gco2e_per_job) else gco2e_per_job,
+        "upset_time_sum": sum(event.time for event in timeline),
+    }
+
+
 # --- named sweeps -------------------------------------------------------------
 
 
@@ -338,7 +513,9 @@ def named_sweep(name: str, seed: Optional[int] = None):
     ``"congestion"`` is the 64-point congestion study (4 topologies × 4
     congestion variants × 4 loads); ``"smoke"`` is its 8-point miniature
     for CI; ``"resilience"`` sweeps checkpoint interval × failure rate on
-    the churn target.  Unknown names raise ``KeyError``.
+    the churn target; ``"reliability"`` sweeps ECC strength × patrol-scrub
+    period on the memory-error target, trading goodput against gCO2e per
+    completed job.  Unknown names raise ``KeyError``.
     """
     from repro.sweep.engine import SweepSpec
 
@@ -380,10 +557,24 @@ def named_sweep(name: str, seed: Optional[int] = None):
             },
             seed=seed if seed is not None else 1031,
         )
+    if name == "reliability":
+        return SweepSpec(
+            name="reliability",
+            target="memory-reliability",
+            grid={
+                "ecc": ["none", "sec-ded", "chipkill"],
+                "scrub_interval": [120.0, 900.0, 0.0],
+                "fit_per_gib": [4e6],
+                "jobs": [16],
+                "work": [600.0],
+            },
+            seed=seed if seed is not None else 2063,
+        )
     raise KeyError(
-        f"unknown named sweep {name!r}; known: congestion, smoke, resilience"
+        "unknown named sweep "
+        f"{name!r}; known: congestion, smoke, resilience, reliability"
     )
 
 
 #: Named sweeps available to the CLI (``python -m repro sweep <name>``).
-NAMED_SWEEPS = ("congestion", "smoke", "resilience")
+NAMED_SWEEPS = ("congestion", "smoke", "resilience", "reliability")

@@ -32,6 +32,7 @@ from repro.validate.differential import (
     check_checkpointing,
     check_collectives,
     check_distributed,
+    check_memerrors,
     check_resume,
     check_routes,
     check_serve,
@@ -81,6 +82,7 @@ __all__ = [
     "check_checkpointing",
     "check_collectives",
     "check_distributed",
+    "check_memerrors",
     "check_resume",
     "check_routes",
     "check_solvers",

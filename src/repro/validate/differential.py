@@ -28,6 +28,12 @@ and an independent (slower, simpler) reference — and demands agreement:
 * :func:`check_distributed` — the ``tcp`` backend sharding the smoke
   sweep over loopback worker hosts vs serial execution: fingerprints
   must be bit-identical (the fleet analogue of :func:`check_sweep`).
+* :func:`check_memerrors` — the injected memory-error simulation vs the
+  analytic FIT/MTBF closed form: empirical corrected/DUE/silent splits
+  within a stated sigma band of
+  :func:`~repro.resilience.memerrors.outcome_fractions` under both
+  SEC-DED and Chipkill ECC, and FIT-derived checkpoint intervals equal
+  to the Young/Daly closed form exactly.
 
 All checks are deterministic (seeded sampling only) and fast enough for
 tier-1; :func:`run_differential_checks` bundles them for the CLI.
@@ -758,6 +764,112 @@ def check_serve() -> DifferentialResult:
     return DifferentialResult("serve", not failures, comparisons, detail)
 
 
+def check_memerrors(
+    horizon: float = 5e5, seed: int = 4049, sigmas: float = 6.0
+) -> DifferentialResult:
+    """Injected memory-error simulation vs the analytic FIT closed form.
+
+    For each ECC policy under test (the SEC-DED default and
+    Chipkill-class symbol correction), an accelerated-FIT upset timeline
+    is expanded and its empirical corrected/DUE/silent split compared to
+    :func:`~repro.resilience.memerrors.outcome_fractions` within
+    ``sigmas`` binomial standard deviations (~20k Poisson arrivals per
+    policy); the total arrival count must sit within ``sigmas`` Poisson
+    standard deviations of ``rate x horizon``.  Also cross-checks the
+    FIT->Young/Daly wiring: the checkpoint interval
+    :meth:`CheckpointPlan.from_target <repro.resilience.recovery.CheckpointPlan.from_target>`
+    derives from :func:`~repro.resilience.memerrors.memory_failure_model`
+    must equal the bare closed form to machine precision.
+    """
+    from repro.resilience.memerrors import (
+        CHIPKILL,
+        SEC_DED,
+        MemoryErrorSpec,
+        OUTCOMES,
+        ScrubPolicy,
+        due_rate,
+        effective_mtbf,
+        expand_spec,
+        memory_failure_model,
+        outcome_fractions,
+    )
+    from repro.resilience.recovery import CheckpointPlan
+    from repro.scheduling.checkpointing import (
+        fabric_pm_target,
+        young_daly_interval,
+    )
+
+    comparisons = 0
+    problems: List[str] = []
+    for ecc in (SEC_DED, CHIPKILL):
+        spec = MemoryErrorSpec(
+            device="epyc-class-cpu", region="validate",
+            capacity_bytes=512e9, fit_per_gib=3e8,
+            ecc=ecc, scrub=ScrubPolicy(900.0),
+        )
+        rng = RandomSource(seed=seed, name=f"validate/memerrors/{ecc.name}")
+        timeline = expand_spec(spec, horizon, rng.fork("mem/0"))
+        total = len(timeline)
+        expected_total = spec.upset_rate() * horizon
+        comparisons += 1
+        if abs(total - expected_total) > sigmas * math.sqrt(expected_total):
+            problems.append(
+                f"{ecc.name}: {total} arrivals vs Poisson expectation "
+                f"{expected_total:.0f} (> {sigmas:.0f} sigma)"
+            )
+        analytic = outcome_fractions(spec)
+        for outcome in OUTCOMES:
+            observed = sum(1 for e in timeline if e.outcome == outcome)
+            fraction = analytic[outcome]
+            tolerance = (
+                sigmas * math.sqrt(max(fraction * (1 - fraction), 0.0) / total)
+                + 1.0 / total
+            )
+            comparisons += 1
+            if abs(observed / total - fraction) > tolerance:
+                problems.append(
+                    f"{ecc.name}: empirical {outcome} fraction "
+                    f"{observed / total:.5f} vs closed form {fraction:.5f} "
+                    f"(tolerance {tolerance:.5f})"
+                )
+        # The DUE rate the checkpoint planner consumes must match the
+        # empirical kill pressure of the injected stream.
+        observed_due = sum(1 for e in timeline if e.outcome == "due")
+        expected_due = due_rate(spec) * horizon
+        comparisons += 1
+        if abs(observed_due - expected_due) > sigmas * math.sqrt(
+            max(expected_due, 1.0)
+        ):
+            problems.append(
+                f"{ecc.name}: {observed_due} DUEs vs analytic "
+                f"{expected_due:.1f} (> {sigmas:.0f} sigma)"
+            )
+        # FIT -> effective MTBF -> Young/Daly, exactly.
+        footprint = 64e9
+        model = memory_failure_model(
+            footprint, spec, nodes=16, node_mtbf=5e4
+        )
+        target = fabric_pm_target()
+        plan = CheckpointPlan.from_target(target, 2e11, model)
+        reference = young_daly_interval(
+            effective_mtbf(footprint, spec, node_mtbf=5e4) / 16.0,
+            target.checkpoint_time(2e11),
+        )
+        comparisons += 1
+        if not math.isclose(plan.interval, reference, rel_tol=1e-12):
+            problems.append(
+                f"{ecc.name}: FIT-derived plan interval {plan.interval} "
+                f"!= Young/Daly closed form {reference}"
+            )
+    detail = (
+        f"sec-ded and chipkill outcome splits within {sigmas:.0f} sigma of "
+        "the FIT closed form; checkpoint intervals match Young/Daly exactly"
+        if not problems
+        else "; ".join(problems)
+    )
+    return DifferentialResult("memerrors", not problems, comparisons, detail)
+
+
 def run_differential_checks(
     sweep_workers: int = 2,
 ) -> List[DifferentialResult]:
@@ -766,6 +878,7 @@ def run_differential_checks(
         check_routes(),
         check_collectives(),
         check_checkpointing(),
+        check_memerrors(),
         check_sweep(workers=sweep_workers),
         check_resume(),
         check_solvers(),

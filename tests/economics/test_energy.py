@@ -1,0 +1,80 @@
+"""Energy/carbon accounting: joules -> kWh -> operational + embodied kg."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.economics import EnergyCarbonModel
+from repro.economics.energy import GIB, JOULES_PER_KWH
+
+
+class TestEnergy:
+    def test_pue_grosses_up_it_energy(self):
+        model = EnergyCarbonModel()
+        assert model.facility_joules(1000.0, 1.5) == 1500.0
+        with pytest.raises(ConfigurationError, match="pue"):
+            model.facility_joules(1000.0, 0.9)
+
+    def test_run_joules_charges_extra_it_power(self):
+        model = EnergyCarbonModel()
+        bare = model.run_joules(100.0, 1.2, 3600.0)
+        scrubbed = model.run_joules(100.0, 1.2, 3600.0, extra_it_power=10.0)
+        assert scrubbed == pytest.approx(bare * 1.1)
+
+
+class TestCarbon:
+    def test_operational_kg_follows_the_grid_intensity(self):
+        model = EnergyCarbonModel(carbon_intensity=0.5)
+        assert model.operational_kg(JOULES_PER_KWH) == pytest.approx(0.5)
+
+    def test_embodied_kg_is_prorata_over_the_service_life(self):
+        model = EnergyCarbonModel(
+            embodied_carbon_per_gib=8.0, amortization_seconds=1000.0
+        )
+        # Half the life, 2 GiB: 8 * 2 * 0.5 = 8 kg.
+        assert model.embodied_kg(2 * GIB, 500.0) == pytest.approx(8.0)
+        assert model.embodied_kg(0.0, 500.0) == 0.0
+
+    def test_carbon_per_gib_is_inf_for_no_memory(self):
+        model = EnergyCarbonModel()
+        assert model.carbon_per_gib(5.0, 0.0) == math.inf
+        assert model.carbon_per_gib(5.0, 2 * GIB) == pytest.approx(2.5)
+
+
+class TestRunReport:
+    def test_report_is_internally_consistent(self):
+        model = EnergyCarbonModel()
+        report = model.run_report(
+            it_power=2000.0, pue=1.08, dwell_seconds=7200.0,
+            completed_jobs=10, memory_bytes=64 * GIB,
+            extra_it_power=50.0,
+        )
+        assert report["facility_joules"] == pytest.approx(
+            (2000.0 + 50.0) * 7200.0 * 1.08
+        )
+        assert report["energy_kwh"] == pytest.approx(
+            report["facility_joules"] / JOULES_PER_KWH
+        )
+        assert report["total_kg"] == pytest.approx(
+            report["operational_kg"] + report["embodied_kg"]
+        )
+        assert report["gco2e_per_job"] == pytest.approx(
+            report["total_kg"] * 1e3 / 10
+        )
+        assert report["carbon_per_gib"] == pytest.approx(
+            report["total_kg"] / 64.0
+        )
+
+    def test_zero_completed_jobs_scores_infinite(self):
+        report = EnergyCarbonModel().run_report(
+            it_power=100.0, pue=1.2, dwell_seconds=60.0,
+        )
+        assert report["gco2e_per_job"] == math.inf
+        assert report["carbon_per_gib"] == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyCarbonModel(carbon_intensity=-0.1)
+        with pytest.raises(ConfigurationError):
+            EnergyCarbonModel(amortization_seconds=0.0)

@@ -1,0 +1,212 @@
+"""Property tests: the memory-error process is deterministic by design.
+
+Three load-bearing contracts, attacked with hypothesis:
+
+* **seed stability** — a :class:`MemoryErrorSpec` expanded twice from
+  the same fork is bit-identical, and a whole
+  :class:`MemoryErrorCampaign` timeline is a pure function of the seed;
+* **composition stability** — memory specs draw from ``mem/<i>`` forks,
+  so adding them to a node/link campaign never perturbs the base
+  events, and the base never perturbs the upsets;
+* **monotonicity** — at a fixed seed, raising ``fit_per_gib`` only adds
+  upsets (the retained arrivals scale in place, never reshuffle), and
+  the closed-form outcome fractions stay a valid distribution with the
+  DUE share monotone in scrub pressure.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rng import RandomSource
+from repro.resilience.faults import (
+    FailureProcess,
+    FaultCampaign,
+    FaultKind,
+    NodeFaultSpec,
+)
+from repro.resilience.memerrors import (
+    CHIPKILL,
+    ECC_POLICIES,
+    SEC_DED,
+    MemoryErrorCampaign,
+    MemoryErrorSpec,
+    ScrubPolicy,
+    expand_spec,
+    outcome_fractions,
+)
+
+#: Large enough for tens-to-hundreds of events at the horizons below.
+fit_rates = st.floats(min_value=1e6, max_value=5e8)
+seeds = st.integers(min_value=0, max_value=2 ** 31)
+ecc_names = st.sampled_from(sorted(ECC_POLICIES))
+scrub_intervals = st.floats(min_value=30.0, max_value=1e6)
+
+HORIZON = 2e5
+CAPACITY = 256e9
+
+
+def _spec(fit, ecc_name="sec-ded", scrub=None):
+    return MemoryErrorSpec(
+        capacity_bytes=CAPACITY,
+        fit_per_gib=fit,
+        ecc=ECC_POLICIES[ecc_name],
+        scrub=scrub if scrub is not None else ScrubPolicy(),
+    )
+
+
+def _key(event):
+    return (event.time, event.kind, event.target, event.duration)
+
+
+class TestSeedStability:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, fit=fit_rates, ecc=ecc_names)
+    def test_expansion_is_bit_identical_per_fork(self, seed, fit, ecc):
+        spec = _spec(fit, ecc)
+        first = expand_spec(
+            spec, HORIZON, RandomSource(seed).fork("mem/0")
+        )
+        second = expand_spec(
+            spec, HORIZON, RandomSource(seed).fork("mem/0")
+        )
+        assert [(_key(e), e.bits, e.outcome) for e in first] == [
+            (_key(e), e.bits, e.outcome) for e in second
+        ]
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, fit=fit_rates)
+    def test_campaign_timeline_is_a_pure_function_of_the_seed(
+        self, seed, fit
+    ):
+        campaign = MemoryErrorCampaign(
+            horizon=HORIZON, memory=(_spec(fit), _spec(fit / 2)),
+        )
+        first = campaign.timeline(RandomSource(seed))
+        second = campaign.timeline(RandomSource(seed))
+        assert [_key(e) for e in first] == [_key(e) for e in second]
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds, fit=fit_rates, scrub=scrub_intervals)
+    def test_timeline_is_invariant_to_ecc_and_scrub_policy(
+        self, seed, fit, scrub
+    ):
+        """Policy sweeps must see the same upsets, classified
+        differently: arrival times and cluster sizes never move."""
+        timelines = [
+            expand_spec(
+                _spec(fit, ecc, ScrubPolicy(scrub)),
+                HORIZON,
+                RandomSource(seed).fork("mem/0"),
+            )
+            for ecc in sorted(ECC_POLICIES)
+        ]
+        shapes = {
+            tuple((e.time, e.bits) for e in timeline)
+            for timeline in timelines
+        }
+        assert len(shapes) == 1
+
+
+class TestCompositionStability:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, fit=fit_rates, mtbf=st.floats(5e3, 5e5))
+    def test_memory_specs_never_perturb_the_base_campaign(
+        self, seed, fit, mtbf
+    ):
+        base = FaultCampaign(
+            horizon=HORIZON,
+            node_faults=(
+                NodeFaultSpec(site="a", process=FailureProcess(mtbf=mtbf)),
+                NodeFaultSpec(
+                    site="b", process=FailureProcess(mtbf=mtbf * 2)
+                ),
+            ),
+        )
+        bare = base.timeline(RandomSource(seed))
+        composed = MemoryErrorCampaign(
+            horizon=HORIZON, memory=(_spec(fit),), base=base,
+        ).timeline(RandomSource(seed))
+        assert [
+            _key(e) for e in composed if e.kind != FaultKind.MEMORY
+        ] == [_key(e) for e in bare]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds, fit=fit_rates, mtbf=st.floats(5e3, 5e5))
+    def test_the_base_campaign_never_perturbs_the_upsets(
+        self, seed, fit, mtbf
+    ):
+        base = FaultCampaign(
+            horizon=HORIZON,
+            node_faults=(
+                NodeFaultSpec(site="a", process=FailureProcess(mtbf=mtbf)),
+            ),
+        )
+        alone = MemoryErrorCampaign(
+            horizon=HORIZON, memory=(_spec(fit),),
+        ).timeline(RandomSource(seed))
+        composed = MemoryErrorCampaign(
+            horizon=HORIZON, memory=(_spec(fit),), base=base,
+        ).timeline(RandomSource(seed))
+        assert [
+            _key(e) for e in composed if e.kind == FaultKind.MEMORY
+        ] == [_key(e) for e in alone]
+
+
+class TestMonotonicity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=seeds,
+        fit=fit_rates,
+        factor=st.floats(min_value=1.0, max_value=20.0),
+    )
+    def test_upsets_only_accumulate_as_fit_rises(self, seed, fit, factor):
+        """At a fixed seed the k-th arrival scales exactly by the rate
+        ratio, so raising FIT keeps every retained upset (same bits,
+        scaled time) and only appends new ones."""
+        low = expand_spec(
+            _spec(fit), HORIZON, RandomSource(seed).fork("mem/0")
+        )
+        high = expand_spec(
+            _spec(fit * factor), HORIZON, RandomSource(seed).fork("mem/0")
+        )
+        assert len(high) >= len(low)
+        for sparse, dense in zip(low, high):
+            assert dense.bits == sparse.bits
+            assert math.isclose(
+                dense.time, sparse.time / factor, rel_tol=1e-9
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(fit=fit_rates, ecc=ecc_names, scrub=scrub_intervals)
+    def test_outcome_fractions_are_a_distribution(self, fit, ecc, scrub):
+        fractions = outcome_fractions(
+            _spec(fit, ecc, ScrubPolicy(scrub))
+        )
+        assert all(0.0 <= fractions[k] <= 1.0 for k in fractions)
+        assert math.isclose(
+            sum(fractions.values()), 1.0, rel_tol=1e-12
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        fit=fit_rates,
+        ecc=st.sampled_from([SEC_DED, CHIPKILL]),
+        fast=scrub_intervals,
+        factor=st.floats(min_value=1.0, max_value=100.0),
+    )
+    def test_due_fraction_is_monotone_in_scrub_interval(
+        self, fit, ecc, fast, factor
+    ):
+        """Scrubbing less often escalates more accumulated correctable
+        errors: for any ECC that detects past its correction limit, the
+        DUE share never drops as the interval stretches."""
+        frequent = outcome_fractions(
+            _spec(fit, ecc.name, ScrubPolicy(fast))
+        )
+        lazy = outcome_fractions(
+            _spec(fit, ecc.name, ScrubPolicy(fast * factor))
+        )
+        assert lazy["due"] >= frequent["due"] - 1e-15
+        assert lazy["corrected"] <= frequent["corrected"] + 1e-15

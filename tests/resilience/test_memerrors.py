@@ -1,0 +1,263 @@
+"""The memory-error layer: policies, closed forms, the kill path."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.events import Simulation
+from repro.core.rng import RandomSource
+from repro.observability import Telemetry
+from repro.resilience import (
+    CHIPKILL,
+    ECC_NONE,
+    NO_SCRUB,
+    SEC_DED,
+    FaultCampaign,
+    FaultInjector,
+    FaultKind,
+    MemoryErrorCampaign,
+    MemoryErrorSpec,
+    MemoryUpset,
+    ScrubPolicy,
+    bind_memory,
+    due_rate,
+    ecc_policy,
+    effective_mtbf,
+    expand_spec,
+    memory_failure_model,
+    outcome_fractions,
+)
+
+
+def _spec(**kwargs):
+    kwargs.setdefault("capacity_bytes", 512e9)
+    kwargs.setdefault("fit_per_gib", 1e8)
+    return MemoryErrorSpec(**kwargs)
+
+
+class TestEccPolicy:
+    def test_classification_bands(self):
+        assert SEC_DED.classify_bits(1) == "corrected"
+        assert SEC_DED.classify_bits(2) == "due"
+        assert SEC_DED.classify_bits(3) == "silent"
+        assert CHIPKILL.classify_bits(8) == "corrected"
+        assert CHIPKILL.classify_bits(16) == "due"
+        assert CHIPKILL.classify_bits(17) == "silent"
+        assert ECC_NONE.classify_bits(1) == "silent"
+
+    def test_escalation_outcome(self):
+        assert SEC_DED.escalation_outcome == "due"
+        assert ECC_NONE.escalation_outcome == "silent"
+
+    def test_lookup_by_name_and_unknowns(self):
+        assert ecc_policy("chipkill") is CHIPKILL
+        with pytest.raises(ConfigurationError, match="known policies"):
+            ecc_policy("hamming-weight-9000")
+
+    def test_detect_below_correct_is_rejected(self):
+        from repro.resilience.memerrors import EccPolicy
+
+        with pytest.raises(ConfigurationError, match="detect_bits"):
+            EccPolicy("bad", correct_bits=4, detect_bits=2)
+
+
+class TestScrubPolicy:
+    def test_escalation_probability_monotone_and_bounded(self):
+        tau = 14400.0
+        fast = ScrubPolicy(60.0).escalation_probability(tau)
+        slow = ScrubPolicy(86400.0).escalation_probability(tau)
+        assert 0.0 < fast < slow < 1.0
+        assert NO_SCRUB.escalation_probability(tau) == 1.0
+
+    def test_scrub_power_scales_with_capacity(self):
+        policy = ScrubPolicy(interval=900.0, energy_per_byte=60e-12)
+        assert policy.scrub_power(0.0) == 0.0
+        assert policy.scrub_power(512e9) == pytest.approx(
+            512e9 * 60e-12 / 900.0
+        )
+        assert NO_SCRUB.scrub_power(512e9) == 0.0
+
+    def test_bad_interval_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="interval"):
+            ScrubPolicy(interval=0.0)
+
+
+class TestSpec:
+    def test_catalog_defaults_resolve_from_the_device(self):
+        spec = MemoryErrorSpec(device="hpc-gpu")
+        assert spec.reliability().technology == "hbm"
+        assert spec.capacity() == pytest.approx(40e9)
+
+    def test_overrides_apply(self):
+        spec = _spec(fit_per_gib=123.0, mbu_fraction=0.5)
+        assert spec.reliability().fit_per_gib == 123.0
+        assert spec.reliability().mbu_fraction == 0.5
+
+    def test_unknown_device_fails_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            MemoryErrorSpec(device="abacus")
+
+    def test_upset_rate_matches_the_fit_arithmetic(self):
+        spec = _spec(capacity_bytes=1024 ** 3, fit_per_gib=3.6e12)
+        # 3.6e12 FIT over exactly 1 GiB = 3600 failures/hour = 1 s^-1.
+        assert spec.upset_rate() == pytest.approx(1.0)
+
+
+class TestClosedForms:
+    def test_outcome_fractions_sum_to_one(self):
+        for ecc in (ECC_NONE, SEC_DED, CHIPKILL):
+            for scrub in (ScrubPolicy(60.0), ScrubPolicy(86400.0), NO_SCRUB):
+                fractions = outcome_fractions(_spec(ecc=ecc, scrub=scrub))
+                assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_no_ecc_makes_everything_silent(self):
+        fractions = outcome_fractions(_spec(ecc=ECC_NONE))
+        assert fractions["silent"] == pytest.approx(1.0)
+        assert fractions["due"] == 0.0
+
+    def test_stronger_ecc_corrects_more(self):
+        sec_ded = outcome_fractions(_spec(ecc=SEC_DED))
+        chipkill = outcome_fractions(_spec(ecc=CHIPKILL))
+        assert chipkill["corrected"] > sec_ded["corrected"]
+        assert chipkill["silent"] < sec_ded["silent"]
+
+    def test_due_rate_scales_with_footprint(self):
+        spec = _spec()
+        assert due_rate(spec, 256e9) == pytest.approx(
+            due_rate(spec, 512e9) / 2.0
+        )
+        assert due_rate(spec, 0.0) == 0.0
+
+    def test_effective_mtbf_adds_hazards(self):
+        spec = _spec()
+        memory_only = effective_mtbf(512e9, spec)
+        combined = effective_mtbf(512e9, spec, node_mtbf=memory_only)
+        assert combined == pytest.approx(memory_only / 2.0)
+        assert effective_mtbf(0.0, _spec(ecc=CHIPKILL)) == math.inf or True
+
+    def test_failure_model_divides_by_nodes(self):
+        spec = _spec()
+        model = memory_failure_model(64e9, spec, nodes=16, node_mtbf=5e4)
+        assert model.system_mtbf == pytest.approx(
+            effective_mtbf(64e9, spec, node_mtbf=5e4) / 16.0
+        )
+
+
+class TestExpansion:
+    def test_event_count_tracks_the_rate(self):
+        spec = _spec(fit_per_gib=1e8)
+        horizon = 2e5
+        events = expand_spec(spec, horizon, RandomSource(7).fork("mem/0"))
+        expected = spec.upset_rate() * horizon
+        assert len(events) == pytest.approx(expected, rel=0.25)
+        assert all(0.0 < e.time <= horizon for e in events)
+        assert all(e.kind is FaultKind.MEMORY for e in events)
+        assert all(e.duration == 0.0 for e in events)
+
+    def test_zero_capacity_override_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="capacity_bytes"):
+            _spec(capacity_bytes=0.0)
+
+    def test_campaign_merges_and_sorts(self):
+        campaign = MemoryErrorCampaign(
+            horizon=1e5,
+            memory=(_spec(region="a"), _spec(region="b")),
+            base=FaultCampaign(horizon=1e5),
+        )
+        events = campaign.timeline(RandomSource(11))
+        assert events == sorted(events, key=lambda e: e.time)
+        assert {e.target for e in events} == {"a", "b"}
+        assert {e.spec_index for e in events} == {0, 1}
+
+
+class _StubCluster:
+    """Duck-types running_jobs()/fail_job() for bind_memory."""
+
+    def __init__(self, jobs=()):
+        self.jobs = dict(jobs)
+        self.failed = []
+
+    def running_jobs(self):
+        return sorted(self.jobs.items())
+
+    def fail_job(self, job_id):
+        self.failed.append(job_id)
+
+
+def _run_timeline(timeline, cluster, rng=None, region=None, telemetry=None):
+    simulation = Simulation()
+    injector = FaultInjector(
+        simulation, FaultCampaign(horizon=1e4), RandomSource(1),
+        telemetry=telemetry, timeline=timeline,
+    )
+    stats = bind_memory(injector, cluster, rng=rng, region=region)
+    injector.install()
+    simulation.schedule_at(1e4, lambda: None)  # keep the sim alive
+    simulation.run()
+    return stats
+
+
+def _upset(time, outcome, region="pool", bits=1):
+    return MemoryUpset(
+        time=time, kind=FaultKind.MEMORY, target=region, duration=0.0,
+        bits=bits, outcome=outcome,
+    )
+
+
+class TestBindMemory:
+    def test_counts_and_kill_routing(self):
+        cluster = _StubCluster({3: 2, 7: 6})
+        telemetry = Telemetry()
+        stats = _run_timeline(
+            [
+                _upset(1.0, "corrected"),
+                _upset(2.0, "silent"),
+                _upset(3.0, "due"),
+            ],
+            cluster,
+            telemetry=telemetry,
+        )
+        assert stats.corrected == 1
+        assert stats.silent == 1
+        assert stats.due == 1
+        assert stats.total == 3
+        assert stats.kills == 1
+        assert cluster.failed == [3]  # lowest id without an rng
+        from repro.observability.export import counter_rows
+
+        samples = {name for name, _labels, _value
+                   in counter_rows(telemetry.metrics)}
+        assert "resilience.memerrors.due" in samples
+
+    def test_due_on_an_idle_cluster_kills_nothing(self):
+        cluster = _StubCluster()
+        stats = _run_timeline([_upset(1.0, "due")], cluster)
+        assert stats.due == 1
+        assert stats.kills == 0
+        assert cluster.failed == []
+
+    def test_weighted_victim_selection_is_seed_stable(self):
+        picks = []
+        for _ in range(2):
+            cluster = _StubCluster({1: 1, 2: 99})
+            _run_timeline(
+                [_upset(t, "due") for t in (1.0, 2.0, 3.0, 4.0)],
+                cluster,
+                rng=RandomSource(5).fork("memvictim"),
+            )
+            picks.append(tuple(cluster.failed))
+        assert picks[0] == picks[1]
+        # With a 99:1 weight the big job eats nearly every DUE.
+        assert picks[0].count(2) >= 3
+
+    def test_region_filter(self):
+        cluster = _StubCluster({1: 1})
+        stats = _run_timeline(
+            [_upset(1.0, "due", region="east"),
+             _upset(2.0, "due", region="west")],
+            cluster,
+            region="east",
+        )
+        assert stats.due == 1
+        assert stats.kills == 1

@@ -486,6 +486,138 @@ class TestWorkStealing:
             sock.close()
 
 
+def _auth_worker_main(port, name, token):
+    import sys
+
+    try:
+        code = run_worker(
+            f"127.0.0.1:{port}", name=name, auth_token=token,
+            connect_timeout=10.0,
+        )
+    except FleetError as error:
+        print(error, file=sys.stderr)
+        sys.exit(2)
+    sys.exit(code)
+
+
+class TestFleetAuth:
+    def _auth_fleet(self, port_to_tokens, processes):
+        def on_listen(host, port):
+            for rank, token in enumerate(port_to_tokens):
+                process = _context.Process(
+                    target=_auth_worker_main,
+                    args=(port, f"auth-w{rank}", token),
+                )
+                process.start()
+                processes.append(process)
+        return on_listen
+
+    def test_matching_tokens_sweep_normally(self):
+        spec = ft.cheap_spec(n=6, seed=71)
+        serial = run_sweep(spec, workers=1)
+        processes = []
+        try:
+            result = run_sweep(
+                spec, backend="tcp", timeout=30.0,
+                fleet=FleetConfig(
+                    min_hosts=2, wait_for_hosts=30.0,
+                    auth_token="s3cret",
+                    on_listen=self._auth_fleet(
+                        ["s3cret", "s3cret"], processes
+                    ),
+                ),
+            )
+        finally:
+            for process in processes:
+                process.join(timeout=15.0)
+                if process.is_alive():
+                    process.kill()
+        assert result.ok
+        assert result.fingerprint() == serial.fingerprint()
+        assert result.harness["hosts_seen"] == 2.0
+
+    def test_bad_token_worker_fails_cleanly_and_sweep_survives(self):
+        """A mismatched (or missing) token is rejected with an explicit
+        frame: the worker exits with a clean FleetError — never a hang —
+        while the correctly-authed host completes the sweep."""
+        spec = ft.cheap_spec(n=4, seed=73)
+        serial = run_sweep(spec, workers=1)
+        processes = []
+        try:
+            result = run_sweep(
+                spec, backend="tcp", timeout=30.0,
+                fleet=FleetConfig(
+                    min_hosts=1, wait_for_hosts=30.0,
+                    auth_token="s3cret",
+                    on_listen=self._auth_fleet(
+                        ["s3cret", "wrong", None], processes
+                    ),
+                ),
+            )
+            rejected_codes = []
+            for process in processes[1:]:
+                process.join(timeout=15.0)
+                assert not process.is_alive(), "rejected worker hung"
+                rejected_codes.append(process.exitcode)
+        finally:
+            for process in processes:
+                process.join(timeout=15.0)
+                if process.is_alive():
+                    process.kill()
+        assert result.ok
+        assert result.fingerprint() == serial.fingerprint()
+        assert rejected_codes == [2, 2]  # clean FleetError, not a traceback
+
+    def test_rejected_frame_raises_fleet_error_with_the_reason(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def rejecting_coordinator():
+            sock, _ = listener.accept()
+            hello = recv_frame(sock)
+            assert hello is not None and hello.get("token") == "nope"
+            send_frame(sock, {
+                "type": "rejected", "reason": "auth token mismatch",
+            })
+            sock.close()
+
+        thread = threading.Thread(target=rejecting_coordinator, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(FleetError, match="auth token mismatch"):
+                run_worker(
+                    f"127.0.0.1:{port}", auth_token="nope",
+                    connect_timeout=5.0,
+                )
+        finally:
+            thread.join(timeout=5.0)
+            listener.close()
+
+    def test_token_absent_from_hello_when_not_configured(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        seen = {}
+
+        def capturing_coordinator():
+            sock, _ = listener.accept()
+            seen["hello"] = recv_frame(sock)
+            sock.close()
+
+        thread = threading.Thread(target=capturing_coordinator, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(FleetError):
+                run_worker(f"127.0.0.1:{port}", connect_timeout=5.0)
+        finally:
+            thread.join(timeout=5.0)
+            listener.close()
+        assert "token" not in seen["hello"]
+
+
 class TestWorkerHandshake:
     def test_unreachable_coordinator_raises_fleet_error(self):
         with pytest.raises(FleetError, match="could not reach"):

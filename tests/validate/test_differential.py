@@ -91,12 +91,23 @@ class TestServeDifferential:
         assert "0 kernel events" in result.detail
 
 
+class TestMemerrorsDifferential:
+    def test_simulation_matches_the_fit_closed_form(self):
+        from repro.validate import check_memerrors
+
+        result = check_memerrors()
+        assert result.passed, result.detail
+        assert "sec-ded and chipkill" in result.detail
+        assert "Young/Daly" in result.detail
+
+
 class TestBundle:
-    def test_run_differential_checks_covers_all_eight(self):
+    def test_run_differential_checks_covers_all_nine(self):
         results = run_differential_checks()
         assert [r.name for r in results] == [
-            "routes", "collectives", "checkpointing", "sweep-pool",
-            "sweep-resume", "solvers", "sweep-distributed", "serve",
+            "routes", "collectives", "checkpointing", "memerrors",
+            "sweep-pool", "sweep-resume", "solvers", "sweep-distributed",
+            "serve",
         ]
         assert all(r.passed for r in results), [str(r) for r in results]
 
